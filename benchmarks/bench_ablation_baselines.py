@@ -1,0 +1,30 @@
+"""Ablation — RDB-SC solvers against count-oriented and random baselines.
+
+The paper's motivating argument (Section 1, related work): prior spatial
+crowdsourcing maximises the *number* of assigned tasks and ignores answer
+quality.  MAX-TASK reproduces that objective (maximum bipartite matching
+plus round-robin leftovers); this bench shows what it leaves on the table
+in RDB-SC's reliability/diversity terms.
+"""
+
+from repro.experiments.ablations import baseline_comparison, format_ablation
+
+
+def test_ablation_baselines(benchmark, show):
+    rows = benchmark.pedantic(baseline_comparison, rounds=1, iterations=1)
+    show(format_ablation(
+        "Ablation — RDB-SC solvers vs MAX-TASK / RANDOM baselines",
+        rows,
+        extra_name="tasks covered",
+    ))
+
+    by_label = {row.label: row for row in rows}
+    # The quality-aware solvers beat the random floor on diversity.
+    for solver in ("SAMPLING", "D&C"):
+        assert by_label[solver].total_std > by_label["RANDOM"].total_std * 0.99
+    # MAX-TASK spreads workers thin: its minimum reliability cannot beat
+    # the best RDB-SC solver's (single-worker tasks pin it to p_min).
+    best_rdbsc = max(
+        by_label[s].min_reliability for s in ("GREEDY", "SAMPLING", "D&C")
+    )
+    assert by_label["MAX-TASK"].min_reliability <= best_rdbsc + 1e-9

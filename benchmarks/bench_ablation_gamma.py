@@ -1,0 +1,23 @@
+"""Ablation — the divide-and-conquer threshold gamma.
+
+Question: how does the leaf-size threshold trade merge work against base-
+solver quality?  Small gamma -> many leaves and heavy merging; large gamma
+-> one big sampling problem (exactly the SAMPLING solver at the limit).
+"""
+
+from repro.experiments.ablations import format_ablation, gamma_ablation
+
+
+def test_ablation_gamma(benchmark, show):
+    rows = benchmark.pedantic(gamma_ablation, rounds=1, iterations=1)
+    show(format_ablation(
+        "Ablation — D&C leaf threshold gamma", rows, extra_name="leaf solves",
+    ))
+
+    # Smaller gamma must produce more leaves.
+    leaves = [row.extra for row in rows]
+    assert leaves[0] > leaves[-1]
+    # Every configuration stays in a sane quality band.
+    for row in rows:
+        assert row.min_reliability >= 0.85
+        assert row.total_std > 0.0

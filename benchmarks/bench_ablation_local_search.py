@@ -1,0 +1,70 @@
+"""Ablation — Pareto local search on top of each base solver.
+
+Question: how much objective quality does a dominance-respecting polish
+pass buy on top of GREEDY / SAMPLING / RANDOM, and what does it cost?  By
+construction the polished result is never dominated by its base, so this
+measures pure upside vs time.
+"""
+
+import time
+
+from repro.algorithms import GreedySolver, RandomSolver, SamplingSolver
+from repro.algorithms.local_search import LocalSearchSolver
+from repro.core.objectives import dominates
+from repro.datagen import ExperimentConfig, generate_problem
+
+
+def run_local_search_ablation(seeds=(1, 2, 3)):
+    bases = [
+        ("GREEDY", GreedySolver),
+        ("SAMPLING", lambda: SamplingSolver(num_samples=40)),
+        ("RANDOM", RandomSolver),
+    ]
+    rows = []
+    for label, factory in bases:
+        base_std = base_rel = base_s = 0.0
+        ls_std = ls_rel = ls_s = moves = 0.0
+        for seed in seeds:
+            problem = generate_problem(
+                ExperimentConfig.scaled_defaults(num_tasks=24, num_workers=48), seed
+            )
+            start = time.perf_counter()
+            base = factory().solve(problem, rng=seed)
+            base_s += time.perf_counter() - start
+            start = time.perf_counter()
+            polished = LocalSearchSolver(factory()).solve(problem, rng=seed)
+            ls_s += time.perf_counter() - start
+            assert not dominates(base.objective, polished.objective)
+            base_std += base.objective.total_std
+            base_rel += base.objective.min_reliability
+            ls_std += polished.objective.total_std
+            ls_rel += polished.objective.min_reliability
+            moves += polished.stats["local_moves"]
+        n = len(seeds)
+        rows.append(
+            (label, base_rel / n, base_std / n, base_s / n,
+             ls_rel / n, ls_std / n, ls_s / n, moves / n)
+        )
+    return rows
+
+
+def test_ablation_local_search(benchmark, show):
+    rows = benchmark.pedantic(run_local_search_ablation, rounds=1, iterations=1)
+
+    lines = [
+        "Ablation — Pareto local search (+LS) on top of base solvers",
+        f"{'base':>9} | {'rel':>7} -> {'rel+LS':>7} | {'STD':>8} -> {'STD+LS':>8} | "
+        f"{'time':>6} -> {'t+LS':>6} | moves",
+    ]
+    for label, b_rel, b_std, b_s, l_rel, l_std, l_s, moves in rows:
+        lines.append(
+            f"{label:>9} | {b_rel:7.4f} -> {l_rel:7.4f} | {b_std:8.3f} -> "
+            f"{l_std:8.3f} | {b_s:6.3f} -> {l_s:6.3f} | {moves:5.1f}"
+        )
+    show("\n".join(lines))
+
+    by_label = {row[0]: row for row in rows}
+    # Local search must visibly lift the weakest start (RANDOM).
+    _, _, rand_std, _, _, rand_ls_std, _, rand_moves = by_label["RANDOM"]
+    assert rand_ls_std >= rand_std
+    assert rand_moves > 0

@@ -1,0 +1,25 @@
+"""Ablation — SAMPLING's budget K.
+
+Question: how fast does sample quality saturate in K?  This is the knob
+behind the paper's G-TRUTH convention (10x the D&C leaf budget) and behind
+the Section 5.2 observation that small K already achieves the rank bound.
+"""
+
+from repro.experiments.ablations import format_ablation, sampling_budget_ablation
+
+
+def test_ablation_sampling_budget(benchmark, show):
+    rows = benchmark.pedantic(sampling_budget_ablation, rounds=1, iterations=1)
+    show(format_ablation(
+        "Ablation — SAMPLING budget K", rows, extra_name="samples",
+    ))
+
+    # The dominance-rank winner balances two objectives; with more samples
+    # it finds strictly better minimum reliability (total_STD may trade a
+    # little the other way).
+    assert rows[-1].min_reliability >= rows[0].min_reliability
+    # And it never loses much diversity doing so.
+    assert rows[-1].total_std >= 0.9 * rows[0].total_std
+    # Cost grows roughly linearly with K: the largest budget must be
+    # measurably slower than the smallest.
+    assert rows[-1].seconds > rows[0].seconds

@@ -1,0 +1,35 @@
+"""Figure 13 — effect of the number of tasks m (UNIFORM).
+
+Paper claims: all approaches keep minimum reliability near 0.9; for small
+m, SAMPLING and D&C achieve much higher total_STD than GREEDY (GREEDY's
+"bad start-up": joining empty tasks only buys temporal diversity); GREEDY's
+diversity improves as m grows.
+"""
+
+from repro.experiments import run_experiment
+from repro.experiments.figures import fig13_tasks_uniform
+from repro.experiments.reporting import format_figure
+
+
+def test_fig13_tasks_uniform(benchmark, show):
+    experiment = fig13_tasks_uniform()
+    result = benchmark.pedantic(
+        run_experiment, args=(experiment,), kwargs={"seeds": (1,)}, rounds=1, iterations=1
+    )
+    show(format_figure(result))
+
+    labels = [p.label for p in experiment.points]
+    smallest, largest = labels[0], labels[-1]
+    # Reliability stays high everywhere.
+    for row in result.rows:
+        assert row.min_reliability >= 0.85
+    # The paper's headline: SAMPLING/D&C >> GREEDY on diversity at small m.
+    assert result.row(smallest, "SAMPLING").total_std > result.row(smallest, "GREEDY").total_std
+    assert result.row(smallest, "D&C").total_std > result.row(smallest, "GREEDY").total_std
+    # GREEDY's diversity improves as m grows (better start-up odds).
+    assert result.row(largest, "GREEDY").total_std > result.row(smallest, "GREEDY").total_std
+    # D&C tracks G-TRUTH closely (within 15%).
+    for label in labels:
+        dc = result.row(label, "D&C").total_std
+        gt = result.row(label, "G-TRUTH").total_std
+        assert dc >= 0.85 * gt

@@ -1,0 +1,31 @@
+"""Figure 14 — effect of the number of workers n (UNIFORM).
+
+Paper claims: minimum reliability is insensitive to n (some task always
+gets a single worker, pinning the minimum near the confidence floor);
+total_STD grows with n for every approach (Lemma 4.2); SAMPLING and D&C
+stay close to G-TRUTH and above GREEDY.
+"""
+
+from repro.experiments import run_experiment
+from repro.experiments.figures import fig14_workers_uniform
+from repro.experiments.reporting import format_figure
+
+
+def test_fig14_workers_uniform(benchmark, show):
+    experiment = fig14_workers_uniform()
+    result = benchmark.pedantic(
+        run_experiment, args=(experiment,), kwargs={"seeds": (1,)}, rounds=1, iterations=1
+    )
+    show(format_figure(result))
+
+    labels = [p.label for p in experiment.points]
+    fewest, most = labels[0], labels[-1]
+    # Diversity grows with the worker pool for every solver.
+    for solver in result.solvers():
+        assert result.row(most, solver).total_std > result.row(fewest, solver).total_std
+    # Reliability stays pinned near the confidence floor across the sweep.
+    for row in result.rows:
+        assert row.min_reliability >= 0.85
+    # SAMPLING and D&C above GREEDY at the largest pool.
+    assert result.row(most, "SAMPLING").total_std > result.row(most, "GREEDY").total_std
+    assert result.row(most, "D&C").total_std > result.row(most, "GREEDY").total_std

@@ -1,0 +1,31 @@
+"""Figure 15 — effect of the range of moving angles (UNIFORM).
+
+Paper claims: minimum reliability is insensitive to the cone width and
+stays above ~0.9; SAMPLING and D&C achieve much higher total_STD than
+GREEDY across the sweep and sit close to G-TRUTH.
+"""
+
+from repro.experiments import run_experiment
+from repro.experiments.figures import fig15_angles_uniform
+from repro.experiments.reporting import format_figure
+
+
+def test_fig15_angles_uniform(benchmark, show):
+    experiment = fig15_angles_uniform()
+    result = benchmark.pedantic(
+        run_experiment, args=(experiment,), kwargs={"seeds": (1,)}, rounds=1, iterations=1
+    )
+    show(format_figure(result))
+
+    labels = [p.label for p in experiment.points]
+    for row in result.rows:
+        assert row.min_reliability >= 0.85
+    # SAMPLING / D&C dominate GREEDY on diversity across the sweep.
+    for label in labels:
+        assert result.row(label, "D&C").total_std > result.row(label, "GREEDY").total_std
+    # D&C close to G-TRUTH everywhere.
+    for label in labels:
+        assert (
+            result.row(label, "D&C").total_std
+            >= 0.85 * result.row(label, "G-TRUTH").total_std
+        )

@@ -1,0 +1,42 @@
+"""Figure 16 — running-time comparison of the RDB-SC approaches.
+
+Paper claims: running times of all approaches except SAMPLING grow quickly
+with m; with n, GREEDY's time grows fastest (more assignment rounds);
+SAMPLING stays cheap throughout (small sample size); D&C trades time for
+quality relative to SAMPLING.
+"""
+
+from repro.experiments import run_experiment
+from repro.experiments.figures import fig16_cpu_time
+from repro.experiments.reporting import format_series
+
+
+def test_fig16_cpu_time(benchmark, show):
+    vs_m, vs_n = fig16_cpu_time()
+
+    def run_both():
+        return run_experiment(vs_m, seeds=(1,)), run_experiment(vs_n, seeds=(1,))
+
+    result_m, result_n = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    show(format_series(result_m, "seconds"))
+    show(format_series(result_n, "seconds"))
+
+    m_labels = [p.label for p in vs_m.points]
+    n_labels = [p.label for p in vs_n.points]
+
+    # GREEDY and D&C get meaningfully slower as m grows 10x.
+    for solver in ("GREEDY", "D&C", "G-TRUTH"):
+        assert (
+            result_m.row(m_labels[-1], solver).seconds
+            > result_m.row(m_labels[0], solver).seconds
+        )
+    # SAMPLING stays fast at the largest m — well under the slowest solver.
+    slowest_at_max = max(
+        result_m.row(m_labels[-1], s).seconds for s in result_m.solvers()
+    )
+    assert result_m.row(m_labels[-1], "SAMPLING").seconds < 0.5 * slowest_at_max
+    # GREEDY cost rises with n (more rounds).
+    assert (
+        result_n.row(n_labels[-1], "GREEDY").seconds
+        > result_n.row(n_labels[0], "GREEDY").seconds
+    )

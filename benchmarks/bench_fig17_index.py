@@ -1,0 +1,35 @@
+"""Figure 17 — efficiency of the RDB-SC-Grid index.
+
+Paper claims: index construction stays cheap as n grows (17a), and
+index-assisted worker-task pair retrieval is dramatically faster than
+retrieval without the index (up to 67% reduction, 17b).
+"""
+
+from repro.experiments.figures import run_index_experiment
+
+
+def test_fig17_index(benchmark, show):
+    rows = benchmark.pedantic(run_index_experiment, rounds=1, iterations=1)
+
+    lines = [
+        "Figure 17 — RDB-SC-Grid index efficiency",
+        f"{'n':>6} | {'eta':>6} | {'build (s)':>10} | {'retrieve w/ idx (s)':>20} | "
+        f"{'retrieve w/o idx (s)':>21} | {'pairs':>7}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.n_workers:>6} | {row.eta:6.3f} | {row.construction_seconds:10.4f} | "
+            f"{row.retrieval_with_index_seconds:20.4f} | "
+            f"{row.retrieval_without_index_seconds:21.4f} | {row.pairs:>7}"
+        )
+    show("\n".join(lines))
+
+    largest = rows[-1]
+    # 17(b): the index must beat brute-force retrieval at scale.
+    assert (
+        largest.retrieval_with_index_seconds
+        < largest.retrieval_without_index_seconds
+    )
+    # 17(a): construction stays modest (sub-second at every laptop scale).
+    for row in rows:
+        assert row.construction_seconds < 5.0

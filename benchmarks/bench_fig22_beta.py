@@ -1,0 +1,29 @@
+"""Figure 22 (appendix) — effect of the requester weight range beta.
+
+Paper claims: both objectives are robust across the whole beta sweep —
+reliability stays above ~0.9 and diversity stays flat, with SAMPLING/D&C
+near G-TRUTH.
+"""
+
+from repro.experiments import run_experiment
+from repro.experiments.figures import fig22_beta_real
+from repro.experiments.reporting import format_figure
+
+
+def test_fig22_beta_real(benchmark, show):
+    experiment = fig22_beta_real()
+    result = benchmark.pedantic(
+        run_experiment, args=(experiment,), kwargs={"seeds": (1,)}, rounds=1, iterations=1
+    )
+    show(format_figure(result))
+
+    labels = [p.label for p in experiment.points]
+    # Reliability is insensitive to beta.
+    for row in result.rows:
+        assert row.min_reliability >= 0.85
+    # Diversity does not blow up or collapse across the sweep (robustness):
+    # max/min ratio per solver stays bounded.
+    for solver in result.solvers():
+        values = [result.row(label, solver).total_std for label in labels]
+        assert min(values) > 0.0
+        assert max(values) / min(values) < 4.0

@@ -1,0 +1,26 @@
+"""Figure 23 — effect of the number of tasks m (SKEWED).
+
+Paper claims: same shape as the UNIFORM sweep (Figure 13) — reliability
+insensitive to m; SAMPLING/D&C beat GREEDY on diversity at small m; GREEDY
+improves as m grows.
+"""
+
+from repro.experiments import run_experiment
+from repro.experiments.figures import fig23_tasks_skewed
+from repro.experiments.reporting import format_figure
+
+
+def test_fig23_tasks_skewed(benchmark, show):
+    experiment = fig23_tasks_skewed()
+    result = benchmark.pedantic(
+        run_experiment, args=(experiment,), kwargs={"seeds": (1,)}, rounds=1, iterations=1
+    )
+    show(format_figure(result))
+
+    labels = [p.label for p in experiment.points]
+    smallest, largest = labels[0], labels[-1]
+    for row in result.rows:
+        assert row.min_reliability >= 0.85
+    assert result.row(smallest, "SAMPLING").total_std > result.row(smallest, "GREEDY").total_std
+    assert result.row(smallest, "D&C").total_std > result.row(smallest, "GREEDY").total_std
+    assert result.row(largest, "GREEDY").total_std > result.row(smallest, "GREEDY").total_std

@@ -1,0 +1,25 @@
+"""Figure 24 — effect of the number of workers n (SKEWED).
+
+Paper claims: same shape as the UNIFORM sweep (Figure 14) — reliability
+insensitive to n, diversity grows with n for every approach.
+"""
+
+from repro.experiments import run_experiment
+from repro.experiments.figures import fig24_workers_skewed
+from repro.experiments.reporting import format_figure
+
+
+def test_fig24_workers_skewed(benchmark, show):
+    experiment = fig24_workers_skewed()
+    result = benchmark.pedantic(
+        run_experiment, args=(experiment,), kwargs={"seeds": (1,)}, rounds=1, iterations=1
+    )
+    show(format_figure(result))
+
+    labels = [p.label for p in experiment.points]
+    fewest, most = labels[0], labels[-1]
+    for solver in result.solvers():
+        assert result.row(most, solver).total_std > result.row(fewest, solver).total_std
+    for row in result.rows:
+        assert row.min_reliability >= 0.85
+    assert result.row(most, "D&C").total_std > result.row(most, "GREEDY").total_std

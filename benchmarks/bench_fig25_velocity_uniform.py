@@ -1,0 +1,28 @@
+"""Figure 25 — effect of the workers' velocity range (UNIFORM).
+
+Paper claims: minimum reliability stays high (~0.9) across velocities;
+SAMPLING and D&C remain well above GREEDY on diversity and close to
+G-TRUTH.
+"""
+
+from repro.experiments import run_experiment
+from repro.experiments.figures import fig25_velocity_uniform
+from repro.experiments.reporting import format_figure
+
+
+def test_fig25_velocity_uniform(benchmark, show):
+    experiment = fig25_velocity_uniform()
+    result = benchmark.pedantic(
+        run_experiment, args=(experiment,), kwargs={"seeds": (1,)}, rounds=1, iterations=1
+    )
+    show(format_figure(result))
+
+    labels = [p.label for p in experiment.points]
+    for row in result.rows:
+        assert row.min_reliability >= 0.85
+    for label in labels:
+        assert result.row(label, "D&C").total_std > result.row(label, "GREEDY").total_std
+        assert (
+            result.row(label, "D&C").total_std
+            >= 0.8 * result.row(label, "G-TRUTH").total_std
+        )

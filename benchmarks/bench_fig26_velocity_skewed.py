@@ -1,0 +1,23 @@
+"""Figure 26 — effect of the workers' velocity range (SKEWED).
+
+Paper claims: same shape as Figure 25 — reliability insensitive to the
+velocity range; SAMPLING/D&C well above GREEDY on diversity.
+"""
+
+from repro.experiments import run_experiment
+from repro.experiments.figures import fig26_velocity_skewed
+from repro.experiments.reporting import format_figure
+
+
+def test_fig26_velocity_skewed(benchmark, show):
+    experiment = fig26_velocity_skewed()
+    result = benchmark.pedantic(
+        run_experiment, args=(experiment,), kwargs={"seeds": (1,)}, rounds=1, iterations=1
+    )
+    show(format_figure(result))
+
+    labels = [p.label for p in experiment.points]
+    for row in result.rows:
+        assert row.min_reliability >= 0.85
+    for label in labels:
+        assert result.row(label, "D&C").total_std > result.row(label, "GREEDY").total_std

@@ -1,0 +1,28 @@
+"""Figure 27 — effect of the range of moving angles (SKEWED).
+
+Paper claims: same shape as Figure 15 — reliability insensitive to cone
+width; SAMPLING and D&C achieve much higher diversity than GREEDY and sit
+near G-TRUTH.
+"""
+
+from repro.experiments import run_experiment
+from repro.experiments.figures import fig27_angles_skewed
+from repro.experiments.reporting import format_figure
+
+
+def test_fig27_angles_skewed(benchmark, show):
+    experiment = fig27_angles_skewed()
+    result = benchmark.pedantic(
+        run_experiment, args=(experiment,), kwargs={"seeds": (1,)}, rounds=1, iterations=1
+    )
+    show(format_figure(result))
+
+    labels = [p.label for p in experiment.points]
+    for row in result.rows:
+        assert row.min_reliability >= 0.85
+    for label in labels:
+        assert result.row(label, "D&C").total_std > result.row(label, "GREEDY").total_std
+        assert (
+            result.row(label, "D&C").total_std
+            >= 0.8 * result.row(label, "G-TRUTH").total_std
+        )

@@ -1,0 +1,96 @@
+"""Section 7.2 — dynamic maintenance cost of the RDB-SC-Grid index.
+
+The paper states the maintenance complexities in prose: worker insert /
+remove are O(1) placement plus a tcell_list refresh; task insert / remove
+touch every worker cell in the worst case.  This bench regenerates that
+claim as a throughput table — and checks the asymmetry it implies (worker
+ops stay cheap; task ops scale with the occupied cells).
+"""
+
+import math
+import time
+
+from repro.datagen import ExperimentConfig, generate_problem
+from repro.index.grid import RdbscGrid
+
+
+def run_maintenance_experiment(n_ops: int = 150, seed: int = 3):
+    config = ExperimentConfig(
+        num_tasks=400,
+        num_workers=800,
+        start_time_range=(0.0, 1.0),
+        expiration_range=(0.5, 1.0),
+        velocity_range=(0.05, 0.15),
+        angle_range_max=math.pi / 2,
+    )
+    problem = generate_problem(config, seed)
+    grid = RdbscGrid.bulk_load(problem.tasks, problem.workers, eta=0.1, validity=problem.validity)
+    grid.build_all_tcell_lists()
+
+    rows = []
+
+    def timed(label, do, undo, items):
+        start = time.perf_counter()
+        for item in items:
+            do(item)
+        forward = time.perf_counter() - start
+        start = time.perf_counter()
+        for item in items:
+            undo(item)
+        backward = time.perf_counter() - start
+        rows.append((label, len(items), forward, backward))
+
+    workers = problem.workers[:n_ops]
+    tasks = problem.tasks[:n_ops]
+    timed(
+        "worker remove+insert",
+        lambda w: grid.remove_worker(w.worker_id),
+        grid.insert_worker,
+        workers,
+    )
+    timed(
+        "task remove+insert",
+        lambda t: grid.remove_task(t.task_id),
+        grid.insert_task,
+        tasks,
+    )
+    # A full rebuild for scale: what churn maintenance is amortising away.
+    start = time.perf_counter()
+    rebuilt = RdbscGrid.bulk_load(
+        problem.tasks, problem.workers, eta=0.1, validity=problem.validity
+    )
+    rebuilt.build_all_tcell_lists()
+    rebuild_seconds = time.perf_counter() - start
+    return rows, rebuild_seconds, grid, problem
+
+
+def test_section72_maintenance(benchmark, show):
+    rows, rebuild_seconds, grid, problem = benchmark.pedantic(
+        run_maintenance_experiment, rounds=1, iterations=1
+    )
+
+    lines = [
+        "Section 7.2 — dynamic maintenance cost (400 tasks, 800 workers)",
+        f"{'operation':>22} | {'ops':>4} | {'remove (s)':>10} | {'insert (s)':>10} | per-op (us)",
+    ]
+    for label, count, forward, backward in rows:
+        per_op = (forward + backward) / (2 * count) * 1e6
+        lines.append(
+            f"{label:>22} | {count:>4} | {forward:10.4f} | {backward:10.4f} | {per_op:10.1f}"
+        )
+    lines.append(f"{'full index rebuild':>22} | {'1':>4} | {rebuild_seconds:10.4f} |")
+    show("\n".join(lines))
+
+    # Correctness after all that churn: the index still matches the truth.
+    from repro.index.grid import retrieve_pairs_without_index
+
+    assert sorted((p.task_id, p.worker_id) for p in grid.valid_pairs()) == sorted(
+        (p.task_id, p.worker_id)
+        for p in retrieve_pairs_without_index(
+            problem.tasks, problem.workers, problem.validity
+        )
+    )
+    # The asymmetry the paper describes: per-op maintenance beats a rebuild.
+    worker_row = rows[0]
+    per_worker_op = (worker_row[2] + worker_row[3]) / (2 * worker_row[1])
+    assert per_worker_op < rebuild_seconds

@@ -1,0 +1,52 @@
+"""Table 2 — experiment settings.
+
+Regenerates the parameter table the evaluation sweeps over and checks the
+paper's defaults are wired in (bold entries of Table 2), then benchmarks
+instance generation at the laptop scale every figure uses.
+"""
+
+import math
+
+from repro.datagen import ExperimentConfig, average_degree, generate_problem
+from repro.datagen.config import (
+    PAPER_ANGLE_RANGE_MAX,
+    PAPER_BETA_RANGE,
+    PAPER_EXPIRATION_RANGE,
+    PAPER_RELIABILITY_RANGE,
+    PAPER_VELOCITY_RANGE,
+)
+
+
+def test_table2_defaults_and_generation(benchmark, show):
+    paper = ExperimentConfig.paper_defaults()
+    assert paper.num_tasks == 10_000
+    assert paper.num_workers == 10_000
+    assert paper.expiration_range == PAPER_EXPIRATION_RANGE == (1.0, 2.0)
+    assert paper.reliability_range == PAPER_RELIABILITY_RANGE == (0.9, 1.0)
+    assert paper.velocity_range == PAPER_VELOCITY_RANGE == (0.2, 0.3)
+    assert math.isclose(paper.angle_range_max, PAPER_ANGLE_RANGE_MAX)
+    assert math.isclose(paper.angle_range_max, math.pi / 6.0)
+    assert paper.beta_range == PAPER_BETA_RANGE == (0.4, 0.6)
+
+    scaled = ExperimentConfig.scaled_defaults()
+    problem = benchmark.pedantic(
+        generate_problem, args=(scaled, 42), rounds=3, iterations=1
+    )
+    degree = average_degree(problem)
+
+    lines = [
+        "Table 2 — Experiments setting (paper defaults in bold -> our defaults)",
+        f"  range of expiration time rt : {paper.expiration_range}",
+        f"  reliability [p_min, p_max]  : {paper.reliability_range}",
+        f"  number of tasks m           : {paper.num_tasks} (scaled: {scaled.num_tasks})",
+        f"  number of workers n         : {paper.num_workers} (scaled: {scaled.num_workers})",
+        f"  velocities [v-, v+]         : {paper.velocity_range}",
+        f"  range of moving angles      : (0, pi/6]",
+        f"  balancing weight beta       : {paper.beta_range}",
+        f"  scaled instance avg degree  : {degree:.2f} (graph-density check)",
+    ]
+    show("\n".join(lines))
+
+    # The scaled preset must keep the bipartite graph paper-like: each
+    # worker sees a handful of valid tasks, not zero and not all of them.
+    assert 1.0 <= degree <= 30.0

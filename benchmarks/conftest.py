@@ -1,0 +1,20 @@
+"""Shared fixtures for the figure-regeneration benchmarks.
+
+Every benchmark prints the series the corresponding paper figure plots;
+the ``show`` fixture bypasses pytest's capture so the tables land in the
+terminal (and in ``bench_output.txt`` when the run is teed).
+"""
+
+import pytest
+
+
+@pytest.fixture
+def show(capfd):
+    """Print ``text`` straight to the terminal, uncaptured."""
+
+    def _show(text: str) -> None:
+        with capfd.disabled():
+            print()
+            print(text)
+
+    return _show

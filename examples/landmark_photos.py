@@ -1,0 +1,108 @@
+"""Example 1 from the paper: photographing a landmark from all around.
+
+A single task (the Statue of Liberty stand-in) sits at the centre of the
+map with a firework-show time window; workers walk towards it from various
+directions.  The spatial crowdsourcing system must pick workers whose
+approach angles and arrival times are as diverse as possible — photos from
+the back of the statue and at night are worth more than five identical
+daytime shots from the front.
+
+The script assigns workers with D&C, then:
+* reports the task's reliability and expected spatial/temporal diversity,
+* measures the viewing-angle coverage against the all-workers ceiling
+  (the quantitative version of the paper's 3-D reconstruction showcase),
+* aggregates the answers into representative groups (Section 2.3).
+"""
+
+import math
+
+import numpy as np
+
+from repro import DivideConquerSolver, MovingWorker, RdbscProblem, SpatialTask
+from repro.analysis import aggregate_answers, coverage_report
+from repro.core.diversity import worker_profiles
+from repro.core.expected import expected_std
+from repro.core.reliability import reliability
+from repro.geometry.angles import AngleInterval, bearing
+from repro.geometry.points import Point
+
+
+def build_scene(n_workers: int = 30, seed: int = 4):
+    rng = np.random.default_rng(seed)
+    landmark = SpatialTask(
+        task_id=0,
+        location=Point(0.5, 0.5),
+        start=0.0,
+        end=5.0,  # the firework show window, in hours
+        beta=0.7,  # the requester mostly wants angular variety
+    )
+    # Competing attractions nearby: the solver has to decide who shoots the
+    # landmark and who covers the rest, instead of dumping everyone on one
+    # task.
+    rivals = [
+        SpatialTask(1, Point(0.25, 0.7), 0.0, 5.0, beta=0.7),
+        SpatialTask(2, Point(0.75, 0.3), 0.0, 5.0, beta=0.7),
+    ]
+    workers = []
+    for j in range(n_workers):
+        angle = float(rng.uniform(0.0, 2.0 * math.pi))
+        radius = float(rng.uniform(0.1, 0.45))
+        location = Point(
+            0.5 + radius * math.cos(angle), 0.5 + radius * math.sin(angle)
+        )
+        # Each worker is headed roughly towards the landmark (a tourist
+        # wandering that way) with a cone of acceptable directions.
+        towards = bearing(location, landmark.location)
+        workers.append(
+            MovingWorker(
+                worker_id=j,
+                location=location,
+                velocity=float(rng.uniform(0.15, 0.45)),
+                cone=AngleInterval(towards - 0.9, 1.8),
+                confidence=float(rng.uniform(0.7, 0.98)),
+            )
+        )
+    return landmark, rivals, workers
+
+
+def main() -> None:
+    landmark, rivals, workers = build_scene()
+    problem = RdbscProblem([landmark, *rivals], workers)
+    print(f"{problem.num_pairs} of {len(workers)} tourists can reach the "
+          f"landmark inside the show window\n")
+
+    result = DivideConquerSolver(gamma=4).solve(problem, rng=1)
+    chosen_ids = sorted(result.assignment.workers_for(landmark.task_id))
+    chosen = [problem.workers_by_id[w] for w in chosen_ids]
+    profiles = worker_profiles(landmark, chosen, problem.validity)
+
+    print(f"Assigned {len(chosen)} workers to the landmark")
+    print(f"  reliability (>=1 good photo): "
+          f"{reliability(w.confidence for w in chosen):.4f}")
+    print(f"  expected spatial/temporal diversity: "
+          f"{expected_std(landmark, profiles):.4f}\n")
+
+    all_angles = [
+        bearing(landmark.location, w.location)
+        for w in workers
+        if w.location != landmark.location
+    ]
+    chosen_angles = [p.angle for p in profiles]
+    report = coverage_report(chosen_angles, all_angles, tolerance=math.pi / 10)
+    print("Viewing-angle coverage (the 3-D reconstruction showcase metric):")
+    print(f"  assigned workers : {report.experimental:.1%}")
+    print(f"  every candidate  : {report.ground_truth:.1%}")
+    print(f"  captured         : {report.ratio:.1%} of the achievable view\n")
+
+    groups = aggregate_answers(landmark, profiles, n_groups=4, rng=0)
+    print(f"Answer digest ({len(groups)} representative photos):")
+    for i, group in enumerate(groups, start=1):
+        rep = group.representative
+        print(
+            f"  group {i}: {len(group.members)} photos — representative from "
+            f"{math.degrees(rep.angle):5.1f} deg at t={rep.arrival:4.2f} h"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""A simulated gMission deployment (Section 8.4).
+
+Runs the platform simulator — 10 workers, 5 task sites two walking minutes
+apart, 15-minute task windows — under the Figure 10 incremental updating
+strategy, comparing update intervals and solvers, then demonstrates the
+Section 8.1 answer-accuracy model on the collected answers.
+"""
+
+import math
+
+from repro.algorithms import DivideConquerSolver, GreedySolver, SamplingSolver
+from repro.platform_sim import PlatformConfig, PlatformSimulator, answer_accuracy
+
+
+def main() -> None:
+    print("Simulated deployment: 10 workers, 5 sites, 15-minute task windows\n")
+    print(f"{'t_interval':>10} | {'solver':>9} | {'min rel':>8} | "
+          f"{'total_STD':>9} | {'answers':>7} | {'success':>7}")
+    print("-" * 66)
+
+    answers_for_demo = None
+    config_for_demo = None
+    for t_interval in (1.0, 2.0, 4.0):
+        config = PlatformConfig(t_interval=t_interval, sim_minutes=30.0)
+        simulator = PlatformSimulator(config)
+        for solver in (
+            GreedySolver(),
+            SamplingSolver(num_samples=25),
+            DivideConquerSolver(gamma=6, base_solver=SamplingSolver(num_samples=25)),
+        ):
+            outcome = simulator.run(solver, rng=8)
+            print(
+                f"{t_interval:>10} | {solver.name:>9} | "
+                f"{outcome.min_reliability:8.4f} | {outcome.total_std:9.4f} | "
+                f"{len(outcome.answers):7d} | {outcome.success_rate:6.1%}"
+            )
+            if answers_for_demo is None and outcome.answers:
+                answers_for_demo = outcome.answers
+                config_for_demo = config
+
+    print(
+        "\nPaper shape (Figure 18): rarer updates -> less total diversity; "
+        "SAMPLING/D&C\ncollect much more diversity than GREEDY at every "
+        "interval.\n"
+    )
+
+    # ------------------------------------------------------------------ #
+    # Accuracy model demo: score the first few answers against a
+    # requester who asked for a photo from the east at the window start.
+    # ------------------------------------------------------------------ #
+    if answers_for_demo:
+        print("Answer accuracy model (Section 8.1), first five answers:")
+        requested_angle = 0.0
+        period = config_for_demo.task_open_minutes
+        for answer in answers_for_demo[:5]:
+            dtheta = abs(answer.angle - requested_angle) % (2 * math.pi)
+            dtheta = min(dtheta, 2 * math.pi - dtheta)
+            dt = min(answer.time % period, period - 1e-9)
+            score = answer_accuracy(dtheta, dt, beta=0.5, period=period)
+            print(
+                f"  worker {answer.worker_id} on task {answer.task_id}: "
+                f"dtheta={math.degrees(dtheta):5.1f} deg, dt={dt:4.1f} min "
+                f"-> accuracy {score:.3f}"
+            )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""Quickstart: generate an RDB-SC instance and compare the paper's solvers.
+
+Run with::
+
+    python examples/quickstart.py
+
+Generates a laptop-scale synthetic workload (Table 2 parameters, scaled),
+solves it with GREEDY, SAMPLING, divide-and-conquer and the G-TRUTH
+reference, and prints the two objectives the paper reports: the minimum
+task reliability and the total expected spatial/temporal diversity.
+"""
+
+import time
+
+from repro import (
+    DivideConquerSolver,
+    ExperimentConfig,
+    GreedySolver,
+    GroundTruthSolver,
+    SamplingSolver,
+    generate_problem,
+)
+from repro.datagen import average_degree
+
+
+def main() -> None:
+    config = ExperimentConfig.scaled_defaults(num_tasks=40, num_workers=80)
+    problem = generate_problem(config, seed=2026)
+    print(f"Instance: {problem.num_tasks} tasks, {problem.num_workers} workers, "
+          f"{problem.num_pairs} valid pairs "
+          f"(avg {average_degree(problem):.1f} candidate tasks per worker)\n")
+
+    solvers = [
+        GreedySolver(),
+        SamplingSolver(num_samples=60),
+        DivideConquerSolver(gamma=8, base_solver=SamplingSolver(num_samples=60)),
+        GroundTruthSolver(gamma=8),
+    ]
+
+    print(f"{'solver':>10} | {'min reliability':>15} | {'total E[STD]':>12} | {'time':>8}")
+    print("-" * 58)
+    for solver in solvers:
+        start = time.perf_counter()
+        result = solver.solve(problem, rng=7)
+        elapsed = time.perf_counter() - start
+        print(
+            f"{solver.name:>10} | {result.objective.min_reliability:15.4f} | "
+            f"{result.objective.total_std:12.4f} | {elapsed:7.2f}s"
+        )
+
+    print(
+        "\nExpected shape (paper, Figures 13-14): SAMPLING and D&C collect "
+        "notably more\ndiversity than GREEDY at this scale, with D&C close "
+        "to the G-TRUTH ceiling."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""The paper's RDB-SC solvers and their supporting machinery.
+
+Solvers (all implement :class:`repro.algorithms.base.Solver`):
+
+``GreedySolver``
+    Figure 3 — n rounds of best-(task, worker)-pair selection with
+    dominance pruning and dominating-count ranking, plus the Section 4.3
+    bound-based candidate pruning.
+``SamplingSolver``
+    Figure 5 — K random full assignments ranked by dominance score, with
+    the Section 5.2 (epsilon, delta) sample-size machinery.
+``DivideConquerSolver``
+    Figure 6 — recursive BG_Partition / solve / SA_Merge.
+``GroundTruthSolver``
+    The paper's G-TRUTH reference: D&C with a 10x sampling budget.
+``ExhaustiveSolver``
+    True enumeration for tiny instances (test oracle only).
+``RandomSolver``
+    Uniform-random assignment baseline.
+``MaxTaskSolver``
+    GeoCrowd-style coverage maximiser (related-work baseline).
+"""
+
+from repro.algorithms.base import Solver, SolverResult, make_rng
+from repro.algorithms.divide_conquer import DivideConquerSolver
+from repro.algorithms.exhaustive import ExhaustiveSolver
+from repro.algorithms.greedy import GreedySolver
+from repro.algorithms.ground_truth import GroundTruthSolver
+from repro.algorithms.local_search import LocalSearchSolver
+from repro.algorithms.max_task import MaxTaskSolver
+from repro.algorithms.random_assign import RandomSolver
+from repro.algorithms.sample_size import SamplePlan, required_sample_size
+from repro.algorithms.sampling import SamplingSolver
+
+__all__ = [
+    "DivideConquerSolver",
+    "ExhaustiveSolver",
+    "GreedySolver",
+    "GroundTruthSolver",
+    "LocalSearchSolver",
+    "MaxTaskSolver",
+    "RandomSolver",
+    "SamplePlan",
+    "SamplingSolver",
+    "Solver",
+    "SolverResult",
+    "make_rng",
+    "required_sample_size",
+]

@@ -1,0 +1,74 @@
+"""Common solver interface.
+
+Every algorithm consumes an :class:`repro.core.problem.RdbscProblem` and
+produces a :class:`SolverResult`: the assignment, its objective value and a
+bag of solver-specific statistics (rounds run, samples drawn, subproblems
+solved, ...) that the experiment harness reports alongside timings.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from repro.core.assignment import Assignment
+from repro.core.objectives import ObjectiveValue, evaluate_assignment
+from repro.core.problem import RdbscProblem
+
+RngLike = Union[None, int, np.random.Generator]
+
+
+def make_rng(rng: RngLike = None) -> np.random.Generator:
+    """Coerce ``None`` / seed / generator into a ``numpy`` Generator.
+
+    Solvers accept any of the three so callers can be as explicit about
+    determinism as they need; benches always pass seeds.
+    """
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(rng)
+
+
+@dataclass
+class SolverResult:
+    """Outcome of one solver run.
+
+    Attributes:
+        assignment: the produced task-and-worker assignment.
+        objective: its (min reliability, total E[STD]) value.
+        stats: solver-specific counters for reporting.
+    """
+
+    assignment: Assignment
+    objective: ObjectiveValue
+    stats: Dict[str, float] = field(default_factory=dict)
+
+
+class Solver(abc.ABC):
+    """Abstract RDB-SC solver."""
+
+    #: Human-readable name used in experiment tables ("GREEDY", "D&C", ...).
+    name: str = "SOLVER"
+
+    @abc.abstractmethod
+    def solve(self, problem: RdbscProblem, rng: RngLike = None) -> SolverResult:
+        """Produce an assignment for ``problem``.
+
+        Implementations must be deterministic given the same ``rng`` seed.
+        """
+
+    def _finish(
+        self,
+        problem: RdbscProblem,
+        assignment: Assignment,
+        stats: Optional[Dict[str, float]] = None,
+    ) -> SolverResult:
+        """Package an assignment with its freshly evaluated objective."""
+        return SolverResult(
+            assignment=assignment,
+            objective=evaluate_assignment(problem, assignment),
+            stats=dict(stats or {}),
+        )

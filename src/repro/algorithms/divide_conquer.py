@@ -1,0 +1,80 @@
+"""The divide-and-conquer solver (Figure 6, Section 6).
+
+Recursively split the problem with ``BG_Partition`` until the task count
+drops to the threshold ``gamma``, solve the leaves with a base solver
+(SAMPLING by default, as the paper's experiments do "to accelerate D&C"),
+then stitch the answers back together with ``SA_Merge``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.algorithms.base import RngLike, Solver, SolverResult, make_rng
+from repro.algorithms.merge import sa_merge
+from repro.algorithms.partition import bg_partition
+from repro.algorithms.sampling import SamplingSolver
+from repro.core.assignment import Assignment
+from repro.core.problem import RdbscProblem
+
+
+class DivideConquerSolver(Solver):
+    """Recursive partition / solve / merge.
+
+    Args:
+        gamma: subproblems with at most this many tasks are solved directly
+            (the paper's threshold γ).
+        base_solver: leaf solver; defaults to :class:`SamplingSolver`.
+        max_group_size: passed through to ``SA_Merge``.
+    """
+
+    name = "D&C"
+
+    def __init__(
+        self,
+        gamma: int = 8,
+        base_solver: Optional[Solver] = None,
+        max_group_size: int = 10,
+    ) -> None:
+        if gamma < 1:
+            raise ValueError("gamma must be at least 1")
+        self.gamma = gamma
+        self.base_solver = base_solver if base_solver is not None else SamplingSolver()
+        self.max_group_size = max_group_size
+
+    def solve(self, problem: RdbscProblem, rng: RngLike = None) -> SolverResult:
+        generator = make_rng(rng)
+        stats: Dict[str, float] = {
+            "leaf_solves": 0.0,
+            "max_depth": 0.0,
+            "conflicts_resolved": 0.0,
+        }
+        assignment = self._solve_recursive(problem, generator, 0, stats)
+        return self._finish(problem, assignment, stats)
+
+    def _solve_recursive(
+        self,
+        problem: RdbscProblem,
+        generator,
+        depth: int,
+        stats: Dict[str, float],
+    ) -> Assignment:
+        stats["max_depth"] = max(stats["max_depth"], float(depth))
+        if problem.num_tasks <= self.gamma:
+            stats["leaf_solves"] += 1.0
+            return self.base_solver.solve(problem, generator).assignment
+
+        partition = bg_partition(problem, generator)
+        sub1 = problem.restricted_to(partition.task_ids_1, partition.worker_ids_1)
+        sub2 = problem.restricted_to(partition.task_ids_2, partition.worker_ids_2)
+        answer1 = self._solve_recursive(sub1, generator, depth + 1, stats)
+        answer2 = self._solve_recursive(sub2, generator, depth + 1, stats)
+        merged, merge_stats = sa_merge(
+            problem,
+            answer1,
+            answer2,
+            partition.conflicting_worker_ids,
+            self.max_group_size,
+        )
+        stats["conflicts_resolved"] += float(merge_stats.conflicts)
+        return merged

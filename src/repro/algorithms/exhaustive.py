@@ -1,0 +1,98 @@
+"""Exhaustive enumeration of the assignment population (test oracle).
+
+RDB-SC is NP-hard (Lemma 3.2), so exhaustive search only exists here as the
+correctness oracle for tiny instances: it enumerates every point of the
+Section 5.1 population (each worker independently picks one of its valid
+tasks) and returns the assignment with the best dominance rank — the same
+selection rule SAMPLING applies to its sample pool, so approximation-quality
+tests compare like with like.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import List, Tuple
+
+from repro.algorithms.base import RngLike, Solver, SolverResult
+from repro.core.assignment import Assignment
+from repro.core.objectives import evaluate_assignment
+from repro.core.problem import RdbscProblem
+from repro.skyline.dominance import best_index_by_dominance
+
+#: Populations above this size make enumeration unreasonable.
+MAX_POPULATION = 200_000
+
+
+def population_size(problem: RdbscProblem) -> int:
+    """``prod_j deg(w_j)`` over workers with at least one valid task.
+
+    Raises:
+        OverflowError: if the product exceeds ``MAX_POPULATION`` (the caller
+            should be using an approximation algorithm instead).
+    """
+    size = 1
+    for worker in problem.workers:
+        deg = problem.degree(worker.worker_id)
+        if deg > 0:
+            size *= deg
+        if size > MAX_POPULATION:
+            raise OverflowError(
+                f"assignment population exceeds {MAX_POPULATION}; "
+                f"exhaustive search refused"
+            )
+    return size
+
+
+class ExhaustiveSolver(Solver):
+    """Enumerate all assignments; pick the best by dominance ranking."""
+
+    name = "EXHAUSTIVE"
+
+    def solve(self, problem: RdbscProblem, rng: RngLike = None) -> SolverResult:
+        population_size(problem)  # raises early if too large
+        worker_choices: List[Tuple[int, List[int]]] = [
+            (w.worker_id, problem.candidate_tasks(w.worker_id))
+            for w in problem.workers
+            if problem.degree(w.worker_id) > 0
+        ]
+        if not worker_choices:
+            return self._finish(problem, Assignment(), {"population": 1.0})
+
+        assignments: List[Assignment] = []
+        scores: List[Tuple[float, float]] = []
+        worker_ids = [worker_id for worker_id, _ in worker_choices]
+        for combo in product(*(tasks for _, tasks in worker_choices)):
+            assignment = Assignment()
+            for worker_id, task_id in zip(worker_ids, combo):
+                assignment.assign(task_id, worker_id)
+            value = evaluate_assignment(problem, assignment)
+            assignments.append(assignment)
+            scores.append((value.min_reliability, value.total_std))
+        best = best_index_by_dominance(scores)
+        return self._finish(
+            problem, assignments[best], {"population": float(len(assignments))}
+        )
+
+    def pareto_front(self, problem: RdbscProblem) -> List[SolverResult]:
+        """All non-dominated assignments (for studying solution structure)."""
+        population_size(problem)
+        worker_choices = [
+            (w.worker_id, problem.candidate_tasks(w.worker_id))
+            for w in problem.workers
+            if problem.degree(w.worker_id) > 0
+        ]
+        if not worker_choices:
+            return [self._finish(problem, Assignment())]
+        assignments: List[Assignment] = []
+        scores: List[Tuple[float, float]] = []
+        worker_ids = [worker_id for worker_id, _ in worker_choices]
+        for combo in product(*(tasks for _, tasks in worker_choices)):
+            assignment = Assignment()
+            for worker_id, task_id in zip(worker_ids, combo):
+                assignment.assign(task_id, worker_id)
+            value = evaluate_assignment(problem, assignment)
+            assignments.append(assignment)
+            scores.append((value.min_reliability, value.total_std))
+        from repro.skyline.dominance import skyline_indices
+
+        return [self._finish(problem, assignments[i]) for i in skyline_indices(scores)]

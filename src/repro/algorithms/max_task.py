@@ -1,0 +1,96 @@
+"""A GeoCrowd-style baseline: maximise the number of covered tasks.
+
+The paper positions RDB-SC against prior spatial-crowdsourcing work
+(Kazemi & Shahabi's GeoCrowd [20], Deng et al. [18]) whose objective is the
+*count* of assigned/completed tasks, with no notion of answer quality.
+This solver reproduces that behaviour as a comparison baseline: a maximum
+bipartite matching between workers and tasks (each worker serving at most
+one task, each task needing only one worker to count as covered), with any
+leftover workers spread round-robin over their least-loaded candidate tasks.
+
+The ablation benchmark uses it to show what the paper's intro argues: a
+coverage-maximising assignment leaves substantial reliability/diversity on
+the table relative to the RDB-SC solvers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.algorithms.base import RngLike, Solver, SolverResult, make_rng
+from repro.core.assignment import Assignment
+from repro.core.problem import RdbscProblem
+
+
+def maximum_task_matching(problem: RdbscProblem) -> Dict[int, int]:
+    """A maximum matching ``worker_id -> task_id`` via augmenting paths.
+
+    Classic Hungarian-style augmentation on the validity graph: iterate
+    workers (fewest candidates first — a strong heuristic order), and for
+    each try to place it on a free task, recursively displacing earlier
+    workers when necessary.
+    """
+    match_of_task: Dict[int, int] = {}
+
+    def try_place(worker_id: int, banned: Set[int]) -> bool:
+        for task_id in problem.candidate_tasks(worker_id):
+            if task_id in banned:
+                continue
+            banned.add(task_id)
+            holder = match_of_task.get(task_id)
+            if holder is None or try_place(holder, banned):
+                match_of_task[task_id] = worker_id
+                return True
+        return False
+
+    workers = sorted(
+        (w.worker_id for w in problem.workers if problem.degree(w.worker_id) > 0),
+        key=problem.degree,
+    )
+    for worker_id in workers:
+        try_place(worker_id, set())
+    return {worker_id: task_id for task_id, worker_id in match_of_task.items()}
+
+
+class MaxTaskSolver(Solver):
+    """Cover as many tasks as possible; quality objectives are incidental.
+
+    Args:
+        assign_leftovers: when true (default), workers not used by the
+            matching still get sent to their least-loaded candidate task —
+            the paper's model assigns every willing worker somewhere.
+    """
+
+    name = "MAX-TASK"
+
+    def __init__(self, assign_leftovers: bool = True) -> None:
+        self.assign_leftovers = assign_leftovers
+
+    def solve(self, problem: RdbscProblem, rng: RngLike = None) -> SolverResult:
+        matching = maximum_task_matching(problem)
+        assignment = Assignment()
+        load: Dict[int, int] = {}
+        for worker_id, task_id in sorted(matching.items()):
+            assignment.assign(task_id, worker_id)
+            load[task_id] = load.get(task_id, 0) + 1
+
+        leftovers = 0
+        if self.assign_leftovers:
+            for worker in problem.workers:
+                worker_id = worker.worker_id
+                if worker_id in matching or problem.degree(worker_id) == 0:
+                    continue
+                candidates = problem.candidate_tasks(worker_id)
+                target = min(candidates, key=lambda t: (load.get(t, 0), t))
+                assignment.assign(target, worker_id)
+                load[target] = load.get(target, 0) + 1
+                leftovers += 1
+
+        return self._finish(
+            problem,
+            assignment,
+            {
+                "tasks_covered": float(len(matching)),
+                "leftover_workers": float(leftovers),
+            },
+        )

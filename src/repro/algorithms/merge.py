@@ -1,0 +1,242 @@
+"""Merging sub-solutions: ``SA_Merge`` (Figure 9, Section 6.3).
+
+After solving the two halves of a partitioned problem, every *conflicting*
+worker (duplicated into both halves) may hold an assignment on each side;
+exactly one copy must survive.  Deleting a copy never perturbs
+non-conflicting workers (Lemma 6.1), and copy deletions interact only
+within groups of conflicting workers chained together by shared tasks
+(Lemma 6.2): an *independent* conflicting worker (ICW) can be settled on
+its own, while *dependent* conflicting workers (DCWs) are settled jointly
+by enumerating the ``2^k`` keep-side combinations of their group.
+
+Groups larger than ``max_group_size`` fall back to a per-worker greedy
+settlement (same local objective, linear cost) so merge time stays bounded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.assignment import Assignment
+from repro.core.diversity import WorkerProfile
+from repro.core.expected import expected_std
+from repro.core.problem import RdbscProblem
+from repro.skyline.dominance import best_index_by_dominance
+from repro.utils.disjoint_set import DisjointSet
+
+
+@dataclass
+class MergeStats:
+    """Counters describing one merge.
+
+    Attributes:
+        conflicts: genuinely double-assigned workers.
+        icw_count: singleton conflict groups (independent conflicting workers).
+        dcw_groups: multi-worker groups settled jointly.
+        enumerated_groups: groups settled by full 2^k enumeration.
+        greedy_groups: oversized groups settled by the greedy fallback.
+    """
+
+    conflicts: int = 0
+    icw_count: int = 0
+    dcw_groups: int = 0
+    enumerated_groups: int = 0
+    greedy_groups: int = 0
+
+
+def conflict_groups(
+    assignment1: Assignment,
+    assignment2: Assignment,
+    conflicting_ids: Sequence[int],
+) -> List[List[int]]:
+    """Group genuinely conflicting workers by task-sharing dependence.
+
+    A worker conflicts only if assigned on *both* sides.  Two conflicting
+    workers are dependent when they share an assigned task in the same
+    sub-solution; groups are the connected components of that relation.
+    """
+    genuine = [
+        w
+        for w in conflicting_ids
+        if assignment1.task_of(w) is not None and assignment2.task_of(w) is not None
+    ]
+    dsu = DisjointSet(genuine)
+    for assignment in (assignment1, assignment2):
+        by_task: Dict[int, int] = {}
+        for worker_id in genuine:
+            task_id = assignment.task_of(worker_id)
+            assert task_id is not None  # genuine conflicts are assigned
+            if task_id in by_task:
+                dsu.union(by_task[task_id], worker_id)
+            else:
+                by_task[task_id] = worker_id
+    return dsu.groups()
+
+
+class _LocalScorer:
+    """Scores keep-side combinations on the tasks a conflict group touches."""
+
+    def __init__(self, problem: RdbscProblem, base: Assignment) -> None:
+        self.problem = problem
+        self.base = base
+        self._profile_cache: Dict[Tuple[int, int], WorkerProfile] = {}
+
+    def profile(self, task_id: int, worker_id: int) -> WorkerProfile:
+        key = (task_id, worker_id)
+        cached = self._profile_cache.get(key)
+        if cached is None:
+            cached = self.problem.pair_profile(task_id, worker_id)
+            self._profile_cache[key] = cached
+        return cached
+
+    def score(
+        self,
+        affected_tasks: Sequence[int],
+        placements: Dict[int, List[int]],
+    ) -> Tuple[float, float]:
+        """``(min R, total E[STD])`` over the affected tasks.
+
+        ``placements`` maps each affected task to the extra (conflicting)
+        workers choosing it; base workers on those tasks always count.
+        Tasks left empty are skipped in the minimum, matching the global
+        objective's non-empty-task convention.
+        """
+        min_r = float("inf")
+        total_std = 0.0
+        workers_by_id = self.problem.workers_by_id
+        for task_id in affected_tasks:
+            worker_ids = sorted(self.base.workers_for(task_id)) + sorted(
+                placements.get(task_id, [])
+            )
+            if not worker_ids:
+                continue
+            r_value = sum(
+                workers_by_id[w].log_confidence_weight for w in worker_ids
+            )
+            profiles = [self.profile(task_id, w) for w in worker_ids]
+            total_std += expected_std(self.problem.tasks_by_id[task_id], profiles)
+            min_r = min(min_r, r_value)
+        if min_r == float("inf"):
+            min_r = 0.0
+        return min_r, total_std
+
+
+def _settle_group_enumerate(
+    scorer: _LocalScorer,
+    group: Sequence[int],
+    side1_task: Dict[int, int],
+    side2_task: Dict[int, int],
+) -> Dict[int, int]:
+    """Best keep-side per worker by enumerating all 2^k combinations."""
+    affected = sorted(
+        {side1_task[w] for w in group} | {side2_task[w] for w in group}
+    )
+    combos: List[Dict[int, int]] = []
+    scores: List[Tuple[float, float]] = []
+    for mask in range(1 << len(group)):
+        placements: Dict[int, List[int]] = {}
+        choice: Dict[int, int] = {}
+        for bit, worker_id in enumerate(group):
+            task_id = (
+                side1_task[worker_id]
+                if mask & (1 << bit)
+                else side2_task[worker_id]
+            )
+            choice[worker_id] = task_id
+            placements.setdefault(task_id, []).append(worker_id)
+        combos.append(choice)
+        scores.append(scorer.score(affected, placements))
+    best = best_index_by_dominance(scores)
+    return combos[best]
+
+
+def _settle_group_greedy(
+    scorer: _LocalScorer,
+    group: Sequence[int],
+    side1_task: Dict[int, int],
+    side2_task: Dict[int, int],
+) -> Dict[int, int]:
+    """Linear-cost settlement for oversized groups.
+
+    Workers are fixed one at a time: each compares keeping its side-1 copy
+    against its side-2 copy with all previously fixed workers in place, and
+    takes the locally dominant option.
+    """
+    affected = sorted(
+        {side1_task[w] for w in group} | {side2_task[w] for w in group}
+    )
+    choice: Dict[int, int] = {}
+
+    def placements_with(extra_worker: int, extra_task: int) -> Dict[int, List[int]]:
+        placements: Dict[int, List[int]] = {}
+        for worker_id, task_id in choice.items():
+            placements.setdefault(task_id, []).append(worker_id)
+        placements.setdefault(extra_task, []).append(extra_worker)
+        return placements
+
+    for worker_id in group:
+        option1 = scorer.score(affected, placements_with(worker_id, side1_task[worker_id]))
+        option2 = scorer.score(affected, placements_with(worker_id, side2_task[worker_id]))
+        best = best_index_by_dominance([option1, option2])
+        choice[worker_id] = (
+            side1_task[worker_id] if best == 0 else side2_task[worker_id]
+        )
+    return choice
+
+
+def sa_merge(
+    problem: RdbscProblem,
+    assignment1: Assignment,
+    assignment2: Assignment,
+    conflicting_ids: Sequence[int],
+    max_group_size: int = 10,
+) -> Tuple[Assignment, MergeStats]:
+    """Merge two sub-solutions into one assignment (Figure 9).
+
+    Args:
+        problem: the *parent* problem (scoring needs all tasks/workers).
+        assignment1 / assignment2: solutions of the two subproblems.
+        conflicting_ids: workers duplicated into both subproblems.
+        max_group_size: largest dependent group settled by exhaustive
+            enumeration; larger groups use the greedy fallback.
+
+    Returns:
+        The merged assignment and merge statistics.
+    """
+    stats = MergeStats()
+    genuine: Set[int] = {
+        w
+        for w in conflicting_ids
+        if assignment1.task_of(w) is not None and assignment2.task_of(w) is not None
+    }
+    stats.conflicts = len(genuine)
+
+    merged = Assignment()
+    for assignment in (assignment1, assignment2):
+        for task_id, worker_id in assignment.pairs():
+            if worker_id not in genuine:
+                merged.assign(task_id, worker_id)
+
+    if not genuine:
+        return merged, stats
+
+    side1_task = {w: assignment1.task_of(w) for w in genuine}
+    side2_task = {w: assignment2.task_of(w) for w in genuine}
+    scorer = _LocalScorer(problem, merged)
+
+    for group in conflict_groups(assignment1, assignment2, sorted(genuine)):
+        if len(group) == 1:
+            stats.icw_count += 1
+        else:
+            stats.dcw_groups += 1
+        if len(group) <= max_group_size:
+            stats.enumerated_groups += 1
+            choice = _settle_group_enumerate(scorer, group, side1_task, side2_task)
+        else:
+            stats.greedy_groups += 1
+            choice = _settle_group_greedy(scorer, group, side1_task, side2_task)
+        for worker_id, task_id in sorted(choice.items()):
+            merged.assign(task_id, worker_id)
+
+    return merged, stats

@@ -1,0 +1,144 @@
+"""Bipartite-graph partitioning for divide-and-conquer (Figure 7).
+
+``BG_Partition`` splits the task set into two geographically coherent,
+balanced halves (the paper uses k-means; we run 2-means from scratch and
+then balance at the median of the signed centroid-distance difference),
+then routes each worker to the side(s) containing its valid tasks.  Workers
+whose candidates straddle both halves are *conflicting*: they join both
+subproblems and ``SA_Merge`` later deletes one copy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.algorithms.base import RngLike, make_rng
+from repro.core.problem import RdbscProblem
+from repro.geometry.points import Point
+
+
+def two_means(
+    points: Sequence[Point], rng: RngLike = None, n_iter: int = 25
+) -> Tuple[Point, Point]:
+    """Plain 2-means over points, returning the two centroids.
+
+    Lloyd's algorithm with k-means++-style seeding (first centre uniform,
+    second weighted by squared distance).  Built from scratch per the
+    reproduction's no-substrate-left-behind rule.
+
+    Raises:
+        ValueError: if fewer than two points are supplied.
+    """
+    if len(points) < 2:
+        raise ValueError("two_means() needs at least two points")
+    generator = make_rng(rng)
+    coords = np.array([(p.x, p.y) for p in points], dtype=float)
+
+    first = int(generator.integers(0, len(points)))
+    d2 = ((coords - coords[first]) ** 2).sum(axis=1)
+    total = float(d2.sum())
+    if total <= 0.0:
+        # All points coincide; any pair of equal centroids will do.
+        centre = Point(*coords[0])
+        return centre, centre
+    second = int(generator.choice(len(points), p=d2 / total))
+    centres = coords[[first, second]].copy()
+
+    for _ in range(n_iter):
+        d0 = ((coords - centres[0]) ** 2).sum(axis=1)
+        d1 = ((coords - centres[1]) ** 2).sum(axis=1)
+        labels = d1 < d0
+        new_centres = centres.copy()
+        if (~labels).any():
+            new_centres[0] = coords[~labels].mean(axis=0)
+        if labels.any():
+            new_centres[1] = coords[labels].mean(axis=0)
+        if np.allclose(new_centres, centres):
+            break
+        centres = new_centres
+    return Point(*centres[0]), Point(*centres[1])
+
+
+def balanced_task_split(
+    tasks_points: Sequence[Point], rng: RngLike = None
+) -> Tuple[List[int], List[int]]:
+    """Split point indices into two *even* geographically coherent halves.
+
+    2-means provides the geometry; exact balance comes from sorting by the
+    signed difference ``d(p, c1) - d(p, c2)`` and cutting at the median, so
+    each half gets ``ceil(m/2)`` / ``floor(m/2)`` points.  This is the
+    "partition tasks into two even sets with KMeans" step of Figure 7.
+    """
+    m = len(tasks_points)
+    if m < 2:
+        raise ValueError("cannot split fewer than two tasks")
+    c1, c2 = two_means(tasks_points, rng)
+    signed = [
+        (p.distance_to(c1) - p.distance_to(c2), i)
+        for i, p in enumerate(tasks_points)
+    ]
+    signed.sort()
+    half = (m + 1) // 2
+    left = sorted(i for _, i in signed[:half])
+    right = sorted(i for _, i in signed[half:])
+    return left, right
+
+
+@dataclass(frozen=True)
+class PartitionResult:
+    """Outcome of ``BG_Partition``.
+
+    Attributes:
+        task_ids_1 / task_ids_2: the two disjoint task halves.
+        worker_ids_1 / worker_ids_2: worker sets per subproblem; conflicting
+            workers appear in both.
+        conflicting_worker_ids: workers whose valid tasks straddle halves.
+    """
+
+    task_ids_1: Tuple[int, ...]
+    task_ids_2: Tuple[int, ...]
+    worker_ids_1: Tuple[int, ...]
+    worker_ids_2: Tuple[int, ...]
+    conflicting_worker_ids: Tuple[int, ...]
+
+
+def bg_partition(problem: RdbscProblem, rng: RngLike = None) -> PartitionResult:
+    """Figure 7: split a problem into two balanced subproblems.
+
+    Workers with no valid task are dropped (they cannot affect any
+    assignment); workers valid only within one half are isolated there;
+    the rest are duplicated into both halves as conflicting workers.
+    """
+    points = [t.location for t in problem.tasks]
+    left_idx, right_idx = balanced_task_split(points, rng)
+    t1: Set[int] = {problem.tasks[i].task_id for i in left_idx}
+    t2: Set[int] = {problem.tasks[i].task_id for i in right_idx}
+
+    w1: List[int] = []
+    w2: List[int] = []
+    conflicting: List[int] = []
+    for worker in problem.workers:
+        candidates = problem.candidate_tasks(worker.worker_id)
+        if not candidates:
+            continue
+        in1 = any(task_id in t1 for task_id in candidates)
+        in2 = any(task_id in t2 for task_id in candidates)
+        if in1 and not in2:
+            w1.append(worker.worker_id)
+        elif in2 and not in1:
+            w2.append(worker.worker_id)
+        else:
+            conflicting.append(worker.worker_id)
+            w1.append(worker.worker_id)
+            w2.append(worker.worker_id)
+
+    return PartitionResult(
+        task_ids_1=tuple(sorted(t1)),
+        task_ids_2=tuple(sorted(t2)),
+        worker_ids_1=tuple(w1),
+        worker_ids_2=tuple(w2),
+        conflicting_worker_ids=tuple(conflicting),
+    )

@@ -1,0 +1,39 @@
+"""Uniform-random assignment baseline.
+
+Not one of the paper's named competitors, but the natural floor: each worker
+independently picks one of its valid tasks uniformly.  A single draw of the
+SAMPLING solver is exactly this, so RANDOM lower-bounds what K samples can
+buy — useful in ablations and as a smoke-test baseline.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.base import RngLike, Solver, SolverResult, make_rng
+from repro.core.assignment import Assignment
+from repro.core.problem import RdbscProblem
+
+
+def draw_random_assignment(problem: RdbscProblem, rng: RngLike = None) -> Assignment:
+    """One uniform draw from the assignment population of Section 5.1.
+
+    Workers with no valid task stay unassigned, contributing no edge.
+    """
+    generator = make_rng(rng)
+    assignment = Assignment()
+    for worker in problem.workers:
+        candidates = problem.candidate_tasks(worker.worker_id)
+        if not candidates:
+            continue
+        choice = int(generator.integers(0, len(candidates)))
+        assignment.assign(candidates[choice], worker.worker_id)
+    return assignment
+
+
+class RandomSolver(Solver):
+    """Assign every worker to a uniformly random valid task."""
+
+    name = "RANDOM"
+
+    def solve(self, problem: RdbscProblem, rng: RngLike = None) -> SolverResult:
+        assignment = draw_random_assignment(problem, rng)
+        return self._finish(problem, assignment, {"workers_assigned": len(assignment)})

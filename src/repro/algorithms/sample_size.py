@@ -1,0 +1,167 @@
+"""Sample-size determination for the sampling solver (Section 5.2).
+
+The population is every full assignment (size ``N = prod_j deg(w_j)``).  The
+paper asks for the smallest ``K`` such that, with probability greater than
+``delta``, the best of ``K`` accepted samples ranks inside the top
+``epsilon`` fraction of the population — formally the smallest ``K`` with
+``F(K) = Pr{X <= (1 - epsilon) N} <= 1 - delta`` (Eqs. 13–16), searched
+inside the Eq. 15 bracket.
+
+``N`` overflows any machine float for realistic instances, so everything is
+evaluated in log space: the binomial coefficient through ``lgamma`` when
+``M = (1 - epsilon) N`` is representable, and through the Stirling
+approximation ``ln C(M, K) ~= K (ln M - ln K + 1) - ln sqrt(2 pi K)``
+otherwise.  The resulting ``K̂`` is small — the paper itself leans on that
+("SAMPLING only takes several seconds due to small sample size") — so
+:class:`SamplePlan` carries a ``min_samples`` floor giving callers a quality
+knob, and G-TRUTH scales a plan by 10x (Section 8.1).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+#: Populations with log size above this use the asymptotic Stirling path
+#: (``M`` itself stops being representable as a float near ``e^709``).
+_FLOAT_LOG_LIMIT = 700.0
+
+
+def _ln_binomial(ln_m: float, k: int) -> float:
+    """``ln C(M, K)`` with ``M = e^{ln_m}``, robust to astronomical ``M``.
+
+    The direct ``lgamma(M+1) - lgamma(M-K+1)`` difference cancels
+    catastrophically once ``lgamma(M)`` exceeds float granularity (around
+    ``M ~ 1e10``), so the falling-factorial sum ``sum ln(M - i)`` is used
+    instead whenever ``M`` is representable; beyond that, Stirling on the
+    ``K!`` factor with ``K << M``.
+    """
+    if k <= 0:
+        return 0.0
+    if ln_m <= _FLOAT_LOG_LIMIT:
+        m = math.exp(ln_m)
+        if k > m:
+            return -math.inf  # C(M, K) = 0 when K exceeds M
+        return sum(math.log(m - i) for i in range(k)) - math.lgamma(k + 1.0)
+    return k * (ln_m - math.log(k) + 1.0) - 0.5 * math.log(2.0 * math.pi * k)
+
+
+def log_rank_cdf(k: int, log_population: float, epsilon: float) -> float:
+    """``ln F(K) = ln Pr{X <= (1 - epsilon) N}`` (Eq. 18 in log space).
+
+    ``X`` is the population rank of the largest of ``K`` samples accepted
+    with probability ``p = 1/N`` each.
+    """
+    if k <= 0:
+        return 0.0  # no samples: the "largest sample" trivially ranks low
+    ln_n = max(log_population, 0.0)
+    ln_m = ln_n + math.log1p(-epsilon)
+    if ln_m < 0.0:
+        return -math.inf  # M < 1: any sample beats the threshold
+    # p = 1/N; for huge N, N ln(1-p) -> -1 and ln(1-p) -> 0.
+    if ln_n <= math.log(1e8):
+        n = math.exp(ln_n)
+        p = 1.0 / n
+        n_ln_1mp = n * math.log1p(-p)
+        ln_1mp = math.log1p(-p)
+    else:
+        n_ln_1mp = -1.0
+        ln_1mp = 0.0
+    ln_p = -ln_n
+    return n_ln_1mp + k * (ln_p - ln_1mp) + _ln_binomial(ln_m, k)
+
+
+def eq15_lower_bound(log_population: float, epsilon: float) -> float:
+    """The Eq. 15 lower bracket ``(p M e - 1 + p) / (1 - p + e p)``.
+
+    ``p M = (1 - epsilon)`` identically (``p = 1/N``, ``M = (1-eps) N``), so
+    the bound stays finite no matter how large the population is.
+    """
+    p = math.exp(-max(log_population, 0.0))
+    pm = 1.0 - epsilon
+    return (pm * math.e - 1.0 + p) / (1.0 - p + math.e * p)
+
+
+def required_sample_size(
+    log_population: float,
+    epsilon: float = 0.1,
+    delta: float = 0.9,
+    max_samples: int = 10_000,
+) -> int:
+    """Smallest ``K`` achieving the ``(epsilon, delta)`` rank bound.
+
+    Binary search for the smallest ``K`` in the Eq. 15 bracket with
+    ``F(K) <= 1 - delta``; clamped to ``max_samples`` when even that budget
+    cannot achieve the bound (degenerate parameters).
+
+    Raises:
+        ValueError: for out-of-range ``epsilon`` / ``delta``.
+    """
+    if not 0.0 < epsilon < 1.0:
+        raise ValueError(f"epsilon must be in (0, 1), got {epsilon}")
+    if not 0.0 < delta < 1.0:
+        raise ValueError(f"delta must be in (0, 1), got {delta}")
+    if log_population <= 0.0:
+        return 1  # a population of one assignment
+    target = math.log1p(-delta)
+
+    lo = max(1, int(math.ceil(eq15_lower_bound(log_population, epsilon))))
+    hi = max_samples
+    if log_rank_cdf(hi, log_population, epsilon) > target:
+        return max_samples
+    while log_rank_cdf(lo, log_population, epsilon) <= target and lo > 1:
+        # The bracket start already satisfies the bound; F is monotone
+        # decreasing past the bracket, so search downward for minimality.
+        hi = lo
+        lo = max(1, lo // 2)
+        if lo == 1:
+            break
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if log_rank_cdf(mid, log_population, epsilon) <= target:
+            hi = mid
+        else:
+            lo = mid + 1
+    return hi
+
+
+@dataclass(frozen=True)
+class SamplePlan:
+    """How many random assignments the sampling solver should draw.
+
+    Attributes:
+        epsilon: rank-error tolerance of Section 5.2.
+        delta: confidence level of the rank bound.
+        min_samples: floor applied after the (epsilon, delta) computation —
+            the practical quality knob, since K̂ is small for large
+            populations.
+        max_samples: hard budget cap.
+    """
+
+    epsilon: float = 0.1
+    delta: float = 0.9
+    min_samples: int = 50
+    max_samples: int = 10_000
+
+    def __post_init__(self) -> None:
+        if self.min_samples < 1:
+            raise ValueError("min_samples must be at least 1")
+        if self.max_samples < self.min_samples:
+            raise ValueError("max_samples must be >= min_samples")
+
+    def resolve(self, log_population: float) -> int:
+        """The sample count for a population of the given log size."""
+        k_hat = required_sample_size(
+            log_population, self.epsilon, self.delta, self.max_samples
+        )
+        return min(max(k_hat, self.min_samples), self.max_samples)
+
+    def scaled(self, factor: int) -> "SamplePlan":
+        """A plan with ``factor``-times the sampling budget (G-TRUTH's 10x)."""
+        if factor < 1:
+            raise ValueError("factor must be at least 1")
+        return replace(
+            self,
+            min_samples=self.min_samples * factor,
+            max_samples=max(self.max_samples, self.min_samples * factor),
+        )

@@ -1,0 +1,65 @@
+"""The RDB-SC sampling algorithm (Figure 5, Section 5).
+
+Each sample is a full assignment drawn from the Section 5.1 population:
+every worker independently picks one of its valid tasks uniformly (one bold
+edge per worker node in Figure 4).  ``K`` samples are scored on
+``(min reliability, total E[STD])`` and the winner is the sample with the
+best dominance rank — the skyline member dominating the most other samples,
+exactly the paper's [22]-style tie-break for when no sample dominates all
+others.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.algorithms.base import RngLike, Solver, SolverResult, make_rng
+from repro.algorithms.random_assign import draw_random_assignment
+from repro.algorithms.sample_size import SamplePlan
+from repro.core.assignment import Assignment
+from repro.core.objectives import evaluate_assignment
+from repro.core.problem import RdbscProblem
+from repro.skyline.dominance import best_index_by_dominance
+
+
+class SamplingSolver(Solver):
+    """Draw K random assignments; keep the dominance-rank winner.
+
+    Args:
+        plan: the (epsilon, delta) sample-size plan; ignored when
+            ``num_samples`` pins the count explicitly.
+        num_samples: fixed sample count override.
+    """
+
+    name = "SAMPLING"
+
+    def __init__(
+        self,
+        plan: Optional[SamplePlan] = None,
+        num_samples: Optional[int] = None,
+    ) -> None:
+        self.plan = plan if plan is not None else SamplePlan()
+        self.num_samples = num_samples
+
+    def resolve_sample_count(self, problem: RdbscProblem) -> int:
+        """The number of samples this solver would draw for ``problem``."""
+        if self.num_samples is not None:
+            if self.num_samples < 1:
+                raise ValueError("num_samples must be at least 1")
+            return self.num_samples
+        return self.plan.resolve(problem.log_population_size())
+
+    def solve(self, problem: RdbscProblem, rng: RngLike = None) -> SolverResult:
+        generator = make_rng(rng)
+        k = self.resolve_sample_count(problem)
+        samples: List[Assignment] = []
+        scores: List[Tuple[float, float]] = []
+        for _ in range(k):
+            assignment = draw_random_assignment(problem, generator)
+            value = evaluate_assignment(problem, assignment)
+            samples.append(assignment)
+            scores.append((value.min_reliability, value.total_std))
+        if not samples:
+            return self._finish(problem, Assignment(), {"samples": 0.0})
+        best = best_index_by_dominance(scores)
+        return self._finish(problem, samples[best], {"samples": float(k)})

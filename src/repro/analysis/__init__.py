@@ -1,0 +1,23 @@
+"""Answer post-processing: aggregation and angular-coverage analysis.
+
+``aggregation``
+    Section 2.3's answer aggregation: group the collected answers by
+    spatial/temporal similarity and surface one representative per group,
+    so a requester is not buried under near-duplicate photos.
+``coverage``
+    The quantitative substitute for the paper's 3-D-reconstruction showcase
+    (Figures 19–20): how much of the viewing circle the collected answers
+    cover, experimental assignment versus ground truth.
+"""
+
+from repro.analysis.aggregation import AnswerGroup, aggregate_answers
+from repro.analysis.coverage import CoverageReport, angular_coverage, coverage_report
+
+__all__ = [
+    "AnswerGroup",
+    "AnswerGroup",
+    "CoverageReport",
+    "aggregate_answers",
+    "angular_coverage",
+    "coverage_report",
+]

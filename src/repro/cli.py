@@ -1,0 +1,243 @@
+"""Command-line interface: run solvers, figures and ablations from a shell.
+
+Examples::
+
+    python -m repro list
+    python -m repro solve --tasks 40 --workers 80 --solver greedy --seed 7
+    python -m repro figure fig13_tasks_uniform --seeds 1 2
+    python -m repro index
+    python -m repro platform --intervals 1 2 4 --minutes 30
+    python -m repro coverage
+    python -m repro ablation pruning
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.algorithms import (
+    DivideConquerSolver,
+    GreedySolver,
+    GroundTruthSolver,
+    MaxTaskSolver,
+    RandomSolver,
+    SamplingSolver,
+    Solver,
+)
+from repro.datagen import ExperimentConfig, average_degree, generate_problem
+from repro.experiments import format_table, run_experiment
+from repro.experiments import figures as figure_builders
+from repro.experiments.ablations import (
+    baseline_comparison,
+    format_ablation,
+    gamma_ablation,
+    pruning_ablation,
+    sampling_budget_ablation,
+)
+from repro.experiments.reporting import format_figure
+from repro.experiments.spec import Experiment
+
+#: Figure registry: CLI name -> zero-argument experiment builder.
+FIGURES: Dict[str, Callable[[], Experiment]] = {
+    "fig11_expiration_real": figure_builders.fig11_expiration_real,
+    "fig12_reliability_real": figure_builders.fig12_reliability_real,
+    "fig13_tasks_uniform": figure_builders.fig13_tasks_uniform,
+    "fig14_workers_uniform": figure_builders.fig14_workers_uniform,
+    "fig15_angles_uniform": figure_builders.fig15_angles_uniform,
+    "fig22_beta_real": figure_builders.fig22_beta_real,
+    "fig23_tasks_skewed": figure_builders.fig23_tasks_skewed,
+    "fig24_workers_skewed": figure_builders.fig24_workers_skewed,
+    "fig25_velocity_uniform": figure_builders.fig25_velocity_uniform,
+    "fig26_velocity_skewed": figure_builders.fig26_velocity_skewed,
+    "fig27_angles_skewed": figure_builders.fig27_angles_skewed,
+}
+
+ABLATIONS: Dict[str, Callable[[], object]] = {
+    "pruning": lambda: format_ablation(
+        "Ablation — GREEDY bound pruning (Lemma 4.3)",
+        pruning_ablation(),
+        extra_name="exact evals",
+    ),
+    "gamma": lambda: format_ablation(
+        "Ablation — D&C leaf threshold gamma", gamma_ablation(), extra_name="leaf solves"
+    ),
+    "sampling": lambda: format_ablation(
+        "Ablation — SAMPLING budget K", sampling_budget_ablation(), extra_name="samples"
+    ),
+    "baselines": lambda: format_ablation(
+        "Ablation — RDB-SC vs MAX-TASK / RANDOM",
+        baseline_comparison(),
+        extra_name="tasks covered",
+    ),
+}
+
+
+def make_solver(name: str) -> Solver:
+    """A fresh solver instance by CLI name.
+
+    Raises:
+        ValueError: for unknown solver names.
+    """
+    factories: Dict[str, Callable[[], Solver]] = {
+        "greedy": GreedySolver,
+        "sampling": lambda: SamplingSolver(num_samples=60),
+        "dc": lambda: DivideConquerSolver(
+            gamma=8, base_solver=SamplingSolver(num_samples=60)
+        ),
+        "gtruth": lambda: GroundTruthSolver(gamma=8),
+        "random": RandomSolver,
+        "maxtask": MaxTaskSolver,
+    }
+    try:
+        return factories[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown solver {name!r}; choose from {sorted(factories)}"
+        ) from None
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="RDB-SC reproduction (Cheng et al., VLDB 2015)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("list", help="list available figures and ablations")
+
+    solve = commands.add_parser("solve", help="solve one synthetic instance")
+    solve.add_argument("--tasks", type=int, default=40)
+    solve.add_argument("--workers", type=int, default=80)
+    solve.add_argument(
+        "--distribution", choices=("uniform", "skewed"), default="uniform"
+    )
+    solve.add_argument("--seed", type=int, default=0)
+    solve.add_argument(
+        "--solver",
+        default="all",
+        help="greedy | sampling | dc | gtruth | random | maxtask | all",
+    )
+
+    figure = commands.add_parser("figure", help="regenerate one paper figure")
+    figure.add_argument("name", choices=sorted(FIGURES))
+    figure.add_argument("--seeds", type=int, nargs="+", default=[1])
+    figure.add_argument(
+        "--table", action="store_true", help="print the full grid, not the series"
+    )
+
+    commands.add_parser("index", help="run the Figure 17 index experiment")
+
+    platform = commands.add_parser(
+        "platform", help="run the Figure 18 platform experiment"
+    )
+    platform.add_argument("--intervals", type=float, nargs="+", default=[1, 2, 3, 4])
+    platform.add_argument("--minutes", type=float, default=30.0)
+    platform.add_argument("--seed", type=int, default=5)
+
+    commands.add_parser("coverage", help="run the Figures 19-20 showcase")
+
+    ablation = commands.add_parser("ablation", help="run one ablation study")
+    ablation.add_argument("name", choices=sorted(ABLATIONS))
+
+    return parser
+
+
+def _cmd_list() -> List[str]:
+    lines = ["figures:"]
+    lines.extend(f"  {name}" for name in sorted(FIGURES))
+    lines.append("harnesses: index (Fig 17), platform (Fig 18), coverage (Figs 19-20)")
+    lines.append("ablations:")
+    lines.extend(f"  {name}" for name in sorted(ABLATIONS))
+    return lines
+
+
+def _cmd_solve(args: argparse.Namespace) -> List[str]:
+    config = ExperimentConfig.scaled_defaults(
+        num_tasks=args.tasks, num_workers=args.workers
+    ).with_updates(distribution=args.distribution)
+    problem = generate_problem(config, args.seed)
+    lines = [
+        f"instance: {problem.num_tasks} tasks, {problem.num_workers} workers, "
+        f"{problem.num_pairs} pairs (avg degree {average_degree(problem):.1f})"
+    ]
+    names = (
+        ["greedy", "sampling", "dc", "gtruth"]
+        if args.solver == "all"
+        else [args.solver]
+    )
+    for name in names:
+        solver = make_solver(name)
+        result = solver.solve(problem, rng=args.seed)
+        lines.append(
+            f"{solver.name:>9}: min_rel={result.objective.min_reliability:.4f} "
+            f"total_STD={result.objective.total_std:.4f}"
+        )
+    return lines
+
+
+def _cmd_figure(args: argparse.Namespace) -> List[str]:
+    experiment = FIGURES[args.name]()
+    result = run_experiment(experiment, seeds=tuple(args.seeds))
+    text = format_table(result) if args.table else format_figure(result)
+    return text.splitlines()
+
+
+def _cmd_index() -> List[str]:
+    rows = figure_builders.run_index_experiment()
+    lines = ["Figure 17 — RDB-SC-Grid index efficiency"]
+    for row in rows:
+        lines.append(
+            f"n={row.n_workers:5d} eta={row.eta:.3f} build={row.construction_seconds:.3f}s "
+            f"with={row.retrieval_with_index_seconds:.4f}s "
+            f"without={row.retrieval_without_index_seconds:.4f}s pairs={row.pairs}"
+        )
+    return lines
+
+
+def _cmd_platform(args: argparse.Namespace) -> List[str]:
+    rows = figure_builders.run_platform_experiment(
+        t_intervals=tuple(args.intervals), sim_minutes=args.minutes, seed=args.seed
+    )
+    lines = ["Figure 18 — platform incremental updates"]
+    for row in rows:
+        lines.append(
+            f"t={row.t_interval:4.1f}min {row.solver:>9}: "
+            f"min_rel={row.min_reliability:.4f} total_STD={row.total_std:.4f} "
+            f"({row.seconds:.2f}s)"
+        )
+    return lines
+
+
+def _cmd_coverage() -> List[str]:
+    reports = figure_builders.run_coverage_showcase()
+    lines = ["Figures 19-20 — landmark viewing-angle coverage"]
+    for solver, report in reports.items():
+        lines.append(
+            f"{solver:>9}: experimental={report.experimental:.3f} "
+            f"ground_truth={report.ground_truth:.3f} ratio={report.ratio:.3f}"
+        )
+    return lines
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        lines = _cmd_list()
+    elif args.command == "solve":
+        lines = _cmd_solve(args)
+    elif args.command == "figure":
+        lines = _cmd_figure(args)
+    elif args.command == "index":
+        lines = _cmd_index()
+    elif args.command == "platform":
+        lines = _cmd_platform(args)
+    elif args.command == "coverage":
+        lines = _cmd_coverage()
+    elif args.command == "ablation":
+        lines = str(ABLATIONS[args.name]()).splitlines()
+    else:  # pragma: no cover - argparse enforces the choices
+        return 2
+    print("\n".join(lines))
+    return 0

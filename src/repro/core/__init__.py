@@ -1,0 +1,55 @@
+"""The RDB-SC problem model: the paper's primary abstractions.
+
+This package holds the paper's Definitions 1–4 and the quality measures:
+
+``task`` / ``worker``
+    Time-constrained spatial tasks and dynamically moving workers.
+``validity``
+    When a (task, worker) pair is assignable: the worker's direction cone
+    admits the bearing to the task and the straight-line arrival time falls
+    inside the task's valid period.
+``problem``
+    The bipartite task/worker instance with its valid-pair graph.
+``assignment``
+    A mutable assignment strategy (each worker does at most one task).
+``reliability``
+    Eq. 1 and its log-domain reduction Eq. 8.
+``diversity``
+    Deterministic spatial/temporal diversity, Eqs. 3–5.
+``possible_worlds``
+    Exact O(2^r) possible-world enumeration (Eq. 2) — the testing oracle.
+``expected``
+    The O(r^3) matrix reduction for expected diversity (Lemma 3.1).
+``objectives``
+    The bi-objective value (min reliability, total expected STD) and its
+    Pareto dominance relation.
+"""
+
+from repro.core.assignment import Assignment
+from repro.core.objectives import (
+    ObjectiveValue,
+    TaskState,
+    dominates,
+    evaluate_assignment,
+)
+from repro.core.problem import RdbscProblem, ValidPair
+from repro.core.reliability import log_reliability, min_reliability, reliability
+from repro.core.task import SpatialTask
+from repro.core.validity import ValidityRule
+from repro.core.worker import MovingWorker
+
+__all__ = [
+    "Assignment",
+    "MovingWorker",
+    "ObjectiveValue",
+    "RdbscProblem",
+    "SpatialTask",
+    "TaskState",
+    "ValidPair",
+    "ValidityRule",
+    "dominates",
+    "evaluate_assignment",
+    "log_reliability",
+    "min_reliability",
+    "reliability",
+]

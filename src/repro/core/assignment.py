@@ -1,0 +1,108 @@
+"""Assignment strategies: which worker serves which task.
+
+An assignment maps each worker to at most one task (a worker cannot be in
+two places), while a task may receive any number of workers — that is the
+whole point of the diversity objective.  The structure is intentionally a
+thin bidirectional mapping; objective values live in
+:mod:`repro.core.objectives`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
+
+
+class Assignment:
+    """A mutable worker-to-task assignment.
+
+    Supports O(1) assign/unassign/lookup in both directions and cheap
+    copying; solvers mutate a working copy and return it.
+    """
+
+    def __init__(self) -> None:
+        self._worker_to_task: Dict[int, int] = {}
+        self._task_to_workers: Dict[int, Set[int]] = {}
+
+    @classmethod
+    def from_pairs(cls, pairs: "list[tuple[int, int]]") -> "Assignment":
+        """Build an assignment from ``(task_id, worker_id)`` pairs.
+
+        Raises:
+            ValueError: if a worker appears twice.
+        """
+        assignment = cls()
+        for task_id, worker_id in pairs:
+            assignment.assign(task_id, worker_id)
+        return assignment
+
+    def assign(self, task_id: int, worker_id: int) -> None:
+        """Assign ``worker_id`` to ``task_id``.
+
+        Raises:
+            ValueError: if the worker is already assigned (unassign first —
+                silent reassignment hides solver bugs).
+        """
+        if worker_id in self._worker_to_task:
+            raise ValueError(
+                f"worker {worker_id} already assigned to task "
+                f"{self._worker_to_task[worker_id]}"
+            )
+        self._worker_to_task[worker_id] = task_id
+        self._task_to_workers.setdefault(task_id, set()).add(worker_id)
+
+    def unassign(self, worker_id: int) -> int:
+        """Remove the worker's assignment, returning the task it had.
+
+        Raises:
+            KeyError: if the worker is not assigned.
+        """
+        task_id = self._worker_to_task.pop(worker_id)
+        workers = self._task_to_workers[task_id]
+        workers.discard(worker_id)
+        if not workers:
+            del self._task_to_workers[task_id]
+        return task_id
+
+    def task_of(self, worker_id: int) -> Optional[int]:
+        """The task a worker is assigned to, or ``None``."""
+        return self._worker_to_task.get(worker_id)
+
+    def workers_for(self, task_id: int) -> FrozenSet[int]:
+        """The set of workers assigned to a task (possibly empty)."""
+        return frozenset(self._task_to_workers.get(task_id, frozenset()))
+
+    def is_assigned(self, worker_id: int) -> bool:
+        return worker_id in self._worker_to_task
+
+    def assigned_tasks(self) -> List[int]:
+        """Ids of tasks with at least one worker."""
+        return list(self._task_to_workers.keys())
+
+    def pairs(self) -> Iterator[Tuple[int, int]]:
+        """Iterate over ``(task_id, worker_id)`` pairs."""
+        for worker_id, task_id in self._worker_to_task.items():
+            yield task_id, worker_id
+
+    def copy(self) -> "Assignment":
+        clone = Assignment()
+        clone._worker_to_task = dict(self._worker_to_task)
+        clone._task_to_workers = {
+            task_id: set(workers)
+            for task_id, workers in self._task_to_workers.items()
+        }
+        return clone
+
+    def __len__(self) -> int:
+        """Number of assigned workers."""
+        return len(self._worker_to_task)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Assignment):
+            return NotImplemented
+        return self._worker_to_task == other._worker_to_task
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._worker_to_task.items()))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return f"Assignment({len(self)} workers on {len(self._task_to_workers)} tasks)"

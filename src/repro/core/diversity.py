@@ -1,0 +1,156 @@
+"""Deterministic spatial/temporal diversity (Eqs. 3-5).
+
+Given a task and the workers that *actually* complete it, spatial diversity
+is the entropy of the circular gaps between the rays from the task location
+towards the workers' origins (Figure 2a), and temporal diversity is the
+entropy of the sub-intervals into which the workers' arrival times cut the
+valid period (Figure 2b).  The combined ``STD`` blends the two with the
+requester weight ``beta``.
+
+This module is deterministic: it scores a *concrete* set of completing
+workers.  Expectation over which workers succeed lives in
+:mod:`repro.core.possible_worlds` (exact) and :mod:`repro.core.expected`
+(polynomial reduction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.task import SpatialTask
+from repro.core.validity import ValidityRule
+from repro.core.worker import MovingWorker
+from repro.geometry.angles import TWO_PI, bearing, circular_gaps
+from repro.geometry.entropy import entropy_of_partition
+
+
+@dataclass(frozen=True)
+class WorkerProfile:
+    """A worker's view of one task: everything diversity math needs.
+
+    Attributes:
+        worker_id: the worker.
+        angle: bearing from the task location towards the worker's origin —
+            the direction the worker approaches (and photographs) from.
+        arrival: effective arrival time at the task location.
+        confidence: the worker's success probability ``p``.
+    """
+
+    worker_id: int
+    angle: float
+    arrival: float
+    confidence: float
+
+
+def approach_angle(task: SpatialTask, worker: MovingWorker) -> float:
+    """Direction of the ray from the task towards the worker's origin.
+
+    A worker standing exactly on the task gets angle ``0.0`` by convention
+    (any single direction is as uninformative as any other).
+    """
+    if worker.location == task.location:
+        return 0.0
+    return bearing(task.location, worker.location)
+
+
+def worker_profile(
+    task: SpatialTask,
+    worker: MovingWorker,
+    rule: Optional[ValidityRule] = None,
+) -> WorkerProfile:
+    """Build the :class:`WorkerProfile` of ``worker`` w.r.t. ``task``.
+
+    Raises:
+        ValueError: if the pair is invalid under ``rule``.
+    """
+    rule = rule if rule is not None else ValidityRule()
+    arrival = rule.effective_arrival(worker, task)
+    if arrival is None:
+        raise ValueError(
+            f"worker {worker.worker_id} cannot validly serve task {task.task_id}"
+        )
+    return WorkerProfile(
+        worker.worker_id, approach_angle(task, worker), arrival, worker.confidence
+    )
+
+
+def worker_profiles(
+    task: SpatialTask,
+    workers: Sequence[MovingWorker],
+    rule: Optional[ValidityRule] = None,
+) -> List[WorkerProfile]:
+    """Profiles for every worker in a task's assigned set."""
+    return [worker_profile(task, w, rule) for w in workers]
+
+
+def spatial_diversity(angles: Sequence[float]) -> float:
+    """``SD`` — entropy of the circular gaps between approach rays (Eq. 3).
+
+    Zero for fewer than two rays: a lone photographer covers a single
+    direction, however you spin it.
+    """
+    if len(angles) < 2:
+        return 0.0
+    return entropy_of_partition(circular_gaps(angles), TWO_PI)
+
+
+def arrival_intervals(
+    arrivals: Sequence[float], start: float, end: float
+) -> List[float]:
+    """Lengths of the ``r + 1`` sub-intervals cut by ``r`` arrival times.
+
+    Arrival times are clamped into ``[start, end]`` (a validity-checked
+    arrival can only sit outside through floating-point noise).
+    """
+    if end < start:
+        raise ValueError(f"invalid period: end ({end}) precedes start ({start})")
+    clamped = sorted(min(max(a, start), end) for a in arrivals)
+    bounds = [start, *clamped, end]
+    return [b - a for a, b in zip(bounds, bounds[1:])]
+
+
+def temporal_diversity(
+    arrivals: Sequence[float], start: float, end: float
+) -> float:
+    """``TD`` — entropy of the arrival-time partition of ``[start, end]``.
+
+    Zero for no arrivals (one full-length interval) and for a zero-length
+    valid period.  Note the asymmetry with ``SD``: a *single* arrival does
+    create temporal diversity (two sub-intervals), which is why greedily
+    adding a worker to an empty task improves TD but not SD — the paper's
+    explanation of GREEDY's "bad start-up" behaviour.
+    """
+    if not arrivals:
+        return 0.0
+    duration = end - start
+    if duration <= 0.0:
+        return 0.0
+    return entropy_of_partition(arrival_intervals(arrivals, start, end), duration)
+
+
+def std(
+    task: SpatialTask,
+    profiles: Sequence[WorkerProfile],
+    beta: Optional[float] = None,
+) -> float:
+    """Combined diversity ``STD = beta * SD + (1 - beta) * TD`` (Eq. 5).
+
+    ``beta`` defaults to the task's own requester weight.
+    """
+    b = task.beta if beta is None else beta
+    if not 0.0 <= b <= 1.0:
+        raise ValueError(f"beta must be in [0, 1], got {b}")
+    sd = spatial_diversity([p.angle for p in profiles])
+    td = temporal_diversity([p.arrival for p in profiles], task.start, task.end)
+    return b * sd + (1.0 - b) * td
+
+
+def std_of_workers(
+    task: SpatialTask,
+    workers: Sequence[MovingWorker],
+    rule: Optional[ValidityRule] = None,
+    beta: Optional[float] = None,
+) -> float:
+    """Convenience wrapper: ``std`` straight from worker objects."""
+    return std(task, worker_profiles(task, workers, rule), beta)

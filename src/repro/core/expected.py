@@ -1,0 +1,216 @@
+"""Polynomial-time expected diversity (Section 3.2, Lemma 3.1).
+
+Direct expectation over possible worlds costs ``O(2^r)``.  The paper's
+reduction observes that ``E[SD]`` and ``E[TD]`` decompose over *arcs* and
+*merged intervals*: an arc between the rays of workers ``j`` and ``k``
+contributes its entropy term exactly when ``j`` and ``k`` both succeed and
+every worker whose ray lies strictly between them fails (Eq. 9); a merged
+time interval between two arrival boundaries contributes when its end
+boundaries survive and the interior boundaries vanish (Eq. 10).
+
+The paper bounds the computation by ``O(r^3)``; sharing the interior-failure
+products across a row brings it to ``O(r^2)`` here, which matters for the
+GREEDY solver's inner loop.  The paper's Eq. 9/10 subscripts are loose about
+boundary workers, so this module derives the marginalisation explicitly; the
+test suite property-checks it against the exact enumeration of
+:mod:`repro.core.possible_worlds` on random instances.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.diversity import WorkerProfile, std
+from repro.core.task import SpatialTask
+from repro.geometry.angles import TWO_PI, normalize_angle
+from repro.geometry.entropy import entropy_term
+
+
+def expected_spatial_diversity(
+    angles: Sequence[float], confidences: Sequence[float]
+) -> float:
+    """``E[SD]`` over possible worlds in ``O(r^2)``.
+
+    For every ordered pair ``(j, k)`` of distinct workers, the arc running
+    counter-clockwise from ray ``j`` to ray ``k`` is an atomic angle of the
+    realised world exactly when ``j`` and ``k`` succeed and all workers
+    strictly between them (CCW) fail.  Worlds with fewer than two survivors
+    have ``SD = 0`` and need no terms.
+    """
+    if len(angles) != len(confidences):
+        raise ValueError("angles and confidences must align")
+    r = len(angles)
+    if r < 2:
+        return 0.0
+    order = sorted(range(r), key=lambda i: normalize_angle(angles[i]))
+    thetas = [normalize_angle(angles[i]) for i in order]
+    ps = [confidences[i] for i in order]
+    gaps = [thetas[(x + 1) % r] - thetas[x] for x in range(r - 1)]
+    gaps.append(TWO_PI - thetas[-1] + thetas[0])
+
+    total = 0.0
+    for j in range(r):
+        arc = 0.0
+        survivors_fail = ps[j]  # p_j * prod of (1 - p_x) for x between j and k
+        if survivors_fail == 0.0:
+            continue
+        for step in range(1, r):
+            k = (j + step) % r
+            arc += gaps[(j + step - 1) % r]
+            total += entropy_term(min(arc, TWO_PI) / TWO_PI) * survivors_fail * ps[k]
+            survivors_fail *= 1.0 - ps[k]
+            if survivors_fail == 0.0:
+                break
+    return total
+
+
+def expected_temporal_diversity(
+    arrivals: Sequence[float],
+    confidences: Sequence[float],
+    start: float,
+    end: float,
+) -> float:
+    """``E[TD]`` over possible worlds in ``O(r^2)``.
+
+    Arrival times define ``r + 2`` interval boundaries: the period edges
+    (always present) plus one boundary per worker (present iff the worker
+    succeeds).  The merged interval between boundaries ``j < k`` appears in
+    the realised partition exactly when both end boundaries are present and
+    all interior ones are absent.
+    """
+    if len(arrivals) != len(confidences):
+        raise ValueError("arrivals and confidences must align")
+    duration = end - start
+    r = len(arrivals)
+    if r == 0 or duration <= 0.0:
+        return 0.0
+    order = sorted(range(r), key=lambda i: arrivals[i])
+    taus = [min(max(arrivals[i], start), end) for i in order]
+    # Boundary i: 0 is `start`, 1..r are worker arrivals, r+1 is `end`.
+    bounds = [start, *taus, end]
+    present = [1.0, *(confidences[i] for i in order), 1.0]
+
+    total = 0.0
+    for j in range(r + 1):
+        survivors_fail = present[j]
+        if survivors_fail == 0.0:
+            continue
+        for k in range(j + 1, r + 2):
+            length = bounds[k] - bounds[j]
+            total += (
+                entropy_term(min(length, duration) / duration)
+                * survivors_fail
+                * present[k]
+            )
+            survivors_fail *= 1.0 - present[k]
+            if survivors_fail == 0.0:
+                break
+    return total
+
+
+def expected_std(
+    task: SpatialTask,
+    profiles: Sequence[WorkerProfile],
+    beta: Optional[float] = None,
+) -> float:
+    """``E[STD]`` (Eq. 6) via the matrix reduction (Lemma 3.1)."""
+    b = task.beta if beta is None else beta
+    if not 0.0 <= b <= 1.0:
+        raise ValueError(f"beta must be in [0, 1], got {b}")
+    angles = [p.angle for p in profiles]
+    arrivals = [p.arrival for p in profiles]
+    confidences = [p.confidence for p in profiles]
+    sd = expected_spatial_diversity(angles, confidences) if b > 0.0 else 0.0
+    td = (
+        expected_temporal_diversity(arrivals, confidences, task.start, task.end)
+        if b < 1.0
+        else 0.0
+    )
+    return b * sd + (1.0 - b) * td
+
+
+# --------------------------------------------------------------------- #
+# Lower / upper bounds (Section 4.3)
+# --------------------------------------------------------------------- #
+
+
+def _success_tail_probabilities(confidences: Sequence[float]) -> Tuple[float, float]:
+    """``(P[at least 1 succeeds], P[at least 2 succeed])``."""
+    none = 1.0
+    exactly_one = 0.0
+    for p in confidences:
+        exactly_one = exactly_one * (1.0 - p) + none * p
+        none *= 1.0 - p
+    at_least_one = 1.0 - none
+    at_least_two = 1.0 - none - exactly_one
+    return at_least_one, max(at_least_two, 0.0)
+
+
+def _min_pairwise_spatial_diversity(angles: Sequence[float]) -> float:
+    """Smallest SD over any 2-worker world — achieved by the tightest gap.
+
+    ``h(a) + h(1 - a)`` is increasing on ``(0, 1/2]``, so the minimising
+    pair is the adjacent pair with the smallest circular gap.  O(r) given
+    sorted angles; O(r log r) here.
+    """
+    r = len(angles)
+    if r < 2:
+        return 0.0
+    thetas = sorted(normalize_angle(a) for a in angles)
+    gaps = [b - a for a, b in zip(thetas, thetas[1:])]
+    gaps.append(TWO_PI - thetas[-1] + thetas[0])
+    g = min(gaps)
+    frac = g / TWO_PI
+    return entropy_term(frac) + entropy_term(1.0 - frac)
+
+
+def _min_single_temporal_diversity(
+    arrivals: Sequence[float], start: float, end: float
+) -> float:
+    """Smallest TD over any 1-worker world.
+
+    A lone arrival at ``tau`` splits the period into ``tau - start`` and
+    ``end - tau``; the least diverse lone worker is the one closest to an
+    edge of the period.
+    """
+    duration = end - start
+    if not arrivals or duration <= 0.0:
+        return 0.0
+    best = math.inf
+    for tau in arrivals:
+        t = min(max(tau, start), end)
+        left = (t - start) / duration
+        value = entropy_term(left) + entropy_term(1.0 - left)
+        best = min(best, value)
+    return best
+
+
+def expected_std_bounds(
+    task: SpatialTask,
+    profiles: Sequence[WorkerProfile],
+    beta: Optional[float] = None,
+) -> Tuple[float, float]:
+    """Cheap ``(lower, upper)`` bounds on ``E[STD]`` (Section 4.3).
+
+    Upper bound: by the monotonicity of Lemma 4.2, every possible world's
+    STD is at most the deterministic STD of the full worker set, so
+    ``E[STD] <= STD(W)``.
+
+    Lower bound: worlds with at least two survivors have
+    ``SD >= min-pair SD`` and worlds with at least one survivor have
+    ``TD >= min-singleton TD`` (monotonicity again), giving
+    ``E[STD] >= beta * P[>=2] * minSD + (1-beta) * P[>=1] * minTD``.
+    """
+    b = task.beta if beta is None else beta
+    if not profiles:
+        return 0.0, 0.0
+    confidences = [p.confidence for p in profiles]
+    at_least_one, at_least_two = _success_tail_probabilities(confidences)
+    lower = b * at_least_two * _min_pairwise_spatial_diversity(
+        [p.angle for p in profiles]
+    ) + (1.0 - b) * at_least_one * _min_single_temporal_diversity(
+        [p.arrival for p in profiles], task.start, task.end
+    )
+    upper = std(task, profiles, b)
+    return lower, upper

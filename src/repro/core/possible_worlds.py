@@ -1,0 +1,96 @@
+"""Exact possible-world semantics for task completion (Section 2.3).
+
+Each subset of a task's assigned workers is a *possible world* — the workers
+who actually succeed — with probability given by Eq. 2.  Expected diversity
+is the probability-weighted average of the deterministic STD over all
+``2^r`` worlds (Eq. 6).
+
+This is exponential and exists as (a) the semantics reference and (b) the
+oracle that the ``O(r^3)`` matrix reduction in :mod:`repro.core.expected` is
+property-tested against.  Solvers never call it on large worker sets.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.diversity import (
+    WorkerProfile,
+    spatial_diversity,
+    std,
+    temporal_diversity,
+)
+from repro.core.task import SpatialTask
+
+#: Worker sets above this size make 2^r enumeration unreasonable; the
+#: functions below refuse rather than silently burning CPU.
+MAX_EXACT_WORKERS = 22
+
+
+def enumerate_worlds(
+    confidences: Sequence[float],
+) -> Iterator[Tuple[Tuple[int, ...], float]]:
+    """Yield every ``(included_indices, probability)`` possible world.
+
+    Probabilities follow Eq. 2: included workers succeed, the rest fail.
+    The worlds' probabilities sum to one.
+
+    Raises:
+        ValueError: if there are more than ``MAX_EXACT_WORKERS`` workers.
+    """
+    r = len(confidences)
+    if r > MAX_EXACT_WORKERS:
+        raise ValueError(
+            f"refusing exact enumeration of 2^{r} worlds; "
+            f"use repro.core.expected for large sets"
+        )
+    indices = range(r)
+    for size in range(r + 1):
+        for world in combinations(indices, size):
+            included = set(world)
+            prob = 1.0
+            for i in indices:
+                prob *= confidences[i] if i in included else 1.0 - confidences[i]
+            yield world, prob
+
+
+def exact_expected_spatial_diversity(
+    angles: Sequence[float], confidences: Sequence[float]
+) -> float:
+    """``E[SD]`` by direct enumeration of possible worlds."""
+    if len(angles) != len(confidences):
+        raise ValueError("angles and confidences must align")
+    total = 0.0
+    for world, prob in enumerate_worlds(confidences):
+        total += prob * spatial_diversity([angles[i] for i in world])
+    return total
+
+
+def exact_expected_temporal_diversity(
+    arrivals: Sequence[float],
+    confidences: Sequence[float],
+    start: float,
+    end: float,
+) -> float:
+    """``E[TD]`` by direct enumeration of possible worlds."""
+    if len(arrivals) != len(confidences):
+        raise ValueError("arrivals and confidences must align")
+    total = 0.0
+    for world, prob in enumerate_worlds(confidences):
+        total += prob * temporal_diversity([arrivals[i] for i in world], start, end)
+    return total
+
+
+def exact_expected_std(
+    task: SpatialTask,
+    profiles: Sequence[WorkerProfile],
+    beta: Optional[float] = None,
+) -> float:
+    """``E[STD]`` (Eq. 6) by direct enumeration of possible worlds."""
+    confidences = [p.confidence for p in profiles]
+    total = 0.0
+    for world, prob in enumerate_worlds(confidences):
+        world_profiles: List[WorkerProfile] = [profiles[i] for i in world]
+        total += prob * std(task, world_profiles, beta)
+    return total

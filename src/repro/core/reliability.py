@@ -1,0 +1,91 @@
+"""Reliability of a task's worker set (Eq. 1) and its log reduction (Eq. 8).
+
+``rel(t, W) = 1 - prod_{w in W} (1 - p_w)`` is the probability that at least
+one assigned worker completes the task.  Maximising the minimum ``rel`` over
+tasks is equivalent to maximising the minimum of
+``R(t, W) = sum_{w in W} -ln(1 - p_w)`` — a number-partition-like objective
+over the positive per-worker weights ``-ln(1 - p_w)`` (Section 3.1).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.core.assignment import Assignment
+    from repro.core.problem import RdbscProblem
+
+
+def reliability(confidences: Iterable[float]) -> float:
+    """``rel`` of a worker set given its members' confidences (Eq. 1).
+
+    An empty set has reliability 0 — nobody is even trying.
+    """
+    failure = 1.0
+    for p in confidences:
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"confidence must be in [0, 1], got {p}")
+        failure *= 1.0 - p
+    return 1.0 - failure
+
+
+def log_reliability(confidences: Iterable[float]) -> float:
+    """The reduced objective ``R = sum -ln(1 - p)`` (Eq. 8).
+
+    Monotone in ``rel``; additive in workers (Lemma 4.1), which is what the
+    greedy solver exploits.  A worker with ``p == 1`` contributes ``inf``.
+    """
+    total = 0.0
+    for p in confidences:
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"confidence must be in [0, 1], got {p}")
+        if p >= 1.0:
+            return math.inf
+        total += -math.log(1.0 - p)
+    return total
+
+
+def log_to_reliability(r_value: float) -> float:
+    """Convert the log-domain value ``R`` back to ``rel = 1 - e^{-R}``."""
+    if r_value < 0.0:
+        raise ValueError(f"R must be non-negative, got {r_value}")
+    if math.isinf(r_value):
+        return 1.0
+    return 1.0 - math.exp(-r_value)
+
+
+def task_reliability(
+    problem: "RdbscProblem", assignment: "Assignment", task_id: int
+) -> float:
+    """``rel`` of one task under an assignment."""
+    workers = assignment.workers_for(task_id)
+    return reliability(
+        problem.workers_by_id[w].confidence for w in workers
+    )
+
+
+def min_reliability(
+    problem: "RdbscProblem",
+    assignment: "Assignment",
+    include_empty: bool = False,
+) -> float:
+    """Minimum reliability across tasks — the paper's first objective.
+
+    With ``m`` comparable to ``n`` some tasks necessarily receive no worker,
+    so the paper's reported minima (≈ ``p_min``) are over *non-empty* tasks;
+    that is the default here.  ``include_empty=True`` gives the strict
+    reading (0 whenever any task is uncovered).
+
+    An assignment touching no task at all yields 0 either way.
+    """
+    if include_empty:
+        if not problem.tasks:
+            return 0.0
+        return min(
+            task_reliability(problem, assignment, t.task_id) for t in problem.tasks
+        )
+    assigned = assignment.assigned_tasks()
+    if not assigned:
+        return 0.0
+    return min(task_reliability(problem, assignment, t) for t in assigned)

@@ -1,0 +1,59 @@
+"""Time-constrained spatial tasks (Definition 1).
+
+A task ``t_i`` is a location ``l_i`` plus a valid period ``[s_i, e_i]``:
+"taking 2D photos of the Statue of Liberty together with fireworks" can only
+be done at the statue and while the fireworks last.  Tasks arrive and expire
+dynamically; the grid index (``repro.index``) handles that churn.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.geometry.points import Point
+
+
+@dataclass(frozen=True)
+class SpatialTask:
+    """A spatial task pinned to a location and a valid time period.
+
+    Attributes:
+        task_id: unique identifier within a problem instance.
+        location: where the task must be performed.
+        start: beginning of the valid period (``s_i``).
+        end: expiration of the valid period (``e_i``).
+        beta: the requester's spatial/temporal balance weight for this task
+            (Eq. 5); ``1.0`` cares only about spatial diversity, ``0.0``
+            only about temporal diversity.
+    """
+
+    task_id: int
+    location: Point
+    start: float
+    end: float
+    beta: float = field(default=0.5)
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError(
+                f"task {self.task_id}: end ({self.end}) precedes start ({self.start})"
+            )
+        if not 0.0 <= self.beta <= 1.0:
+            raise ValueError(f"task {self.task_id}: beta must be in [0, 1], got {self.beta}")
+
+    @property
+    def duration(self) -> float:
+        """Length of the valid period ``e_i - s_i``."""
+        return self.end - self.start
+
+    def is_open_at(self, time: float) -> bool:
+        """Whether ``time`` falls inside the valid period (inclusive)."""
+        return self.start <= time <= self.end
+
+    def contains_arrival(self, arrival: float) -> bool:
+        """Whether an arrival at ``arrival`` satisfies the time constraint."""
+        return self.is_open_at(arrival)
+
+    def with_period(self, start: float, end: float) -> "SpatialTask":
+        """A copy of this task with a different valid period."""
+        return SpatialTask(self.task_id, self.location, start, end, self.beta)

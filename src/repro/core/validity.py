@@ -1,0 +1,57 @@
+"""Validity of a (task, worker) pair.
+
+Definition 4's constraint (1): a worker may be assigned to a task only if
+their arrival time at the task's location falls inside the task's valid
+period — and, per Definition 2, only if travelling there does not deviate
+from the worker's registered direction cone.
+
+The paper's reading is strict: the *arrival* time must fall in ``[s, e]``.
+``ValidityRule(allow_waiting=True)`` relaxes that for callers who want early
+arrivals to wait at the location until the period opens (useful in the
+platform simulator, where walking times are short compared to task windows).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.task import SpatialTask
+from repro.core.worker import MovingWorker
+
+
+@dataclass(frozen=True)
+class ValidityRule:
+    """Policy object deciding whether a worker may take a task.
+
+    Attributes:
+        allow_waiting: when true, a worker arriving before ``s`` is treated
+            as starting the task at ``s`` instead of being rejected.
+    """
+
+    allow_waiting: bool = False
+
+    def effective_arrival(
+        self, worker: MovingWorker, task: SpatialTask
+    ) -> Optional[float]:
+        """The time the worker would begin the task, or ``None`` if invalid.
+
+        Checks, in order: the direction cone admits the bearing to the task,
+        and the (possibly waiting-adjusted) arrival time falls in the valid
+        period.
+        """
+        if not worker.heads_towards(task.location):
+            return None
+        arrival = worker.arrival_time_at(task.location)
+        if math.isinf(arrival):
+            return None
+        if self.allow_waiting and arrival < task.start:
+            arrival = task.start
+        if not task.contains_arrival(arrival):
+            return None
+        return arrival
+
+    def is_valid(self, worker: MovingWorker, task: SpatialTask) -> bool:
+        """Whether the pair ``(task, worker)`` is assignable."""
+        return self.effective_arrival(worker, task) is not None

@@ -1,0 +1,94 @@
+"""Dynamically moving workers (Definition 2).
+
+A worker ``w_j`` has a current position, a scalar velocity, a *direction
+cone* ``[alpha-, alpha+]`` of moving directions they accept tasks in, and a
+confidence ``p_j`` — the probability (inferred from history) that the worker
+reliably completes an assigned task.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.geometry.angles import AngleInterval, bearing
+from repro.geometry.motion import arrival_time
+from repro.geometry.points import Point
+
+
+@dataclass(frozen=True)
+class MovingWorker:
+    """A worker moving through the plane with a registered direction cone.
+
+    Attributes:
+        worker_id: unique identifier within a problem instance.
+        location: the worker's current position ``l_j``.
+        velocity: scalar speed ``v_j`` (distance units per time unit).
+        cone: acceptable moving directions ``[alpha-_j, alpha+_j]``; use
+            :meth:`repro.geometry.angles.AngleInterval.full_circle` for a
+            worker with no destination ("free to move").
+        confidence: probability ``p_j`` in ``[0, 1]`` of reliably finishing
+            an assigned task.
+        depart_time: clock time at which the worker starts moving; arrival
+            times are measured from here.
+    """
+
+    worker_id: int
+    location: Point
+    velocity: float
+    cone: AngleInterval = field(default_factory=AngleInterval.full_circle)
+    confidence: float = 0.9
+    depart_time: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.velocity < 0.0:
+            raise ValueError(
+                f"worker {self.worker_id}: velocity must be non-negative, got {self.velocity}"
+            )
+        if not 0.0 <= self.confidence <= 1.0:
+            raise ValueError(
+                f"worker {self.worker_id}: confidence must be in [0, 1], "
+                f"got {self.confidence}"
+            )
+
+    def heads_towards(self, target: Point) -> bool:
+        """Whether the bearing to ``target`` lies inside the direction cone.
+
+        A target at the worker's own location is always acceptable (no
+        movement is needed, so no direction is violated).
+        """
+        if target == self.location:
+            return True
+        return self.cone.contains(bearing(self.location, target))
+
+    def arrival_time_at(self, target: Point) -> float:
+        """Clock time at which the worker reaches ``target``.
+
+        Infinite for a stationary worker and a distinct target.
+        """
+        return arrival_time(self.location, target, self.velocity, self.depart_time)
+
+    @property
+    def log_confidence_weight(self) -> float:
+        """The positive constant ``-ln(1 - p_j)`` of the Eq. 8 reduction.
+
+        A fully reliable worker (``p_j == 1``) carries infinite weight.
+        """
+        if self.confidence >= 1.0:
+            return math.inf
+        return -math.log(1.0 - self.confidence)
+
+    def moved_to(self, location: Point, depart_time: float) -> "MovingWorker":
+        """A copy relocated to ``location`` at clock time ``depart_time``.
+
+        The platform simulator uses this when a worker finishes a task and
+        becomes available again somewhere else.
+        """
+        return MovingWorker(
+            self.worker_id,
+            location,
+            self.velocity,
+            self.cone,
+            self.confidence,
+            depart_time,
+        )

@@ -1,0 +1,41 @@
+"""Workload generation: Table 2 synthetic data and real-data substitutes.
+
+``config``
+    :class:`ExperimentConfig` — the paper's Table 2 parameter space, with
+    both the paper-scale defaults and laptop-scale presets.
+``synthetic``
+    UNIFORM / SKEWED task and worker generators (Section 8.1).
+``beijing``
+    A clustered synthetic stand-in for the POI-of-China Beijing extract.
+``trajectories``
+    Random-waypoint taxi traces standing in for T-Drive, and the paper's
+    Section 8.2 recipe turning a trace into a moving worker.
+"""
+
+from repro.datagen.beijing import (
+    BEIJING_BOX,
+    generate_poi_field,
+    generate_real_substitute_problem,
+)
+from repro.datagen.config import ExperimentConfig
+from repro.datagen.synthetic import (
+    average_degree,
+    generate_problem,
+    generate_tasks,
+    generate_workers,
+)
+from repro.datagen.trajectories import Trajectory, generate_trajectory, worker_from_trajectory
+
+__all__ = [
+    "BEIJING_BOX",
+    "ExperimentConfig",
+    "Trajectory",
+    "average_degree",
+    "generate_poi_field",
+    "generate_problem",
+    "generate_real_substitute_problem",
+    "generate_tasks",
+    "generate_trajectory",
+    "generate_workers",
+    "worker_from_trajectory",
+]

@@ -1,0 +1,148 @@
+"""Synthetic taxi trajectories and the Section 8.2 worker-derivation recipe.
+
+The paper initialises workers from T-Drive taxi traces:
+
+    "we use the start point of the trajectory as the worker's location, use
+     the average speed of the taxi as the worker's speed.  For the moving
+     angle's range of the worker, we draw a sector at the start point and
+     contain all the other points of the trajectory in the sector."
+
+T-Drive itself is not redistributable here, so :func:`generate_trajectory`
+produces random-waypoint traces with taxi-like statistics; the derivation
+code (:func:`worker_from_trajectory`) is exactly the paper's recipe and is
+what the real-data benchmarks exercise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.algorithms.base import RngLike, make_rng
+from repro.core.worker import MovingWorker
+from repro.geometry.angles import AngleInterval, bearing, enclosing_interval
+from repro.geometry.points import Point, distance
+
+
+@dataclass(frozen=True)
+class Trajectory:
+    """A timestamped polyline trace.
+
+    Attributes:
+        points: visited locations, in order.
+        timestamps: matching clock times (hours), strictly increasing.
+    """
+
+    points: Tuple[Point, ...]
+    timestamps: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.points) != len(self.timestamps):
+            raise ValueError("points and timestamps must align")
+        if len(self.points) < 2:
+            raise ValueError("a trajectory needs at least two points")
+        if any(b <= a for a, b in zip(self.timestamps, self.timestamps[1:])):
+            raise ValueError("timestamps must be strictly increasing")
+
+    @property
+    def start(self) -> Point:
+        return self.points[0]
+
+    def total_length(self) -> float:
+        """Sum of segment lengths."""
+        return sum(distance(a, b) for a, b in zip(self.points, self.points[1:]))
+
+    def average_speed(self) -> float:
+        """Trace length over elapsed time — the paper's worker speed."""
+        elapsed = self.timestamps[-1] - self.timestamps[0]
+        return self.total_length() / elapsed
+
+    def heading_sector(self) -> AngleInterval:
+        """Smallest sector at the start containing every later point.
+
+        Later points coincident with the start contribute no bearing.
+        Falls back to the full circle when no later point is distinct
+        (a parked taxi constrains nothing).
+        """
+        bearings: List[float] = [
+            bearing(self.start, p) for p in self.points[1:] if p != self.start
+        ]
+        if not bearings:
+            return AngleInterval.full_circle()
+        return enclosing_interval(bearings)
+
+
+def generate_trajectory(
+    rng: RngLike = None,
+    n_waypoints: Optional[int] = None,
+    start: Optional[Point] = None,
+    speed_range: Tuple[float, float] = (0.15, 0.45),
+    start_time: float = 0.0,
+    wander: float = 1.2,
+) -> Trajectory:
+    """A random-waypoint trace inside the unit square.
+
+    The heading performs a bounded random walk (sigma ``wander`` radians per
+    leg) so traces are locally directional — like a taxi run — rather than
+    Brownian, giving realistically narrow heading sectors.
+    """
+    generator = make_rng(rng)
+    if n_waypoints is None:
+        n_waypoints = int(generator.integers(5, 16))
+    if n_waypoints < 2:
+        raise ValueError("need at least two waypoints")
+    if start is None:
+        start = Point(
+            float(generator.uniform(0.05, 0.95)), float(generator.uniform(0.05, 0.95))
+        )
+    speed = float(generator.uniform(*speed_range))
+
+    points: List[Point] = [start]
+    times: List[float] = [start_time]
+    heading = float(generator.uniform(0.0, 2.0 * np.pi))
+    current = start
+    now = start_time
+    for _ in range(n_waypoints - 1):
+        heading += float(generator.normal(0.0, wander / 3.0))
+        step = float(generator.uniform(0.02, 0.12))
+        nxt = Point(
+            float(np.clip(current.x + step * np.cos(heading), 0.0, 1.0)),
+            float(np.clip(current.y + step * np.sin(heading), 0.0, 1.0)),
+        )
+        if nxt == current:  # clipped into a corner; nudge inward
+            nxt = Point(
+                float(np.clip(current.x + 0.01, 0.0, 1.0)),
+                float(np.clip(current.y + 0.01, 0.0, 1.0)),
+            )
+            if nxt == current:
+                continue
+        leg = distance(current, nxt)
+        now += leg / speed
+        points.append(nxt)
+        times.append(now)
+        current = nxt
+    if len(points) < 2:
+        # Degenerate walk (all steps clipped away); add a minimal leg.
+        nxt = Point(min(start.x + 0.05, 1.0), start.y)
+        points.append(nxt)
+        times.append(start_time + distance(start, nxt) / speed)
+    return Trajectory(tuple(points), tuple(times))
+
+
+def worker_from_trajectory(
+    trajectory: Trajectory,
+    worker_id: int,
+    confidence: float,
+    depart_time: float = 0.0,
+) -> MovingWorker:
+    """Derive a moving worker from a trace — the paper's Section 8.2 recipe."""
+    return MovingWorker(
+        worker_id=worker_id,
+        location=trajectory.start,
+        velocity=trajectory.average_speed(),
+        cone=trajectory.heading_sector(),
+        confidence=confidence,
+        depart_time=depart_time,
+    )

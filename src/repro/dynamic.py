@@ -1,0 +1,219 @@
+"""An online RDB-SC session: dynamic churn + periodic re-assignment.
+
+The paper's Section 7.2 maintains workers and tasks in the grid index as
+they "freely register or leave the crowdsourcing system", and Figure 10
+periodically re-assigns whoever is available.  :class:`CrowdsourcingSession`
+packages that operating loop as a library API (the platform simulator is a
+*driver* of this pattern with travel/answer dynamics; the session is the
+pattern itself):
+
+* ``add_task`` / ``remove_task`` / ``add_worker`` / ``remove_worker`` keep
+  the grid index current (O(1)-ish per Section 7.2),
+* ``expire_tasks(now)`` retires tasks whose window closed,
+* ``reassign(now)`` builds the current sub-instance *through the index*
+  and runs the configured solver, remembering the live assignment,
+* ``stats`` counts maintenance and assignment work for capacity planning.
+
+Typical use::
+
+    session = CrowdsourcingSession(solver=SamplingSolver(num_samples=40))
+    session.add_worker(worker)
+    session.add_task(task)
+    outcome = session.reassign(now=0.0)
+    print(outcome.objective, session.assignment_of(worker.worker_id))
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.algorithms.base import RngLike, Solver
+from repro.algorithms.sampling import SamplingSolver
+from repro.core.assignment import Assignment
+from repro.core.objectives import ObjectiveValue, evaluate_assignment
+from repro.core.problem import RdbscProblem
+from repro.core.task import SpatialTask
+from repro.core.validity import ValidityRule
+from repro.core.worker import MovingWorker
+from repro.index.grid import RdbscGrid
+
+
+@dataclass
+class SessionStats:
+    """Operation counters for one session."""
+
+    tasks_added: int = 0
+    tasks_removed: int = 0
+    tasks_expired: int = 0
+    workers_added: int = 0
+    workers_removed: int = 0
+    reassignments: int = 0
+    pairs_retrieved: int = 0
+
+
+@dataclass(frozen=True)
+class ReassignmentOutcome:
+    """Result of one ``reassign`` call."""
+
+    objective: ObjectiveValue
+    assignment: Assignment
+    num_tasks: int
+    num_workers: int
+    num_pairs: int
+
+
+class CrowdsourcingSession:
+    """A live RDB-SC system: index-maintained state + periodic solving.
+
+    Args:
+        solver: the assignment algorithm run on each ``reassign``.
+        eta: grid cell side; pick via :func:`repro.index.cost_model.optimal_eta`
+            for your expected reach, or keep the default mid-grain cell.
+        validity: pair-validity policy.
+        rng: seed/generator forwarded to the solver for reproducibility.
+    """
+
+    def __init__(
+        self,
+        solver: Optional[Solver] = None,
+        eta: float = 0.125,
+        validity: Optional[ValidityRule] = None,
+        rng: RngLike = None,
+    ) -> None:
+        self.solver = solver if solver is not None else SamplingSolver(num_samples=40)
+        self.validity = validity if validity is not None else ValidityRule()
+        self.grid = RdbscGrid(eta, self.validity)
+        self.rng = rng
+        self.stats = SessionStats()
+        self._tasks: Dict[int, SpatialTask] = {}
+        self._workers: Dict[int, MovingWorker] = {}
+        self._assignment = Assignment()
+
+    # ------------------------------------------------------------------ #
+    # Churn (Section 7.2)
+    # ------------------------------------------------------------------ #
+
+    def add_task(self, task: SpatialTask) -> None:
+        """Register a new task.
+
+        Raises:
+            ValueError: on duplicate task ids.
+        """
+        if task.task_id in self._tasks:
+            raise ValueError(f"task {task.task_id} already in session")
+        self._tasks[task.task_id] = task
+        self.grid.insert_task(task)
+        self.stats.tasks_added += 1
+
+    def remove_task(self, task_id: int) -> SpatialTask:
+        """Withdraw a task (completed or cancelled); frees its workers."""
+        task = self._tasks.pop(task_id)
+        self.grid.remove_task(task_id)
+        for worker_id in list(self._assignment.workers_for(task_id)):
+            self._assignment.unassign(worker_id)
+        self.stats.tasks_removed += 1
+        return task
+
+    def expire_tasks(self, now: float) -> List[int]:
+        """Retire every task whose valid period has closed."""
+        expired = [t.task_id for t in self._tasks.values() if t.end < now]
+        for task_id in expired:
+            self.remove_task(task_id)
+            self.stats.tasks_removed -= 1  # counted as expiry instead
+            self.stats.tasks_expired += 1
+        return expired
+
+    def add_worker(self, worker: MovingWorker) -> None:
+        """Register a newly available worker.
+
+        Raises:
+            ValueError: on duplicate worker ids.
+        """
+        if worker.worker_id in self._workers:
+            raise ValueError(f"worker {worker.worker_id} already in session")
+        self._workers[worker.worker_id] = worker
+        self.grid.insert_worker(worker)
+        self.stats.workers_added += 1
+
+    def remove_worker(self, worker_id: int) -> MovingWorker:
+        """Deregister a worker (left the system)."""
+        worker = self._workers.pop(worker_id)
+        self.grid.remove_worker(worker_id)
+        if self._assignment.is_assigned(worker_id):
+            self._assignment.unassign(worker_id)
+        self.stats.workers_removed += 1
+        return worker
+
+    def update_worker(self, worker: MovingWorker) -> None:
+        """Refresh a worker's position/heading/confidence in place."""
+        self.remove_worker(worker.worker_id)
+        self.add_worker(worker)
+        self.stats.workers_added -= 1
+        self.stats.workers_removed -= 1
+
+    # ------------------------------------------------------------------ #
+    # State access
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_tasks(self) -> int:
+        return len(self._tasks)
+
+    @property
+    def num_workers(self) -> int:
+        return len(self._workers)
+
+    def assignment_of(self, worker_id: int) -> Optional[int]:
+        """The task a worker is currently assigned to, if any."""
+        return self._assignment.task_of(worker_id)
+
+    def workers_on(self, task_id: int):
+        """Ids of workers currently assigned to a task."""
+        return self._assignment.workers_for(task_id)
+
+    def current_problem(self) -> RdbscProblem:
+        """The current sub-instance, with pairs retrieved via the index."""
+        pairs = self.grid.valid_pairs()
+        self.stats.pairs_retrieved += len(pairs)
+        return RdbscProblem(
+            list(self._tasks.values()),
+            list(self._workers.values()),
+            self.validity,
+            precomputed_pairs=pairs,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Assignment
+    # ------------------------------------------------------------------ #
+
+    def reassign(self, now: float = 0.0) -> ReassignmentOutcome:
+        """Expire stale tasks, rebuild the instance, run the solver.
+
+        The stored live assignment is replaced wholesale — the paper's
+        incremental strategy of honouring in-flight work is the platform
+        simulator's job (it pins committed contributions as virtual
+        workers); a bare session re-plans everything still pending.
+        """
+        self.expire_tasks(now)
+        problem = self.current_problem()
+        result = self.solver.solve(problem, rng=self.rng)
+        self._assignment = result.assignment
+        self.stats.reassignments += 1
+        return ReassignmentOutcome(
+            objective=result.objective,
+            assignment=result.assignment.copy(),
+            num_tasks=problem.num_tasks,
+            num_workers=problem.num_workers,
+            num_pairs=problem.num_pairs,
+        )
+
+    def evaluate_current(self) -> ObjectiveValue:
+        """Objective value of the live assignment against current state."""
+        problem = self.current_problem()
+        live = Assignment()
+        for task_id, worker_id in self._assignment.pairs():
+            if problem.is_valid_pair(task_id, worker_id):
+                live.assign(task_id, worker_id)
+        return evaluate_assignment(problem, live)

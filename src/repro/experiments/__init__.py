@@ -1,0 +1,29 @@
+"""The experiment harness regenerating the paper's tables and figures.
+
+``spec``
+    Declarative experiment descriptions: a parameter sweep, a workload
+    factory per sweep point, and the solver line-up.
+``runner``
+    Executes a spec across seeds, timing each solve, and collects
+    (parameter, solver) -> (min reliability, total STD, seconds) rows.
+``reporting``
+    ASCII tables and per-solver series shaped like the paper's plots.
+``figures``
+    One builder per paper figure (11-18, 22-27) plus the index and
+    platform harnesses for Figures 17-20.
+"""
+
+from repro.experiments.reporting import format_series, format_table
+from repro.experiments.runner import ExperimentResult, ResultRow, run_experiment
+from repro.experiments.spec import Experiment, ParameterPoint, default_solvers
+
+__all__ = [
+    "Experiment",
+    "ExperimentResult",
+    "ParameterPoint",
+    "ResultRow",
+    "default_solvers",
+    "format_series",
+    "format_table",
+    "run_experiment",
+]

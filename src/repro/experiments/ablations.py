@@ -1,0 +1,176 @@
+"""Ablation experiments for the design choices DESIGN.md calls out.
+
+Four studies, each answering one "did that mechanism matter?" question:
+
+* :func:`pruning_ablation` — the Section 4.3 bound pruning: how many exact
+  expected-diversity evaluations it saves, at what quality cost.
+* :func:`gamma_ablation` — D&C's threshold γ: leaf size vs quality vs time.
+* :func:`sampling_budget_ablation` — SAMPLING's K: quality as a function of
+  the sample budget (the knob behind the paper's G-TRUTH = 10x rule).
+* :func:`baseline_comparison` — the RDB-SC solvers against the
+  coverage-maximising MAX-TASK baseline and a uniform RANDOM draw: the
+  paper's motivating claim that count-oriented assignment sacrifices
+  reliability and diversity.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Sequence
+
+from repro.algorithms import (
+    DivideConquerSolver,
+    GreedySolver,
+    RandomSolver,
+    SamplingSolver,
+)
+from repro.algorithms.max_task import MaxTaskSolver
+from repro.core.problem import RdbscProblem
+from repro.datagen import ExperimentConfig, generate_problem
+
+
+@dataclass(frozen=True)
+class AblationRow:
+    """One configuration's outcome in an ablation study."""
+
+    label: str
+    min_reliability: float
+    total_std: float
+    seconds: float
+    extra: float = 0.0
+
+
+def _default_instance(seed: int) -> RdbscProblem:
+    return generate_problem(
+        ExperimentConfig.scaled_defaults(num_tasks=48, num_workers=96), seed
+    )
+
+
+def _mean_rows(rows_per_seed: List[List[AblationRow]]) -> List[AblationRow]:
+    """Average aligned rows across seeds."""
+    count = len(rows_per_seed)
+    out: List[AblationRow] = []
+    for i in range(len(rows_per_seed[0])):
+        cells = [rows[i] for rows in rows_per_seed]
+        out.append(
+            AblationRow(
+                label=cells[0].label,
+                min_reliability=sum(c.min_reliability for c in cells) / count,
+                total_std=sum(c.total_std for c in cells) / count,
+                seconds=sum(c.seconds for c in cells) / count,
+                extra=sum(c.extra for c in cells) / count,
+            )
+        )
+    return out
+
+
+def _run_solvers(
+    labelled_solvers: Sequence,
+    seeds: Sequence[int],
+    make_problem: Callable[[int], RdbscProblem] = _default_instance,
+    extra_stat: str = "",
+) -> List[AblationRow]:
+    rows_per_seed: List[List[AblationRow]] = []
+    for seed in seeds:
+        problem = make_problem(seed)
+        rows: List[AblationRow] = []
+        for label, solver in labelled_solvers:
+            start = time.perf_counter()
+            result = solver.solve(problem, rng=seed)
+            elapsed = time.perf_counter() - start
+            rows.append(
+                AblationRow(
+                    label=label,
+                    min_reliability=result.objective.min_reliability,
+                    total_std=result.objective.total_std,
+                    seconds=elapsed,
+                    extra=result.stats.get(extra_stat, 0.0),
+                )
+            )
+        rows_per_seed.append(rows)
+    return _mean_rows(rows_per_seed)
+
+
+def pruning_ablation(seeds: Sequence[int] = (1, 2, 3)) -> List[AblationRow]:
+    """GREEDY with vs without the Lemma 4.3 pruning.
+
+    ``extra`` reports the number of exact delta-E[STD] evaluations — the
+    cost the pruning exists to avoid.
+    """
+    return _run_solvers(
+        [
+            ("pruning ON", GreedySolver(use_pruning=True)),
+            ("pruning OFF", GreedySolver(use_pruning=False)),
+        ],
+        seeds,
+        extra_stat="exact_delta_evaluations",
+    )
+
+
+def gamma_ablation(
+    gammas: Sequence[int] = (2, 4, 8, 16, 32),
+    seeds: Sequence[int] = (1, 2),
+) -> List[AblationRow]:
+    """D&C leaf threshold γ: smaller leaves mean more merging, larger
+    leaves push more weight onto the base sampler.  ``extra`` counts leaf
+    solves."""
+    return _run_solvers(
+        [
+            (
+                f"gamma={gamma}",
+                DivideConquerSolver(
+                    gamma=gamma, base_solver=SamplingSolver(num_samples=30)
+                ),
+            )
+            for gamma in gammas
+        ],
+        seeds,
+        extra_stat="leaf_solves",
+    )
+
+
+def sampling_budget_ablation(
+    budgets: Sequence[int] = (5, 20, 80, 320),
+    seeds: Sequence[int] = (1, 2, 3),
+) -> List[AblationRow]:
+    """SAMPLING quality as a function of the sample count K."""
+    return _run_solvers(
+        [(f"K={k}", SamplingSolver(num_samples=k)) for k in budgets],
+        seeds,
+        extra_stat="samples",
+    )
+
+
+def baseline_comparison(seeds: Sequence[int] = (1, 2, 3)) -> List[AblationRow]:
+    """RDB-SC solvers vs count-maximising and random baselines.
+
+    ``extra`` is MAX-TASK's covered-task count where applicable.
+    """
+    return _run_solvers(
+        [
+            ("GREEDY", GreedySolver()),
+            ("SAMPLING", SamplingSolver(num_samples=40)),
+            ("D&C", DivideConquerSolver(gamma=8, base_solver=SamplingSolver(num_samples=40))),
+            ("MAX-TASK", MaxTaskSolver()),
+            ("RANDOM", RandomSolver()),
+        ],
+        seeds,
+        extra_stat="tasks_covered",
+    )
+
+
+def format_ablation(title: str, rows: Sequence[AblationRow], extra_name: str = "extra") -> str:
+    """Fixed-width table for an ablation study."""
+    lines = [
+        title,
+        "=" * len(title),
+        f"{'configuration':>14} | {'min rel':>8} | {'total_STD':>10} | "
+        f"{'time (s)':>9} | {extra_name:>12}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.label:>14} | {row.min_reliability:8.4f} | {row.total_std:10.4f} | "
+            f"{row.seconds:9.4f} | {row.extra:12.1f}"
+        )
+    return "\n".join(lines)

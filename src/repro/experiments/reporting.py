@@ -1,0 +1,71 @@
+"""ASCII reporting shaped like the paper's figures.
+
+Each paper figure is two panels — minimum reliability and total STD across
+a parameter sweep, one line per algorithm.  :func:`format_table` prints the
+full grid; :func:`format_series` prints a single panel as labelled series,
+the textual equivalent of the plotted lines.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.experiments.runner import ExperimentResult
+
+_METRIC_TITLES = {
+    "min_reliability": "Minimum Reliability",
+    "total_std": "Summation of Diversity (total_STD)",
+    "seconds": "Running Time (s)",
+}
+
+
+def format_table(result: ExperimentResult) -> str:
+    """The full result grid as a fixed-width ASCII table."""
+    experiment = result.experiment
+    header = (
+        f"{experiment.figure} — {experiment.name} "
+        f"(sweep over {experiment.parameter_name})"
+    )
+    lines: List[str] = [header, "=" * len(header)]
+    columns = f"{'parameter':>14} | {'solver':>9} | {'min rel':>8} | {'total_STD':>10} | {'time (s)':>9} | runs"
+    lines.append(columns)
+    lines.append("-" * len(columns))
+    for row in result.rows:
+        lines.append(
+            f"{row.parameter:>14} | {row.solver:>9} | "
+            f"{row.min_reliability:8.4f} | {row.total_std:10.4f} | "
+            f"{row.seconds:9.4f} | {row.runs:4d}"
+        )
+    return "\n".join(lines)
+
+
+def format_series(result: ExperimentResult, metric: str) -> str:
+    """One panel: per-solver series across the sweep, like a plotted line.
+
+    Raises:
+        ValueError: for an unknown metric name.
+    """
+    if metric not in _METRIC_TITLES:
+        raise ValueError(
+            f"unknown metric {metric!r}; expected one of {sorted(_METRIC_TITLES)}"
+        )
+    experiment = result.experiment
+    lines = [
+        f"{experiment.figure} — {_METRIC_TITLES[metric]} vs {experiment.parameter_name}"
+    ]
+    labels = [point.label for point in experiment.points]
+    lines.append("  x: " + "  ".join(f"{label:>12}" for label in labels))
+    for solver in result.solvers():
+        values = dict(result.series(solver, metric))
+        rendered = "  ".join(f"{values[label]:12.4f}" for label in labels)
+        lines.append(f"  {solver:>9}: {rendered}")
+    return "\n".join(lines)
+
+
+def format_figure(result: ExperimentResult) -> str:
+    """Both panels of a standard figure (reliability + diversity)."""
+    return (
+        format_series(result, "min_reliability")
+        + "\n"
+        + format_series(result, "total_std")
+    )

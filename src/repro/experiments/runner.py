@@ -1,0 +1,109 @@
+"""Experiment execution: sweep x solvers x seeds, with per-solve timing."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.experiments.spec import Experiment
+
+
+@dataclass(frozen=True)
+class ResultRow:
+    """Aggregated outcome of one (parameter point, solver) cell.
+
+    Metrics are means over the run seeds.
+    """
+
+    parameter: str
+    solver: str
+    min_reliability: float
+    total_std: float
+    seconds: float
+    runs: int
+
+
+@dataclass
+class ExperimentResult:
+    """All rows of one experiment, in sweep-then-solver order."""
+
+    experiment: Experiment
+    rows: List[ResultRow] = field(default_factory=list)
+
+    def row(self, parameter: str, solver: str) -> ResultRow:
+        """Look up one cell.
+
+        Raises:
+            KeyError: if the cell does not exist.
+        """
+        for row in self.rows:
+            if row.parameter == parameter and row.solver == solver:
+                return row
+        raise KeyError((parameter, solver))
+
+    def series(self, solver: str, metric: str) -> List[Tuple[str, float]]:
+        """One solver's line across the sweep for a metric.
+
+        ``metric`` is one of ``min_reliability``, ``total_std``, ``seconds``.
+        """
+        return [
+            (row.parameter, getattr(row, metric))
+            for row in self.rows
+            if row.solver == solver
+        ]
+
+    def solvers(self) -> List[str]:
+        """Solver names in first-appearance order."""
+        seen: List[str] = []
+        for row in self.rows:
+            if row.solver not in seen:
+                seen.append(row.solver)
+        return seen
+
+
+def run_experiment(
+    experiment: Experiment,
+    seeds: Sequence[int] = (1, 2),
+) -> ExperimentResult:
+    """Run every sweep point with every solver, averaging over seeds.
+
+    Instances are generated once per (point, seed) and shared by all
+    solvers at that point — the paper compares algorithms on identical
+    inputs, and so do we.
+    """
+    if not seeds:
+        raise ValueError("need at least one seed")
+    result = ExperimentResult(experiment)
+    for point in experiment.points:
+        problems = [point.make_problem(seed) for seed in seeds]
+        accumulators: Dict[str, List[Tuple[float, float, float]]] = {}
+        order: List[str] = []
+        for seed, problem in zip(seeds, problems):
+            for solver in experiment.make_solvers():
+                start = time.perf_counter()
+                solved = solver.solve(problem, rng=seed)
+                elapsed = time.perf_counter() - start
+                accumulators.setdefault(solver.name, []).append(
+                    (
+                        solved.objective.min_reliability,
+                        solved.objective.total_std,
+                        elapsed,
+                    )
+                )
+                if solver.name not in order:
+                    order.append(solver.name)
+        for name in order:
+            samples = accumulators[name]
+            count = len(samples)
+            result.rows.append(
+                ResultRow(
+                    parameter=point.label,
+                    solver=name,
+                    min_reliability=sum(s[0] for s in samples) / count,
+                    total_std=sum(s[1] for s in samples) / count,
+                    seconds=sum(s[2] for s in samples) / count,
+                    runs=count,
+                )
+            )
+    return result

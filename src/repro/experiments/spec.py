@@ -1,0 +1,81 @@
+"""Declarative experiment specifications.
+
+An :class:`Experiment` is a named parameter sweep: each
+:class:`ParameterPoint` carries a label (the x-axis tick of the paper's
+figure) and a factory producing the RDB-SC instance for that point and a
+seed.  The solver line-up defaults to the paper's four: GREEDY, SAMPLING,
+D&C and G-TRUTH.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Sequence
+
+from repro.algorithms import (
+    DivideConquerSolver,
+    GreedySolver,
+    GroundTruthSolver,
+    SamplePlan,
+    SamplingSolver,
+    Solver,
+)
+from repro.core.problem import RdbscProblem
+
+ProblemFactory = Callable[[int], RdbscProblem]
+
+#: Laptop-scale solver budgets used across all figure experiments; chosen so
+#: each sweep point solves in well under a second while preserving the
+#: paper's relative budgets (G-TRUTH = 10x the D&C leaf sampling).
+DEFAULT_SAMPLE_PLAN = SamplePlan(min_samples=30, max_samples=4000)
+DEFAULT_GAMMA = 8
+
+
+def default_solvers() -> List[Solver]:
+    """Fresh instances of the paper's four solvers (Section 8.1)."""
+    return [
+        GreedySolver(),
+        SamplingSolver(DEFAULT_SAMPLE_PLAN),
+        DivideConquerSolver(
+            gamma=DEFAULT_GAMMA, base_solver=SamplingSolver(DEFAULT_SAMPLE_PLAN)
+        ),
+        GroundTruthSolver(gamma=DEFAULT_GAMMA, plan=DEFAULT_SAMPLE_PLAN, multiplier=10),
+    ]
+
+
+@dataclass(frozen=True)
+class ParameterPoint:
+    """One x-axis tick of a figure.
+
+    Attributes:
+        label: the tick label, matching the paper's axis (e.g. "[1, 2]").
+        make_problem: instance factory for this point; must be
+            deterministic in the seed.
+    """
+
+    label: str
+    make_problem: ProblemFactory
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """A full figure-shaped experiment.
+
+    Attributes:
+        name: short identifier ("fig13_tasks_uniform").
+        figure: the paper artefact this regenerates ("Figure 13").
+        parameter_name: the swept parameter, for table headers.
+        points: the sweep.
+        make_solvers: factory returning fresh solver instances (state such
+            as internal caches must not leak across points).
+    """
+
+    name: str
+    figure: str
+    parameter_name: str
+    points: Sequence[ParameterPoint]
+    make_solvers: Callable[[], List[Solver]] = field(default=default_solvers)
+
+    def __post_init__(self) -> None:
+        if not self.points:
+            raise ValueError(f"experiment {self.name} has no sweep points")

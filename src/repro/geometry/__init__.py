@@ -1,0 +1,42 @@
+"""Geometric primitives shared by the RDB-SC model and algorithms.
+
+The paper's world is a 2-D plane: tasks sit at fixed points, workers move
+along straight rays inside a *direction cone*, and diversity is measured with
+angular and temporal entropies.  This package supplies those primitives:
+
+``points``
+    Immutable 2-D points and Euclidean distances.
+``angles``
+    Angle normalisation, bearings, circular intervals (direction cones) and
+    the circular-gap computation behind spatial diversity.
+``motion``
+    Straight-line kinematics: arrival times and reachability radii.
+``entropy``
+    The Shannon-entropy helpers used by both diversity measures.
+"""
+
+from repro.geometry.angles import (
+    TWO_PI,
+    AngleInterval,
+    bearing,
+    circular_gaps,
+    normalize_angle,
+)
+from repro.geometry.entropy import entropy, entropy_term
+from repro.geometry.motion import arrival_time, reachable_radius
+from repro.geometry.points import Point, distance, midpoint
+
+__all__ = [
+    "TWO_PI",
+    "AngleInterval",
+    "Point",
+    "arrival_time",
+    "bearing",
+    "circular_gaps",
+    "distance",
+    "entropy",
+    "entropy_term",
+    "midpoint",
+    "normalize_angle",
+    "reachable_radius",
+]

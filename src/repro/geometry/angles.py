@@ -1,0 +1,184 @@
+"""Angles, bearings and circular intervals.
+
+Two places in the paper lean on circular geometry:
+
+* each worker registers a *direction cone* ``[alpha-, alpha+]`` of moving
+  directions they will accept tasks in (Definition 2), and
+* spatial diversity is the entropy of the *gaps* between the rays drawn from
+  a task's location towards its assigned workers (Eq. 3).
+
+``AngleInterval`` models the cone (including wrap-around past ``2*pi``) and
+``circular_gaps`` produces the atomic angles ``A_1..A_r`` of Figure 2(a).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.geometry.points import Point
+
+TWO_PI = 2.0 * math.pi
+
+#: Angular slack used when comparing angles for containment; keeps borderline
+#: bearings (e.g. a worker exactly on a cone edge) numerically stable, and
+#: absorbs the rounding of ``fmod`` on large angle magnitudes.
+ANGLE_EPS = 1e-9
+
+
+def normalize_angle(theta: float) -> float:
+    """Map ``theta`` into ``[0, 2*pi)``."""
+    theta = math.fmod(theta, TWO_PI)
+    if theta < 0.0:
+        theta += TWO_PI
+    # fmod of a value just below a multiple of 2*pi can round to 2*pi itself.
+    if theta >= TWO_PI:
+        theta -= TWO_PI
+    return theta
+
+
+def bearing(origin: Point, target: Point) -> float:
+    """Direction of the vector from ``origin`` to ``target`` in ``[0, 2*pi)``.
+
+    Raises:
+        ValueError: if the two points coincide (the bearing is undefined).
+    """
+    dx = target.x - origin.x
+    dy = target.y - origin.y
+    if dx == 0.0 and dy == 0.0:
+        raise ValueError("bearing undefined for coincident points")
+    return normalize_angle(math.atan2(dy, dx))
+
+
+def angular_difference(a: float, b: float) -> float:
+    """Smallest non-negative angle between directions ``a`` and ``b``.
+
+    The result lies in ``[0, pi]``.
+    """
+    diff = abs(normalize_angle(a) - normalize_angle(b))
+    return min(diff, TWO_PI - diff)
+
+
+@dataclass(frozen=True)
+class AngleInterval:
+    """A counter-clockwise interval of directions ``[lo, lo + width]``.
+
+    The interval starts at ``lo`` (normalised into ``[0, 2*pi)``) and spans
+    ``width`` radians counter-clockwise, so it naturally represents cones
+    that wrap past the positive x-axis.  A width of ``2*pi`` (or more) is the
+    full circle — the paper's "free to move" worker.
+    """
+
+    lo: float
+    width: float
+
+    def __post_init__(self) -> None:
+        if self.width < 0.0:
+            raise ValueError(f"width must be non-negative, got {self.width}")
+        object.__setattr__(self, "lo", normalize_angle(self.lo))
+        object.__setattr__(self, "width", min(self.width, TWO_PI))
+
+    @classmethod
+    def from_bounds(cls, lo: float, hi: float) -> "AngleInterval":
+        """Build the CCW interval from ``lo`` to ``hi``.
+
+        ``hi`` may exceed ``2*pi`` or be smaller than ``lo`` after
+        normalisation; the CCW span from ``lo`` to ``hi`` is used either way.
+        A pair with ``hi - lo >= 2*pi`` yields the full circle.
+        """
+        if hi - lo >= TWO_PI:
+            return cls(0.0, TWO_PI)
+        width = normalize_angle(hi - lo)
+        if width == 0.0 and hi != lo:
+            # e.g. lo=0, hi=2*pi: normalises to zero width but means "full".
+            width = TWO_PI
+        return cls(lo, width)
+
+    @classmethod
+    def full_circle(cls) -> "AngleInterval":
+        """The unconstrained cone ``[0, 2*pi]``."""
+        return cls(0.0, TWO_PI)
+
+    @property
+    def hi(self) -> float:
+        """Upper edge of the cone, normalised into ``[0, 2*pi)``."""
+        return normalize_angle(self.lo + self.width)
+
+    def is_full(self) -> bool:
+        """Whether the interval covers the whole circle."""
+        return self.width >= TWO_PI - ANGLE_EPS
+
+    def contains(self, theta: float) -> bool:
+        """Whether direction ``theta`` lies inside the interval.
+
+        An offset within ``ANGLE_EPS`` below ``2*pi`` counts as zero: that
+        is where rounding lands when ``theta`` and ``lo`` denote the same
+        direction but differ by a large multiple of ``2*pi``.
+        """
+        if self.is_full():
+            return True
+        offset = normalize_angle(theta - self.lo)
+        return offset <= self.width + ANGLE_EPS or offset >= TWO_PI - ANGLE_EPS
+
+    def overlaps(self, other: "AngleInterval") -> bool:
+        """Whether two intervals share at least one direction."""
+        if self.is_full() or other.is_full():
+            return True
+        return (
+            self.contains(other.lo)
+            or other.contains(self.lo)
+            or self.contains(other.hi)
+            or other.contains(self.hi)
+        )
+
+    def midpoint(self) -> float:
+        """The central direction of the interval."""
+        return normalize_angle(self.lo + self.width / 2.0)
+
+    def expanded(self, slack: float) -> "AngleInterval":
+        """A copy widened by ``slack`` radians on each side."""
+        if slack < 0.0:
+            raise ValueError("slack must be non-negative")
+        return AngleInterval(self.lo - slack, min(self.width + 2 * slack, TWO_PI))
+
+
+def circular_gaps(angles: Sequence[float]) -> List[float]:
+    """Gap sizes between consecutive directions around the circle.
+
+    Given the directions of the ``r`` rays of Figure 2(a), returns the
+    atomic angles ``A_1..A_r`` (in the CCW order of the sorted rays), which
+    sum to ``2*pi``.  A single ray yields one gap of ``2*pi``; no rays yield
+    an empty list.
+
+    Duplicated directions are legal and simply produce zero-width gaps.
+    """
+    if not angles:
+        return []
+    ordered = sorted(normalize_angle(a) for a in angles)
+    gaps = [b - a for a, b in zip(ordered, ordered[1:])]
+    gaps.append(TWO_PI - ordered[-1] + ordered[0])
+    return gaps
+
+
+def enclosing_interval(angles: Sequence[float]) -> AngleInterval:
+    """Smallest ``AngleInterval`` containing every direction in ``angles``.
+
+    This is the "smallest sector containing the rest of the trajectory"
+    construction used to derive worker cones from taxi traces (Section 8.2):
+    the tightest cone is the complement of the largest circular gap.
+
+    Raises:
+        ValueError: if ``angles`` is empty.
+    """
+    if not angles:
+        raise ValueError("enclosing_interval() requires at least one angle")
+    ordered = sorted(normalize_angle(a) for a in angles)
+    if len(ordered) == 1:
+        return AngleInterval(ordered[0], 0.0)
+    gaps = circular_gaps(ordered)
+    # The widest gap is the arc *not* covered; the interval starts right
+    # after it.  gaps[i] separates ordered[i] from its CCW successor.
+    widest = max(range(len(gaps)), key=gaps.__getitem__)
+    start = ordered[(widest + 1) % len(ordered)]
+    return AngleInterval(start, TWO_PI - gaps[widest])

@@ -1,0 +1,69 @@
+"""Shannon-entropy helpers shared by the diversity measures.
+
+Both spatial diversity (Eq. 3) and temporal diversity (Eq. 4) are entropies
+of a partition of a whole (the circle, the valid period) into fractions.
+The paper leaves the logarithm base unspecified; we use the natural log
+throughout — every comparison in the evaluation is base-invariant.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+#: Fractions smaller than this are treated as zero mass (0 * log 0 == 0).
+_ZERO = 1e-15
+
+
+def entropy_term(fraction: float) -> float:
+    """The single-term contribution ``-f * ln(f)``.
+
+    Zero fractions contribute zero (the usual ``0 log 0 = 0`` convention);
+    fractions must lie in ``[0, 1]`` up to floating-point slack.
+
+    Raises:
+        ValueError: if ``fraction`` is outside ``[0, 1]`` beyond tolerance.
+    """
+    if fraction < -1e-9 or fraction > 1.0 + 1e-9:
+        raise ValueError(f"fraction must be within [0, 1], got {fraction}")
+    if fraction <= _ZERO:
+        return 0.0
+    if fraction >= 1.0:
+        return 0.0
+    return -fraction * math.log(fraction)
+
+
+def entropy(fractions: Iterable[float]) -> float:
+    """Shannon entropy (natural log) of a sequence of fractions.
+
+    The caller is responsible for the fractions summing to one; this is not
+    enforced so that callers may stream partial sums (the expected-diversity
+    matrices accumulate per-arc terms independently).
+    """
+    return sum(entropy_term(f) for f in fractions)
+
+
+def entropy_of_partition(parts: Sequence[float], total: float) -> float:
+    """Entropy of ``parts`` normalised by ``total``.
+
+    Handy wrapper for "entropy of interval lengths over the period length".
+    A non-positive ``total`` yields zero entropy (degenerate partition).
+
+    Raises:
+        ValueError: if any part is negative beyond tolerance.
+    """
+    if total <= 0.0:
+        return 0.0
+    acc = 0.0
+    for part in parts:
+        if part < -1e-9:
+            raise ValueError(f"parts must be non-negative, got {part}")
+        acc += entropy_term(max(part, 0.0) / total)
+    return acc
+
+
+def max_entropy(n_parts: int) -> float:
+    """Upper bound ``ln(n)`` on the entropy of an ``n``-way partition."""
+    if n_parts <= 1:
+        return 0.0
+    return math.log(n_parts)

@@ -1,0 +1,63 @@
+"""Straight-line motion: arrival times and reachability.
+
+Workers in the paper move with a constant registered velocity, so the time
+to reach a task is simply distance over speed.  These helpers centralise
+that arithmetic (and its edge cases: zero speed, zero distance) for the
+validity checks, the grid index pruning and the platform simulator.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.geometry.points import Point, distance
+
+
+def travel_time(origin: Point, target: Point, speed: float) -> float:
+    """Time to move from ``origin`` to ``target`` at ``speed``.
+
+    A zero-speed worker can only "reach" its own location (time zero);
+    any other target takes infinite time.
+
+    Raises:
+        ValueError: if ``speed`` is negative.
+    """
+    if speed < 0.0:
+        raise ValueError(f"speed must be non-negative, got {speed}")
+    dist = distance(origin, target)
+    if dist == 0.0:
+        return 0.0
+    if speed == 0.0:
+        return math.inf
+    return dist / speed
+
+
+def arrival_time(
+    origin: Point, target: Point, speed: float, depart_time: float = 0.0
+) -> float:
+    """Clock time at which a worker departing at ``depart_time`` arrives."""
+    return depart_time + travel_time(origin, target, speed)
+
+
+def reachable_radius(speed: float, deadline: float, now: float = 0.0) -> float:
+    """Maximum distance coverable before ``deadline`` starting at ``now``.
+
+    Returns ``0.0`` when the deadline has already passed.
+    """
+    remaining = deadline - now
+    if remaining <= 0.0:
+        return 0.0
+    return speed * remaining
+
+
+def position_along(origin: Point, target: Point, fraction: float) -> Point:
+    """The point a ``fraction`` of the way from ``origin`` to ``target``.
+
+    Used by the platform simulator to place travelling workers mid-route.
+    ``fraction`` is clamped into ``[0, 1]``.
+    """
+    f = min(max(fraction, 0.0), 1.0)
+    return Point(
+        origin.x + (target.x - origin.x) * f,
+        origin.y + (target.y - origin.y) * f,
+    )

@@ -1,0 +1,89 @@
+"""Immutable 2-D points and basic Euclidean geometry.
+
+Tasks and workers both live in the unit square ``[0, 1]^2`` in the synthetic
+experiments (and in a lat/lon box for the Beijing substitute); all geometry
+in this reproduction is planar Euclidean, matching the paper's model.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Tuple
+
+
+@dataclass(frozen=True, order=True)
+class Point:
+    """A point in the 2-D plane.
+
+    ``Point`` is frozen so it can key dictionaries and live inside frozen
+    tasks/workers without defensive copying.
+    """
+
+    x: float
+    y: float
+
+    def __iter__(self) -> Iterator[float]:
+        yield self.x
+        yield self.y
+
+    def as_tuple(self) -> Tuple[float, float]:
+        """Return ``(x, y)`` for interop with numpy and plotting code."""
+        return (self.x, self.y)
+
+    def translated(self, dx: float, dy: float) -> "Point":
+        """Return a new point shifted by ``(dx, dy)``."""
+        return Point(self.x + dx, self.y + dy)
+
+    def distance_to(self, other: "Point") -> float:
+        """Euclidean distance to ``other``."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+
+def distance(a: Point, b: Point) -> float:
+    """Euclidean distance between two points."""
+    return a.distance_to(b)
+
+
+def midpoint(a: Point, b: Point) -> Point:
+    """The midpoint of segment ``ab``."""
+    return Point((a.x + b.x) / 2.0, (a.y + b.y) / 2.0)
+
+
+def centroid(points: Iterable[Point]) -> Point:
+    """Arithmetic mean of a non-empty collection of points.
+
+    Raises:
+        ValueError: if ``points`` is empty.
+    """
+    xs = 0.0
+    ys = 0.0
+    count = 0
+    for p in points:
+        xs += p.x
+        ys += p.y
+        count += 1
+    if count == 0:
+        raise ValueError("centroid() requires at least one point")
+    return Point(xs / count, ys / count)
+
+
+def bounding_box(points: Iterable[Point]) -> Tuple[Point, Point]:
+    """Axis-aligned bounding box ``(lower_left, upper_right)``.
+
+    Raises:
+        ValueError: if ``points`` is empty.
+    """
+    iterator = iter(points)
+    try:
+        first = next(iterator)
+    except StopIteration:
+        raise ValueError("bounding_box() requires at least one point") from None
+    min_x = max_x = first.x
+    min_y = max_y = first.y
+    for p in iterator:
+        min_x = min(min_x, p.x)
+        max_x = max(max_x, p.x)
+        min_y = min(min_y, p.y)
+        max_y = max(max_y, p.y)
+    return Point(min_x, min_y), Point(max_x, max_y)

@@ -1,0 +1,30 @@
+"""The cost-model-based grid index, RDB-SC-Grid (Section 7, Appendix I).
+
+``cell``
+    One square cell: task/worker lists plus the aggregate bounds the
+    cell-level pruning needs (max speed, union of cones, latest deadline).
+``grid``
+    The index proper: dynamic insert/remove of tasks and workers,
+    ``tcell_list`` maintenance with the reachability pruning, and valid-pair
+    retrieval with/without the index (the Figure 17 comparison).
+``cost_model``
+    The Appendix I update-cost model (Eq. 22) and the optimal cell side
+    ``eta`` from Eq. 23.
+``fractal``
+    Correlation fractal dimension ``D2`` estimation via the box-counting
+    power law [12], feeding the cost model on non-uniform data.
+"""
+
+from repro.index.cell import GridCell
+from repro.index.cost_model import optimal_eta, update_cost
+from repro.index.fractal import correlation_dimension
+from repro.index.grid import RdbscGrid, retrieve_pairs_without_index
+
+__all__ = [
+    "GridCell",
+    "RdbscGrid",
+    "correlation_dimension",
+    "optimal_eta",
+    "retrieve_pairs_without_index",
+    "update_cost",
+]

@@ -1,0 +1,119 @@
+"""The Appendix I cost model for choosing the grid cell size ``eta``.
+
+Updating the index after a worker moves means (1) scanning the cells that
+intersect the worker's reachable disk of radius ``L_max`` and (2) checking
+the tasks inside them.  With cells of side ``eta`` and ``N`` tasks whose
+spatial distribution has correlation fractal dimension ``D2``, Eq. 22 puts
+the cost at::
+
+    cost(eta) = pi (L_max + eta)^2 / eta^2
+              + (N - 1) * (pi (L_max + eta)^2)^(D2 / 2)
+
+Minimising over ``eta`` yields Eq. 23::
+
+    (L_max + eta)^(D2 - 2) * eta^3 = 2 pi^(1 - D2/2) L_max / (D2 (N - 1))
+
+whose left side is strictly increasing in ``eta``, so a bisection finds the
+optimum; for uniform data (``D2 = 2``) it collapses to the closed form
+``eta = cbrt(L_max / (N - 1))``.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def update_cost(eta: float, l_max: float, n_tasks: int, d2: float = 2.0) -> float:
+    """Eq. 22: expected index-update cost for cell side ``eta``.
+
+    Raises:
+        ValueError: for non-positive ``eta`` / ``l_max`` or ``n_tasks < 2``.
+    """
+    _check_args(eta=eta, l_max=l_max, n_tasks=n_tasks, d2=d2)
+    reach_area = math.pi * (l_max + eta) ** 2
+    cells_term = reach_area / (eta * eta)
+    tasks_term = (n_tasks - 1) * reach_area ** (d2 / 2.0)
+    return cells_term + tasks_term
+
+
+def optimal_eta(
+    l_max: float,
+    n_tasks: int,
+    d2: float = 2.0,
+    eta_min: float = 1e-6,
+    eta_max: float = 1.0,
+    tolerance: float = 1e-12,
+) -> float:
+    """Eq. 23: the cost-minimising cell side, clamped into ``[eta_min, eta_max]``.
+
+    For ``d2 == 2`` the closed form ``cbrt(l_max / (n_tasks - 1))`` is used
+    directly; otherwise the monotone left side of Eq. 23 is bisected.
+    """
+    _check_args(eta=1.0, l_max=l_max, n_tasks=n_tasks, d2=d2)
+    if abs(d2 - 2.0) < 1e-12:
+        eta = (l_max / (n_tasks - 1)) ** (1.0 / 3.0)
+        return min(max(eta, eta_min), eta_max)
+
+    rhs = 2.0 * math.pi ** (1.0 - d2 / 2.0) * l_max / (d2 * (n_tasks - 1))
+
+    def lhs(eta: float) -> float:
+        return (l_max + eta) ** (d2 - 2.0) * eta**3
+
+    lo, hi = eta_min, eta_max
+    if lhs(hi) <= rhs:
+        return hi
+    if lhs(lo) >= rhs:
+        return lo
+    while hi - lo > tolerance:
+        mid = (lo + hi) / 2.0
+        if lhs(mid) < rhs:
+            lo = mid
+        else:
+            hi = mid
+    return (lo + hi) / 2.0
+
+
+def numeric_optimal_eta(
+    l_max: float,
+    n_tasks: int,
+    d2: float = 2.0,
+    eta_min: float = 1e-4,
+    eta_max: float = 1.0,
+    iterations: int = 200,
+) -> float:
+    """Golden-section minimisation of Eq. 22 directly.
+
+    Exists to cross-validate :func:`optimal_eta` (the derivation sanity
+    check in the test suite) and for experimenting with modified cost
+    models.
+    """
+    _check_args(eta=1.0, l_max=l_max, n_tasks=n_tasks, d2=d2)
+    inv_phi = (math.sqrt(5.0) - 1.0) / 2.0
+    lo, hi = eta_min, eta_max
+    c = hi - inv_phi * (hi - lo)
+    d = lo + inv_phi * (hi - lo)
+    fc = update_cost(c, l_max, n_tasks, d2)
+    fd = update_cost(d, l_max, n_tasks, d2)
+    for _ in range(iterations):
+        if fc < fd:
+            hi, d, fd = d, c, fc
+            c = hi - inv_phi * (hi - lo)
+            fc = update_cost(c, l_max, n_tasks, d2)
+        else:
+            lo, c, fc = c, d, fd
+            d = lo + inv_phi * (hi - lo)
+            fd = update_cost(d, l_max, n_tasks, d2)
+        if hi - lo < 1e-12:
+            break
+    return (lo + hi) / 2.0
+
+
+def _check_args(eta: float, l_max: float, n_tasks: int, d2: float) -> None:
+    if eta <= 0.0:
+        raise ValueError(f"eta must be positive, got {eta}")
+    if l_max <= 0.0:
+        raise ValueError(f"l_max must be positive, got {l_max}")
+    if n_tasks < 2:
+        raise ValueError(f"the cost model needs at least 2 tasks, got {n_tasks}")
+    if not 0.0 < d2 <= 2.0:
+        raise ValueError(f"d2 must be in (0, 2], got {d2}")

@@ -1,0 +1,79 @@
+"""Correlation fractal dimension estimation (box-counting power law).
+
+The Appendix I cost model estimates the number of tasks inside a reachable
+area with the power law of Belussi & Faloutsos [12]: for a point set with
+correlation dimension ``D2``, the pair-count sum ``S2(r) = sum_i c_i^2``
+over boxes of side ``r`` scales as ``r^D2``.  Fitting the slope of
+``log S2`` against ``log r`` over a range of box sizes yields ``D2``:
+2 for uniform data, noticeably lower for clustered (SKEWED, POI-like)
+distributions.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.geometry.points import Point
+
+
+def box_pair_counts(
+    points: Sequence[Point], box_sizes: Sequence[float]
+) -> List[Tuple[float, float]]:
+    """``(r, S2(r))`` pairs for the given box sizes.
+
+    Raises:
+        ValueError: on empty input or non-positive box sizes.
+    """
+    if not points:
+        raise ValueError("box_pair_counts() requires at least one point")
+    coords = np.array([(p.x, p.y) for p in points], dtype=float)
+    out: List[Tuple[float, float]] = []
+    for r in box_sizes:
+        if r <= 0.0:
+            raise ValueError(f"box sizes must be positive, got {r}")
+        bins = max(1, int(math.ceil(1.0 / r)))
+        hist, _, _ = np.histogram2d(
+            coords[:, 0], coords[:, 1], bins=bins, range=[[0.0, 1.0], [0.0, 1.0]]
+        )
+        out.append((r, float((hist**2).sum())))
+    return out
+
+
+def correlation_dimension(
+    points: Sequence[Point],
+    r_min: float = 0.0,
+    r_max: float = 0.5,
+    n_scales: int = 10,
+) -> float:
+    """Estimate ``D2`` by least-squares on the log-log pair-count curve.
+
+    The estimate is clamped into ``(0, 2]`` — the meaningful range for
+    planar data feeding the Eq. 23 solver.
+
+    The power law only holds at scales where boxes hold multiple points;
+    below the typical nearest-neighbour spacing ``S2(r)`` saturates at
+    ``N`` and the fitted slope collapses.  ``r_min = 0`` (the default)
+    therefore auto-selects ``~2 / sqrt(N)`` — a box expected to hold a few
+    points under uniformity — so the fit stays inside the scaling regime
+    for any input size.
+
+    Raises:
+        ValueError: for fewer than two points or a degenerate scale range.
+    """
+    if len(points) < 2:
+        raise ValueError("correlation_dimension() needs at least two points")
+    if r_min <= 0.0:
+        r_min = min(max(2.0 / math.sqrt(len(points)), 0.01), r_max / 2.0)
+    if not 0.0 < r_min < r_max <= 1.0:
+        raise ValueError("need 0 < r_min < r_max <= 1")
+    if n_scales < 2:
+        raise ValueError("need at least two scales")
+    sizes = np.geomspace(r_min, r_max, n_scales)
+    counts = box_pair_counts(points, sizes)
+    log_r = np.log([r for r, _ in counts])
+    log_s2 = np.log([max(s2, 1.0) for _, s2 in counts])
+    slope = float(np.polyfit(log_r, log_s2, deg=1)[0])
+    return float(min(max(slope, 1e-6), 2.0))

@@ -1,0 +1,166 @@
+"""JSON serialisation for problems, assignments and results.
+
+Reproduction workflows need instances that travel: a failing seed exported
+from a benchmark, a workload shared between machines, a regression corpus
+checked into a repo.  The format is deliberately plain JSON — versioned,
+human-inspectable, no pickle.
+
+Round-trip guarantees (property-tested): tasks, workers, the validity rule
+and the *valid-pair graph itself* (so arrivals pinned by an index or a
+platform snapshot survive), and assignments.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from repro.core.assignment import Assignment
+from repro.core.problem import RdbscProblem, ValidPair
+from repro.core.task import SpatialTask
+from repro.core.validity import ValidityRule
+from repro.core.worker import MovingWorker
+from repro.geometry.angles import AngleInterval
+from repro.geometry.points import Point
+
+#: Format version written into every document.
+FORMAT_VERSION = 1
+
+PathLike = Union[str, Path]
+
+
+# --------------------------------------------------------------------- #
+# Encoding
+# --------------------------------------------------------------------- #
+
+
+def task_to_dict(task: SpatialTask) -> Dict[str, Any]:
+    return {
+        "task_id": task.task_id,
+        "x": task.location.x,
+        "y": task.location.y,
+        "start": task.start,
+        "end": task.end,
+        "beta": task.beta,
+    }
+
+
+def worker_to_dict(worker: MovingWorker) -> Dict[str, Any]:
+    return {
+        "worker_id": worker.worker_id,
+        "x": worker.location.x,
+        "y": worker.location.y,
+        "velocity": worker.velocity,
+        "cone_lo": worker.cone.lo,
+        "cone_width": worker.cone.width,
+        "confidence": worker.confidence,
+        "depart_time": worker.depart_time,
+    }
+
+
+def problem_to_dict(problem: RdbscProblem) -> Dict[str, Any]:
+    """Full problem document, including the valid-pair graph."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "validity": {"allow_waiting": problem.validity.allow_waiting},
+        "tasks": [task_to_dict(t) for t in problem.tasks],
+        "workers": [worker_to_dict(w) for w in problem.workers],
+        "pairs": [
+            {"task_id": p.task_id, "worker_id": p.worker_id, "arrival": p.arrival}
+            for p in sorted(
+                problem.valid_pairs(), key=lambda p: (p.task_id, p.worker_id)
+            )
+        ],
+    }
+
+
+def assignment_to_dict(assignment: Assignment) -> Dict[str, Any]:
+    return {
+        "format_version": FORMAT_VERSION,
+        "pairs": [
+            {"task_id": task_id, "worker_id": worker_id}
+            for task_id, worker_id in sorted(assignment.pairs())
+        ],
+    }
+
+
+# --------------------------------------------------------------------- #
+# Decoding
+# --------------------------------------------------------------------- #
+
+
+def _check_version(document: Dict[str, Any]) -> None:
+    version = document.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported format version {version!r} (expected {FORMAT_VERSION})"
+        )
+
+
+def task_from_dict(data: Dict[str, Any]) -> SpatialTask:
+    return SpatialTask(
+        task_id=int(data["task_id"]),
+        location=Point(float(data["x"]), float(data["y"])),
+        start=float(data["start"]),
+        end=float(data["end"]),
+        beta=float(data["beta"]),
+    )
+
+
+def worker_from_dict(data: Dict[str, Any]) -> MovingWorker:
+    return MovingWorker(
+        worker_id=int(data["worker_id"]),
+        location=Point(float(data["x"]), float(data["y"])),
+        velocity=float(data["velocity"]),
+        cone=AngleInterval(float(data["cone_lo"]), float(data["cone_width"])),
+        confidence=float(data["confidence"]),
+        depart_time=float(data["depart_time"]),
+    )
+
+
+def problem_from_dict(document: Dict[str, Any]) -> RdbscProblem:
+    """Rebuild a problem, reusing the stored valid-pair graph verbatim."""
+    _check_version(document)
+    validity = ValidityRule(
+        allow_waiting=bool(document["validity"]["allow_waiting"])
+    )
+    tasks = [task_from_dict(d) for d in document["tasks"]]
+    workers = [worker_from_dict(d) for d in document["workers"]]
+    pairs = [
+        ValidPair(int(d["task_id"]), int(d["worker_id"]), float(d["arrival"]))
+        for d in document["pairs"]
+    ]
+    return RdbscProblem(tasks, workers, validity, precomputed_pairs=pairs)
+
+
+def assignment_from_dict(document: Dict[str, Any]) -> Assignment:
+    _check_version(document)
+    return Assignment.from_pairs(
+        [(int(d["task_id"]), int(d["worker_id"])) for d in document["pairs"]]
+    )
+
+
+# --------------------------------------------------------------------- #
+# File helpers
+# --------------------------------------------------------------------- #
+
+
+def save_problem(problem: RdbscProblem, path: PathLike) -> None:
+    """Write a problem document to ``path`` as JSON."""
+    Path(path).write_text(json.dumps(problem_to_dict(problem), indent=1))
+
+
+def load_problem(path: PathLike) -> RdbscProblem:
+    """Read a problem document written by :func:`save_problem`."""
+    return problem_from_dict(json.loads(Path(path).read_text()))
+
+
+def save_assignment(assignment: Assignment, path: PathLike) -> None:
+    """Write an assignment document to ``path`` as JSON."""
+    Path(path).write_text(json.dumps(assignment_to_dict(assignment), indent=1))
+
+
+def load_assignment(path: PathLike) -> Assignment:
+    """Read an assignment document written by :func:`save_assignment`."""
+    return assignment_from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,17 @@
+"""The NP-hardness reduction of Lemma 3.2 and number-partition solvers."""
+
+from repro.nphard.number_partition import (
+    build_rdbsc_instance,
+    discrepancy,
+    greedy_partition,
+    partition_from_assignment,
+    solve_partition_exact,
+)
+
+__all__ = [
+    "build_rdbsc_instance",
+    "discrepancy",
+    "greedy_partition",
+    "partition_from_assignment",
+    "solve_partition_exact",
+]

@@ -1,0 +1,139 @@
+"""The Lemma 3.2 reduction: number partitioning -> RDB-SC.
+
+Given positive integers ``a_1..a_N``, the reduction builds an RDB-SC
+instance with two tasks at the ends of a segment and all workers strictly
+between them, so that every approach ray coincides and the total STD is
+identically zero for every assignment (we pin ``beta = 1`` so only the
+degenerate spatial diversity counts).  Worker confidences are chosen as
+``p_i = 1 - e^{-a_i / a_max}``, making the log-reliability weight of worker
+``i`` exactly ``a_i / a_max`` — maximising the minimum task reliability is
+then exactly minimising the partition discrepancy.  (The paper prints
+``p_i = 1 - e^{a'_i}``, which would be negative; the sign is an obvious
+typo and the proof's algebra uses the corrected form.)
+
+The module also ships exact and greedy partition solvers so tests can close
+the loop: the optimal RDB-SC assignment of a reduced instance must induce
+an optimal partition.
+"""
+
+from __future__ import annotations
+
+import math
+from itertools import combinations
+from typing import List, Sequence, Tuple
+
+from repro.core.assignment import Assignment
+from repro.core.problem import RdbscProblem
+from repro.core.task import SpatialTask
+from repro.core.worker import MovingWorker
+from repro.geometry.angles import AngleInterval
+from repro.geometry.points import Point
+
+#: Task ids used by the reduction.
+LEFT_TASK_ID = 0
+RIGHT_TASK_ID = 1
+
+
+def build_rdbsc_instance(values: Sequence[int]) -> RdbscProblem:
+    """Construct the two-task collinear RDB-SC instance for ``values``.
+
+    Raises:
+        ValueError: if ``values`` is empty or contains non-positive numbers.
+    """
+    if not values:
+        raise ValueError("the number-partition instance must be non-empty")
+    if any(v <= 0 for v in values):
+        raise ValueError("number partitioning is defined over positive integers")
+    a_max = max(values)
+    tasks = [
+        SpatialTask(LEFT_TASK_ID, Point(0.0, 0.5), start=0.0, end=100.0, beta=1.0),
+        SpatialTask(RIGHT_TASK_ID, Point(1.0, 0.5), start=0.0, end=100.0, beta=1.0),
+    ]
+    workers: List[MovingWorker] = []
+    n = len(values)
+    for i, value in enumerate(values):
+        confidence = 1.0 - math.exp(-value / a_max)
+        # Evenly spaced strictly between the two tasks, all on the segment.
+        x = (i + 1) / (n + 1)
+        workers.append(
+            MovingWorker(
+                worker_id=i,
+                location=Point(x, 0.5),
+                velocity=1.0,
+                cone=AngleInterval.full_circle(),
+                confidence=confidence,
+                depart_time=0.0,
+            )
+        )
+    return RdbscProblem(tasks, workers)
+
+
+def partition_from_assignment(
+    values: Sequence[int], assignment: Assignment
+) -> Tuple[List[int], List[int]]:
+    """Recover the two index sets from an assignment of the reduced instance.
+
+    Workers assigned to the left task form subset 1, the rest subset 2
+    (unassigned workers — impossible for solvers on this instance, but
+    handled — also land in subset 2).
+    """
+    left: List[int] = []
+    right: List[int] = []
+    for i in range(len(values)):
+        if assignment.task_of(i) == LEFT_TASK_ID:
+            left.append(i)
+        else:
+            right.append(i)
+    return left, right
+
+
+def discrepancy(values: Sequence[int], left_indices: Sequence[int]) -> int:
+    """``|sum(A_1) - sum(A_2)|`` for the split induced by ``left_indices``."""
+    left_set = set(left_indices)
+    left_sum = sum(v for i, v in enumerate(values) if i in left_set)
+    return abs(sum(values) - 2 * left_sum)
+
+
+def solve_partition_exact(values: Sequence[int]) -> Tuple[int, List[int]]:
+    """Minimum discrepancy by enumeration (instances up to ~24 items).
+
+    Returns ``(discrepancy, indices of one optimal subset)``.
+
+    Raises:
+        ValueError: for empty or oversized instances.
+    """
+    n = len(values)
+    if n == 0:
+        raise ValueError("cannot partition an empty multiset")
+    if n > 24:
+        raise ValueError("exact partitioning refused beyond 24 items (2^n search)")
+    best_d = None
+    best: List[int] = []
+    indices = range(n)
+    for size in range(n // 2 + 1):
+        for subset in combinations(indices, size):
+            d = discrepancy(values, subset)
+            if best_d is None or d < best_d:
+                best_d = d
+                best = list(subset)
+                if best_d == 0:
+                    return 0, best
+    assert best_d is not None
+    return best_d, best
+
+
+def greedy_partition(values: Sequence[int]) -> Tuple[int, List[int]]:
+    """Largest-first greedy partitioning (the classical heuristic).
+
+    Returns ``(discrepancy, indices of subset 1)``.
+    """
+    if not values:
+        raise ValueError("cannot partition an empty multiset")
+    order = sorted(range(len(values)), key=lambda i: -values[i])
+    sums = [0, 0]
+    sides: Tuple[List[int], List[int]] = ([], [])
+    for i in order:
+        side = 0 if sums[0] <= sums[1] else 1
+        sums[side] += values[i]
+        sides[side].append(i)
+    return abs(sums[0] - sums[1]), sorted(sides[0])

@@ -1,0 +1,68 @@
+"""The answer accuracy model of the customised gMission platform.
+
+Section 8.1: when worker ``w_j`` answers task ``t_i``, the platform records
+the facing-direction error ``dtheta`` (against the requested angle) and the
+timing error ``dt`` (against the requested time), and computes::
+
+    beta_i * dtheta / pi  +  (1 - beta_i) * dt / (e_i - s_i)
+
+The paper calls this quantity "accuracy", but it is zero for a perfect
+answer and grows with error — an error score.  We expose it under both
+readings: :func:`answer_error` (the paper's formula verbatim) and
+:func:`answer_accuracy` (its complement in ``[0, 1]``, where 1 is perfect).
+A task's score is the average over its answers.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+
+def answer_error(
+    angle_error: float,
+    time_error: float,
+    beta: float,
+    period: float,
+) -> float:
+    """The paper's Section 8.1 formula (0 = perfect, 1 = worst).
+
+    Args:
+        angle_error: ``dtheta`` in ``[0, pi]``.
+        time_error: ``dt`` in ``[0, period)``.
+        beta: the task's balance weight in ``[0, 1]``.
+        period: the task's valid-period length ``e - s`` (positive).
+
+    Raises:
+        ValueError: when any argument leaves its documented range.
+    """
+    if not 0.0 <= angle_error <= math.pi + 1e-12:
+        raise ValueError(f"angle_error must be in [0, pi], got {angle_error}")
+    if period <= 0.0:
+        raise ValueError(f"period must be positive, got {period}")
+    if not 0.0 <= time_error < period + 1e-12:
+        raise ValueError(f"time_error must be in [0, period), got {time_error}")
+    if not 0.0 <= beta <= 1.0:
+        raise ValueError(f"beta must be in [0, 1], got {beta}")
+    return beta * (angle_error / math.pi) + (1.0 - beta) * (time_error / period)
+
+
+def answer_accuracy(
+    angle_error: float,
+    time_error: float,
+    beta: float,
+    period: float,
+) -> float:
+    """``1 - answer_error``: 1 for a perfect answer, 0 for the worst."""
+    return 1.0 - answer_error(angle_error, time_error, beta, period)
+
+
+def task_accuracy(accuracies: Sequence[float]) -> float:
+    """A task's accuracy: the average over its answers' accuracies.
+
+    Raises:
+        ValueError: with no answers (the task has no defined accuracy).
+    """
+    if not accuracies:
+        raise ValueError("task_accuracy() needs at least one answer")
+    return sum(accuracies) / len(accuracies)

@@ -1,0 +1,101 @@
+"""Runtime records of the platform simulation.
+
+The simulator is clocked by the incremental-update period rather than a
+full event queue — assignments only change at update instants (Figure 10),
+so the state between updates is fully described by each worker's current
+trip and each task's answer log.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.diversity import WorkerProfile
+from repro.core.task import SpatialTask
+from repro.core.worker import MovingWorker
+from repro.geometry.points import Point
+
+
+class WorkerStatus(enum.Enum):
+    """What a platform worker is currently doing."""
+
+    AVAILABLE = "available"
+    TRAVELLING = "travelling"
+
+
+@dataclass(frozen=True)
+class Answer:
+    """One completed task attempt.
+
+    Attributes:
+        worker_id / task_id: who answered what.
+        angle: approach bearing from the task towards the worker's origin
+            (feeds spatial diversity of the collected answers).
+        time: clock time of the answer.
+        success: whether the attempt produced a usable answer (drawn with
+            the worker's confidence).
+    """
+
+    worker_id: int
+    task_id: int
+    angle: float
+    time: float
+    success: bool
+
+
+@dataclass
+class WorkerRuntime:
+    """A worker's mutable platform state.
+
+    ``worker`` is re-created on every relocation (frozen model object);
+    the runtime wrapper tracks the trip in progress.
+    """
+
+    worker: MovingWorker
+    status: WorkerStatus = WorkerStatus.AVAILABLE
+    destination_task_id: Optional[int] = None
+    arrival_time: Optional[float] = None
+    origin: Optional[Point] = None
+
+    def dispatch(self, task_id: int, arrival_time: float) -> None:
+        """Send the worker towards a task."""
+        if self.status is not WorkerStatus.AVAILABLE:
+            raise ValueError(f"worker {self.worker.worker_id} is not available")
+        self.status = WorkerStatus.TRAVELLING
+        self.destination_task_id = task_id
+        self.arrival_time = arrival_time
+        self.origin = self.worker.location
+
+    def complete_trip(self, location: Point, now: float) -> None:
+        """Arrive: relocate the worker and make it available again."""
+        if self.status is not WorkerStatus.TRAVELLING:
+            raise ValueError(f"worker {self.worker.worker_id} is not travelling")
+        self.worker = self.worker.moved_to(location, now)
+        self.status = WorkerStatus.AVAILABLE
+        self.destination_task_id = None
+        self.arrival_time = None
+        self.origin = None
+
+
+@dataclass
+class TaskRecord:
+    """A task's platform lifecycle: spawn, assignments, answers, expiry."""
+
+    task: SpatialTask
+    answers: List[Answer] = field(default_factory=list)
+    #: ids of workers ever dispatched to this task (for the final metrics).
+    dispatched_worker_ids: List[int] = field(default_factory=list)
+    #: the dispatched workers' profiles (angle, planned arrival, confidence)
+    #: captured at dispatch time — the Figure 18 metrics are computed from
+    #: these, mirroring the assignment-based metrics of the other figures.
+    dispatched_profiles: List["WorkerProfile"] = field(default_factory=list)
+
+    @property
+    def is_answered(self) -> bool:
+        return any(a.success for a in self.answers)
+
+    def open_at(self, now: float) -> bool:
+        """Open means not yet expired (workers may still be en route)."""
+        return now <= self.task.end

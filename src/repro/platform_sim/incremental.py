@@ -1,0 +1,125 @@
+"""One step of the incremental updating strategy (Figure 10).
+
+At each update instant the platform gathers the *available* workers and the
+*open* tasks, and re-runs an RDB-SC solver over them.  Per the paper, the
+reliability and diversity of a task must account for the answers already
+received and the workers already en route (``A`` and ``S_c`` in Figure 10's
+line 6).  We realise that by pinning each committed contribution into the
+sub-instance as a *virtual worker*: a worker whose only valid pair is its
+own task, with the committed approach angle, arrival time and confidence.
+Solvers then optimise the marginal value of the genuinely free workers on
+top of what each task already has — no solver changes needed.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.algorithms.base import RngLike, Solver
+from repro.core.diversity import WorkerProfile
+from repro.core.problem import RdbscProblem, ValidPair
+from repro.core.task import SpatialTask
+from repro.core.validity import ValidityRule
+from repro.core.worker import MovingWorker
+from repro.geometry.angles import AngleInterval
+from repro.geometry.points import Point
+
+#: Offset (unit-square units) used to place a virtual worker along its
+#: committed approach angle so that its profile reproduces that angle.
+_VIRTUAL_OFFSET = 1e-6
+
+
+def _virtual_worker(
+    task: SpatialTask, profile: WorkerProfile, virtual_id: int
+) -> Tuple[MovingWorker, ValidPair]:
+    """A pinned worker representing one committed contribution."""
+    location = Point(
+        task.location.x + _VIRTUAL_OFFSET * math.cos(profile.angle),
+        task.location.y + _VIRTUAL_OFFSET * math.sin(profile.angle),
+    )
+    worker = MovingWorker(
+        worker_id=virtual_id,
+        location=location,
+        velocity=0.0,
+        cone=AngleInterval.full_circle(),
+        confidence=profile.confidence,
+        depart_time=profile.arrival,
+    )
+    arrival = min(max(profile.arrival, task.start), task.end)
+    return worker, ValidPair(task.task_id, virtual_id, arrival)
+
+
+def build_update_problem(
+    open_tasks: Sequence[SpatialTask],
+    available_workers: Sequence[MovingWorker],
+    committed: Dict[int, List[WorkerProfile]],
+    now: float,
+    validity: ValidityRule,
+    forbidden_pairs: Optional[Set[Tuple[int, int]]] = None,
+) -> RdbscProblem:
+    """The sub-instance one update step solves.
+
+    Real workers are re-anchored to depart *now* from their current spot;
+    committed contributions become degree-one virtual workers (negative
+    ids, so they never collide with platform worker ids).
+    ``forbidden_pairs`` — ``(worker_id, task_id)`` combinations the platform
+    refuses to re-issue (a user is never pushed the same question twice) —
+    are excluded from the edge set.
+    """
+    tasks = list(open_tasks)
+    workers: List[MovingWorker] = []
+    pairs: List[ValidPair] = []
+    forbidden = forbidden_pairs or set()
+
+    for worker in available_workers:
+        re_anchored = worker.moved_to(worker.location, now)
+        workers.append(re_anchored)
+        for task in tasks:
+            if (re_anchored.worker_id, task.task_id) in forbidden:
+                continue
+            arrival = validity.effective_arrival(re_anchored, task)
+            if arrival is not None:
+                pairs.append(ValidPair(task.task_id, re_anchored.worker_id, arrival))
+
+    next_virtual = -1
+    task_by_id = {t.task_id: t for t in tasks}
+    for task_id in sorted(committed.keys()):
+        task = task_by_id.get(task_id)
+        if task is None:
+            continue  # contribution to an already-expired task
+        for profile in committed[task_id]:
+            worker, pair = _virtual_worker(task, profile, next_virtual)
+            workers.append(worker)
+            pairs.append(pair)
+            next_virtual -= 1
+
+    return RdbscProblem(tasks, workers, validity, precomputed_pairs=pairs)
+
+
+def incremental_update(
+    open_tasks: Sequence[SpatialTask],
+    available_workers: Sequence[MovingWorker],
+    committed: Dict[int, List[WorkerProfile]],
+    solver: Solver,
+    now: float,
+    validity: ValidityRule,
+    rng: RngLike = None,
+    forbidden_pairs: Optional[Set[Tuple[int, int]]] = None,
+) -> Dict[int, int]:
+    """Run one Figure 10 update; returns ``{real worker id -> task id}``.
+
+    Only genuinely available platform workers appear in the result; the
+    virtual committed workers are solver bookkeeping.
+    """
+    if not open_tasks or not available_workers:
+        return {}
+    problem = build_update_problem(
+        open_tasks, available_workers, committed, now, validity, forbidden_pairs
+    )
+    result = solver.solve(problem, rng)
+    dispatch: Dict[int, int] = {}
+    for task_id, worker_id in result.assignment.pairs():
+        if worker_id >= 0:
+            dispatch[worker_id] = task_id
+    return dispatch

@@ -1,0 +1,129 @@
+"""Reputation learning: updating worker confidences from outcomes.
+
+The paper bootstraps worker reliabilities from peer ratings and leaves
+"accuracy control ... as our future work" (Section 8.1).  This module
+implements the natural version of that future work: a Beta-Bernoulli
+reputation per worker.  Each worker's confidence is the posterior mean of a
+Beta distribution over their success probability, updated after every
+answer; the peer-rating score seeds the prior.
+
+Used by the platform simulator (optionally) so that long deployments
+converge from noisy peer-rating priors to behaviourally accurate
+confidences — and testable on its own as a plain online estimator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional
+
+from repro.core.worker import MovingWorker
+
+
+@dataclass
+class BetaReputation:
+    """A Beta(alpha, beta) posterior over one worker's success probability.
+
+    Attributes:
+        alpha: successes + prior pseudo-successes.
+        beta: failures + prior pseudo-failures.
+    """
+
+    alpha: float = 1.0
+    beta: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.alpha <= 0.0 or self.beta <= 0.0:
+            raise ValueError("Beta parameters must be positive")
+
+    @classmethod
+    def from_prior_mean(cls, mean: float, strength: float = 10.0) -> "BetaReputation":
+        """A prior centred on ``mean`` with ``strength`` pseudo-observations.
+
+        This is how a peer-rating score seeds a worker's reputation: the
+        score becomes the prior mean, the rating volume its strength.
+
+        Raises:
+            ValueError: for a mean outside (0, 1) or non-positive strength.
+        """
+        if not 0.0 < mean < 1.0:
+            raise ValueError(f"prior mean must be in (0, 1), got {mean}")
+        if strength <= 0.0:
+            raise ValueError(f"strength must be positive, got {strength}")
+        return cls(alpha=mean * strength, beta=(1.0 - mean) * strength)
+
+    @property
+    def mean(self) -> float:
+        """Posterior mean — the confidence estimate."""
+        return self.alpha / (self.alpha + self.beta)
+
+    @property
+    def observations(self) -> float:
+        """Total (pseudo-)observation count; grows with evidence."""
+        return self.alpha + self.beta
+
+    def observe(self, success: bool) -> None:
+        """Record one answer outcome."""
+        if success:
+            self.alpha += 1.0
+        else:
+            self.beta += 1.0
+
+
+class ReputationTracker:
+    """Per-worker reputations with confidence read-back.
+
+    Args:
+        prior_strength: pseudo-observation weight of each worker's seed
+            confidence.  Small values adapt fast; large values trust the
+            peer-rating bootstrap longer.
+    """
+
+    def __init__(self, prior_strength: float = 10.0) -> None:
+        if prior_strength <= 0.0:
+            raise ValueError("prior_strength must be positive")
+        self.prior_strength = prior_strength
+        self._reputations: Dict[int, BetaReputation] = {}
+
+    def seed(self, worker_id: int, confidence: float) -> None:
+        """Initialise a worker's reputation from a bootstrap confidence.
+
+        Confidences at the closed ends of [0, 1] are nudged inside: a Beta
+        prior cannot express certainty, and neither should a reputation.
+        """
+        mean = min(max(confidence, 1e-3), 1.0 - 1e-3)
+        self._reputations[worker_id] = BetaReputation.from_prior_mean(
+            mean, self.prior_strength
+        )
+
+    def seed_workers(self, workers: Iterable[MovingWorker]) -> None:
+        """Seed every worker from its model confidence."""
+        for worker in workers:
+            self.seed(worker.worker_id, worker.confidence)
+
+    def observe(self, worker_id: int, success: bool) -> None:
+        """Record an answer outcome (auto-seeds unknown workers at 0.5)."""
+        if worker_id not in self._reputations:
+            self.seed(worker_id, 0.5)
+        self._reputations[worker_id].observe(success)
+
+    def confidence(self, worker_id: int, default: float = 0.5) -> float:
+        """Current confidence estimate for a worker."""
+        reputation = self._reputations.get(worker_id)
+        return reputation.mean if reputation is not None else default
+
+    def reputation(self, worker_id: int) -> Optional[BetaReputation]:
+        """The raw posterior, or ``None`` if never seeded."""
+        return self._reputations.get(worker_id)
+
+    def refreshed_worker(self, worker: MovingWorker) -> MovingWorker:
+        """A copy of ``worker`` carrying the learned confidence."""
+        learned = self.confidence(worker.worker_id, default=worker.confidence)
+        return MovingWorker(
+            worker.worker_id,
+            worker.location,
+            worker.velocity,
+            worker.cone,
+            learned,
+            worker.depart_time,
+        )

@@ -1,0 +1,340 @@
+"""The clocked platform simulation (Section 8.4 / Figure 18).
+
+The deployment being simulated: ``n_sites`` task sites a couple of walking
+minutes apart, ``n_workers`` workers with peer-rating-derived
+reliabilities, tasks with 15-minute windows spawning at the sites, and the
+Figure 10 incremental updating strategy re-planning every ``t_interval``
+minutes with a pluggable RDB-SC solver.
+
+Between update instants nothing re-plans: travelling workers finish their
+trips, attempt their task on arrival (succeeding with probability equal to
+their confidence), and wait at the site until the next update makes them
+available again.  The Figure 18 metrics — minimum reliability and total
+expected STD over tasks that received workers — are computed from the
+dispatched workers' profiles, matching the assignment-based metrics used in
+every other experiment.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.algorithms.base import RngLike, Solver, make_rng
+from repro.core.diversity import WorkerProfile, approach_angle
+from repro.core.reliability import log_to_reliability
+from repro.core.expected import expected_std
+from repro.core.task import SpatialTask
+from repro.core.validity import ValidityRule
+from repro.core.worker import MovingWorker
+from repro.geometry.angles import AngleInterval
+from repro.geometry.points import Point
+from repro.platform_sim.events import Answer, TaskRecord, WorkerRuntime, WorkerStatus
+from repro.platform_sim.incremental import incremental_update
+from repro.platform_sim.ratings import bootstrap_reliabilities
+
+
+@dataclass(frozen=True)
+class PlatformConfig:
+    """Deployment parameters (defaults mirror the paper's Section 8.1 setup).
+
+    Attributes:
+        n_workers: platform users (paper: 10 hired active users).
+        n_sites: task sites (paper: 5 nearby sites).
+        sim_minutes: experiment length.
+        t_interval: minutes between incremental updates (Figure 18's x-axis).
+        task_open_minutes: task window length (paper: 15 minutes).
+        task_spawn_every: per-site spawn period for new tasks.
+        site_radius: circumradius of the regular site polygon, in unit-square
+            units; with ``walk_minutes_between_sites`` it fixes worker speed
+            so adjacent sites are about two minutes apart, as in the paper.
+        walk_minutes_between_sites: walking time between adjacent sites.
+        answer_minutes: time spent producing the answer after arrival.
+        beta: spatial/temporal weight of the platform's tasks.
+        learn_reputations: when true, worker confidences are re-estimated
+            online from answer outcomes with a Beta-Bernoulli reputation
+            (the paper's "accuracy control" future work); planning then
+            uses the learned confidences instead of the static bootstrap.
+    """
+
+    n_workers: int = 10
+    n_sites: int = 5
+    sim_minutes: float = 60.0
+    t_interval: float = 1.0
+    task_open_minutes: float = 15.0
+    task_spawn_every: float = 7.5
+    site_radius: float = 0.12
+    walk_minutes_between_sites: float = 2.0
+    answer_minutes: float = 0.5
+    beta: float = 0.5
+    learn_reputations: bool = False
+
+    def __post_init__(self) -> None:
+        if self.n_workers < 1 or self.n_sites < 1:
+            raise ValueError("need at least one worker and one site")
+        if self.t_interval <= 0.0 or self.sim_minutes <= 0.0:
+            raise ValueError("t_interval and sim_minutes must be positive")
+        if self.task_open_minutes <= 0.0 or self.task_spawn_every <= 0.0:
+            raise ValueError("task timing parameters must be positive")
+
+    def site_locations(self) -> List[Point]:
+        """The sites: a regular polygon around the square centre."""
+        sites: List[Point] = []
+        for k in range(self.n_sites):
+            angle = 2.0 * math.pi * k / self.n_sites
+            sites.append(
+                Point(
+                    0.5 + self.site_radius * math.cos(angle),
+                    0.5 + self.site_radius * math.sin(angle),
+                )
+            )
+        return sites
+
+    def worker_speed(self) -> float:
+        """Speed making adjacent sites ``walk_minutes_between_sites`` apart."""
+        if self.n_sites == 1:
+            return self.site_radius / max(self.walk_minutes_between_sites, 1e-9)
+        edge = 2.0 * self.site_radius * math.sin(math.pi / self.n_sites)
+        return edge / self.walk_minutes_between_sites
+
+
+@dataclass
+class PlatformRunResult:
+    """Outcome of one simulated deployment.
+
+    ``min_reliability`` / ``total_std`` are the Figure 18 series; the rest
+    are behavioural counters for tests and reporting.
+    """
+
+    min_reliability: float
+    total_std: float
+    tasks_spawned: int
+    tasks_dispatched: int
+    tasks_answered: int
+    dispatches: int
+    answers: List[Answer] = field(default_factory=list)
+
+    @property
+    def success_rate(self) -> float:
+        """Fraction of answer attempts that succeeded."""
+        if not self.answers:
+            return 0.0
+        return sum(1 for a in self.answers if a.success) / len(self.answers)
+
+
+class PlatformSimulator:
+    """Runs one deployment under a given solver and update interval."""
+
+    def __init__(self, config: Optional[PlatformConfig] = None) -> None:
+        self.config = config if config is not None else PlatformConfig()
+        #: Early arrivals wait at the site until the window opens, as human
+        #: workers on the real platform do.
+        self.validity = ValidityRule(allow_waiting=True)
+
+    # ------------------------------------------------------------------ #
+
+    def _spawn_schedule(self) -> List[SpatialTask]:
+        """All tasks of the run, in spawn order."""
+        config = self.config
+        sites = config.site_locations()
+        tasks: List[SpatialTask] = []
+        task_id = 0
+        for site_index, site in enumerate(sites):
+            # Stagger sites so updates always see a mix of fresh and aging
+            # tasks, like a live deployment.
+            offset = (site_index / config.n_sites) * config.task_spawn_every
+            spawn = offset
+            while spawn < config.sim_minutes:
+                tasks.append(
+                    SpatialTask(
+                        task_id=task_id,
+                        location=site,
+                        start=spawn,
+                        end=spawn + config.task_open_minutes,
+                        beta=config.beta,
+                    )
+                )
+                task_id += 1
+                spawn += config.task_spawn_every
+        tasks.sort(key=lambda t: (t.start, t.task_id))
+        return tasks
+
+    def _initial_workers(self, rng) -> List[WorkerRuntime]:
+        config = self.config
+        speed = config.worker_speed()
+        reliabilities = bootstrap_reliabilities(config.n_workers, rng)
+        runtimes: List[WorkerRuntime] = []
+        for worker_id in range(config.n_workers):
+            location = Point(
+                0.5 + float(rng.uniform(-2.0, 2.0)) * config.site_radius,
+                0.5 + float(rng.uniform(-2.0, 2.0)) * config.site_radius,
+            )
+            runtimes.append(
+                WorkerRuntime(
+                    MovingWorker(
+                        worker_id=worker_id,
+                        location=location,
+                        velocity=speed,
+                        cone=AngleInterval.full_circle(),
+                        confidence=reliabilities[worker_id],
+                        depart_time=0.0,
+                    )
+                )
+            )
+        return runtimes
+
+    # ------------------------------------------------------------------ #
+
+    def run(self, solver: Solver, rng: RngLike = None) -> PlatformRunResult:
+        """Simulate one deployment with the given solver."""
+        generator = make_rng(rng)
+        config = self.config
+        schedule = self._spawn_schedule()
+        next_spawn = 0
+        records: Dict[int, TaskRecord] = {}
+        runtimes = self._initial_workers(generator)
+        answers: List[Answer] = []
+        dispatches = 0
+        # A user is never pushed the same question twice.
+        issued: set = set()
+        tracker = None
+        if config.learn_reputations:
+            from repro.platform_sim.reputation import ReputationTracker
+
+            tracker = ReputationTracker()
+            tracker.seed_workers(rt.worker for rt in runtimes)
+
+        now = 0.0
+        while now <= config.sim_minutes + 1e-9:
+            # 1. Complete trips that finished by now.
+            for runtime in runtimes:
+                if (
+                    runtime.status is WorkerStatus.TRAVELLING
+                    and runtime.arrival_time is not None
+                    and runtime.arrival_time <= now
+                ):
+                    record = records[runtime.destination_task_id]
+                    arrival = runtime.arrival_time
+                    origin = runtime.origin or runtime.worker.location
+                    attempt_time = max(arrival, record.task.start)
+                    success = bool(
+                        generator.uniform() < runtime.worker.confidence
+                    ) and attempt_time <= record.task.end
+                    answer = Answer(
+                        worker_id=runtime.worker.worker_id,
+                        task_id=record.task.task_id,
+                        angle=approach_angle(record.task, runtime.worker),
+                        time=attempt_time,
+                        success=success,
+                    )
+                    record.answers.append(answer)
+                    answers.append(answer)
+                    if tracker is not None:
+                        tracker.observe(runtime.worker.worker_id, success)
+                    runtime.complete_trip(
+                        record.task.location, arrival + config.answer_minutes
+                    )
+
+            # 2. Spawn tasks due by now.
+            while next_spawn < len(schedule) and schedule[next_spawn].start <= now:
+                task = schedule[next_spawn]
+                records[task.task_id] = TaskRecord(task)
+                next_spawn += 1
+
+            # 3. Plan: open tasks, available workers, committed contributions.
+            open_tasks = [
+                rec.task for rec in records.values() if rec.open_at(now)
+            ]
+            available = [
+                rt for rt in runtimes if rt.status is WorkerStatus.AVAILABLE
+            ]
+            committed: Dict[int, List[WorkerProfile]] = {}
+            for rec in records.values():
+                if not rec.open_at(now):
+                    continue
+                profiles = list(rec.dispatched_profiles)
+                if profiles:
+                    committed[rec.task.task_id] = profiles
+
+            planning_workers = [rt.worker for rt in available]
+            if tracker is not None:
+                planning_workers = [
+                    tracker.refreshed_worker(worker) for worker in planning_workers
+                ]
+            dispatch = incremental_update(
+                open_tasks,
+                planning_workers,
+                committed,
+                solver,
+                now,
+                self.validity,
+                generator,
+                forbidden_pairs=issued,
+            )
+
+            # 4. Dispatch the chosen workers.
+            by_id = {rt.worker.worker_id: rt for rt in available}
+            for worker_id, task_id in sorted(dispatch.items()):
+                runtime = by_id[worker_id]
+                record = records[task_id]
+                worker_now = runtime.worker.moved_to(runtime.worker.location, now)
+                arrival = self.validity.effective_arrival(worker_now, record.task)
+                if arrival is None:
+                    continue  # defensive: solver honoured precomputed pairs
+                runtime.worker = worker_now
+                runtime.dispatch(task_id, arrival)
+                issued.add((worker_id, task_id))
+                record.dispatched_worker_ids.append(worker_id)
+                record.dispatched_profiles.append(
+                    WorkerProfile(
+                        worker_id,
+                        approach_angle(record.task, worker_now),
+                        arrival,
+                        worker_now.confidence,
+                    )
+                )
+                dispatches += 1
+
+            now += config.t_interval
+
+        return self._final_metrics(records, answers, dispatches)
+
+    # ------------------------------------------------------------------ #
+
+    def _final_metrics(
+        self,
+        records: Dict[int, TaskRecord],
+        answers: List[Answer],
+        dispatches: int,
+    ) -> PlatformRunResult:
+        min_r = math.inf
+        total_std = 0.0
+        dispatched_tasks = 0
+        for record in records.values():
+            profiles = record.dispatched_profiles
+            if not profiles:
+                continue
+            dispatched_tasks += 1
+            r_value = 0.0
+            for profile in profiles:
+                if profile.confidence >= 1.0:
+                    r_value = math.inf
+                    break
+                r_value += -math.log(1.0 - profile.confidence)
+            min_r = min(min_r, r_value)
+            total_std += expected_std(record.task, profiles)
+        min_rel = 0.0 if math.isinf(min_r) and dispatched_tasks == 0 else (
+            1.0 if math.isinf(min_r) else log_to_reliability(min_r)
+        )
+        if dispatched_tasks == 0:
+            min_rel = 0.0
+        return PlatformRunResult(
+            min_reliability=min_rel,
+            total_std=total_std,
+            tasks_spawned=len(records),
+            tasks_dispatched=dispatched_tasks,
+            tasks_answered=sum(1 for r in records.values() if r.is_answered),
+            dispatches=dispatches,
+            answers=answers,
+        )

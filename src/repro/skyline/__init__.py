@@ -1,0 +1,21 @@
+"""Pareto-dominance utilities (skyline operator, top-k dominating scores).
+
+The paper ranks bi-objective candidates the way the skyline literature does
+([13] Börzsönyi et al. for dominance filtering, [22] Yiu & Mamoulis for
+dominating-count ranking): filter out dominated candidates, then prefer the
+candidate that dominates the most others.
+"""
+
+from repro.skyline.dominance import (
+    best_index_by_dominance,
+    dominance_counts,
+    dominates_tuple,
+    skyline_indices,
+)
+
+__all__ = [
+    "best_index_by_dominance",
+    "dominance_counts",
+    "dominates_tuple",
+    "skyline_indices",
+]

@@ -1,0 +1,83 @@
+"""Dominance filtering and dominating-count ranking over 2-D score vectors.
+
+All functions treat *larger as better* in every coordinate, matching the
+paper's (reliability increase, diversity increase) and
+(min reliability, total STD) pairs.  Implementations are quadratic in the
+candidate count — candidate sets here are per-round greedy pair lists and
+sample pools, both small by construction; the grid index keeps them so.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+#: Tolerance applied to every comparison so that candidates differing only
+#: by floating-point noise count as ties rather than dominations.
+EPS = 1e-12
+
+Score = Tuple[float, float]
+
+
+def dominates_tuple(a: Score, b: Score, eps: float = EPS) -> bool:
+    """Whether score ``a`` Pareto-dominates score ``b``.
+
+    ``a`` must be at least as large as ``b`` in both coordinates and
+    strictly larger in at least one (beyond ``eps``).
+    """
+    if a[0] < b[0] - eps or a[1] < b[1] - eps:
+        return False
+    return a[0] > b[0] + eps or a[1] > b[1] + eps
+
+
+def skyline_indices(scores: Sequence[Score], eps: float = EPS) -> List[int]:
+    """Indices of the non-dominated scores, in input order.
+
+    Deliberately the O(n^2) definition rather than the sort-and-sweep
+    skyline: with an epsilon-tolerant dominance relation the sweep's
+    invariant breaks on near-ties of the sort coordinate (a later point can
+    dominate an earlier kept one), and the candidate sets here are small —
+    per-round greedy pair lists and sample pools — while the companion
+    :func:`dominance_counts` is quadratic anyway.
+    """
+    return [
+        i
+        for i, score in enumerate(scores)
+        if not any(
+            dominates_tuple(other, score, eps)
+            for j, other in enumerate(scores)
+            if j != i
+        )
+    ]
+
+
+def dominance_counts(scores: Sequence[Score], eps: float = EPS) -> List[int]:
+    """For each score, how many other scores it dominates.
+
+    This is the [22]-style ranking the greedy and sampling algorithms use:
+    a candidate that beats many alternatives is a safer pick than one that
+    merely sits on the skyline edge.
+    """
+    n = len(scores)
+    counts = [0] * n
+    for i in range(n):
+        a = scores[i]
+        for j in range(n):
+            if i != j and dominates_tuple(a, scores[j], eps):
+                counts[i] += 1
+    return counts
+
+
+def best_index_by_dominance(scores: Sequence[Score], eps: float = EPS) -> int:
+    """Index of the best candidate: skyline member with top dominating count.
+
+    Ties break towards the larger score tuple, then the smaller index, so
+    the choice is deterministic.
+
+    Raises:
+        ValueError: if ``scores`` is empty.
+    """
+    if not scores:
+        raise ValueError("no candidates to choose from")
+    sky = skyline_indices(scores, eps)
+    counts = dominance_counts(scores, eps)
+    return max(sky, key=lambda i: (counts[i], scores[i], -i))

@@ -1,0 +1,6 @@
+"""Small self-contained utilities built from scratch for the reproduction."""
+
+from repro.utils.disjoint_set import DisjointSet
+from repro.utils.stats import trimmed_mean
+
+__all__ = ["DisjointSet", "trimmed_mean"]

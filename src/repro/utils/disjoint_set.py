@@ -1,0 +1,64 @@
+"""Union-find (disjoint set) with path compression and union by size.
+
+Used by ``SA_Merge`` to group dependent conflicting workers: workers sharing
+an assigned task in either sub-solution must have their copy deletions
+decided together (Lemma 6.2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, TypeVar
+
+T = TypeVar("T", bound=Hashable)
+
+
+class DisjointSet:
+    """Classic disjoint-set forest over hashable items.
+
+    Items are added lazily on first touch; ``find`` uses path compression
+    and ``union`` merges by size, giving effectively-constant operations.
+    """
+
+    def __init__(self, items: Iterable[T] = ()) -> None:
+        self._parent: Dict[T, T] = {}
+        self._size: Dict[T, int] = {}
+        for item in items:
+            self.add(item)
+
+    def add(self, item: T) -> None:
+        """Register ``item`` as its own singleton set (idempotent)."""
+        if item not in self._parent:
+            self._parent[item] = item
+            self._size[item] = 1
+
+    def find(self, item: T) -> T:
+        """Representative of the set containing ``item`` (adds if new)."""
+        self.add(item)
+        root = item
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[item] != root:
+            self._parent[item], item = root, self._parent[item]
+        return root
+
+    def union(self, a: T, b: T) -> T:
+        """Merge the sets of ``a`` and ``b``; returns the new representative."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return ra
+        if self._size[ra] < self._size[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        self._size[ra] += self._size[rb]
+        return ra
+
+    def connected(self, a: T, b: T) -> bool:
+        """Whether ``a`` and ``b`` are in the same set."""
+        return self.find(a) == self.find(b)
+
+    def groups(self) -> List[List[T]]:
+        """All sets, each as a list, deterministic order."""
+        by_root: Dict[T, List[T]] = {}
+        for item in self._parent:
+            by_root.setdefault(self.find(item), []).append(item)
+        return [sorted(group) for _, group in sorted(by_root.items())]

@@ -1,0 +1,31 @@
+"""Tiny statistics helpers.
+
+The gMission-style platform bootstraps worker reliabilities from peer photo
+ratings: "the score of each photo is given by first removing the highest and
+lowest scores, and then averaging the rest" — i.e. a 1-element trimmed mean.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def trimmed_mean(values: Sequence[float], trim_each_side: int = 1) -> float:
+    """Mean after dropping the ``trim_each_side`` largest and smallest values.
+
+    When trimming would consume every value, falls back to the plain mean
+    (a two-rating photo still deserves a score).
+
+    Raises:
+        ValueError: if ``values`` is empty or trim count is negative.
+    """
+    if not values:
+        raise ValueError("trimmed_mean() of empty sequence")
+    if trim_each_side < 0:
+        raise ValueError("trim_each_side must be non-negative")
+    ordered = sorted(values)
+    if len(ordered) > 2 * trim_each_side:
+        kept = ordered[trim_each_side : len(ordered) - trim_each_side]
+    else:
+        kept = ordered
+    return sum(kept) / len(kept)

@@ -1,0 +1,137 @@
+"""Terminal visualisation: instances, assignments and series.
+
+A library shipped for a paper about *spatial* crowdsourcing should let a
+user see an instance without leaving the terminal.  Pure-text renderers,
+no plotting dependency:
+
+``render_instance``
+    A character map of the unit square: task and worker positions, with
+    multiplicity digits when entities share a cell.
+``render_assignment``
+    The instance map plus a per-task summary of who serves what.
+``sparkline``
+    A one-line unicode mini-chart for a numeric series (used to eyeball
+    benchmark series in logs).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.core.assignment import Assignment
+from repro.core.problem import RdbscProblem
+
+#: Sparkline glyphs from low to high.
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def _cell_of(x: float, y: float, width: int, height: int) -> tuple:
+    col = min(int(x * width), width - 1)
+    row = min(int((1.0 - y) * height), height - 1)  # row 0 at the top
+    return max(row, 0), max(col, 0)
+
+
+def render_instance(
+    problem: RdbscProblem, width: int = 48, height: int = 20
+) -> str:
+    """An ASCII map of the instance.
+
+    ``t`` marks a task, ``w`` a worker, ``*`` a cell holding both; digits
+    2-9 mark multiplicity of a single kind ('+' past 9).
+
+    Raises:
+        ValueError: on non-positive dimensions.
+    """
+    if width < 1 or height < 1:
+        raise ValueError("width and height must be positive")
+    tasks: Dict[tuple, int] = {}
+    workers: Dict[tuple, int] = {}
+    for task in problem.tasks:
+        key = _cell_of(task.location.x, task.location.y, width, height)
+        tasks[key] = tasks.get(key, 0) + 1
+    for worker in problem.workers:
+        key = _cell_of(worker.location.x, worker.location.y, width, height)
+        workers[key] = workers.get(key, 0) + 1
+
+    def glyph(cell: tuple) -> str:
+        n_tasks = tasks.get(cell, 0)
+        n_workers = workers.get(cell, 0)
+        if n_tasks and n_workers:
+            return "*"
+        count, symbol = (n_tasks, "t") if n_tasks else (n_workers, "w")
+        if count == 0:
+            return "."
+        if count == 1:
+            return symbol
+        return str(count) if count <= 9 else "+"
+
+    rows = [
+        "".join(glyph((row, col)) for col in range(width))
+        for row in range(height)
+    ]
+    legend = (
+        f"[{problem.num_tasks} tasks 't', {problem.num_workers} workers 'w', "
+        f"'*' both, digits = multiplicity]"
+    )
+    return "\n".join([*rows, legend])
+
+
+def render_assignment(
+    problem: RdbscProblem,
+    assignment: Assignment,
+    max_tasks: int = 12,
+) -> str:
+    """The instance map plus a per-task worker summary.
+
+    Lists the ``max_tasks`` busiest tasks with their assigned worker ids
+    and the task reliability.
+    """
+    from repro.core.reliability import task_reliability
+
+    lines = [render_instance(problem), ""]
+    busy = sorted(
+        assignment.assigned_tasks(),
+        key=lambda t: (-len(assignment.workers_for(t)), t),
+    )
+    shown = busy[:max_tasks]
+    lines.append(
+        f"assignment: {len(assignment)} workers on "
+        f"{len(busy)} tasks (top {len(shown)} shown)"
+    )
+    for task_id in shown:
+        worker_ids = sorted(assignment.workers_for(task_id))
+        rel = task_reliability(problem, assignment, task_id)
+        lines.append(
+            f"  task {task_id:>4}: rel={rel:.3f} workers={worker_ids}"
+        )
+    if len(busy) > len(shown):
+        lines.append(f"  ... and {len(busy) - len(shown)} more tasks")
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """A one-line unicode chart; empty input yields an empty string."""
+    if not values:
+        return ""
+    lo = min(values)
+    hi = max(values)
+    if hi <= lo:
+        return _SPARK_LEVELS[0] * len(values)
+    span = hi - lo
+    out = []
+    for v in values:
+        idx = int((v - lo) / span * (len(_SPARK_LEVELS) - 1))
+        out.append(_SPARK_LEVELS[idx])
+    return "".join(out)
+
+
+def series_with_sparkline(
+    label: str, values: Sequence[float], precision: int = 3
+) -> str:
+    """``label: sparkline  [first .. last]`` summary line."""
+    if not values:
+        return f"{label}: (empty)"
+    return (
+        f"{label}: {sparkline(values)}  "
+        f"[{values[0]:.{precision}f} .. {values[-1]:.{precision}f}]"
+    )

@@ -1,0 +1,52 @@
+"""Shared factories for the test suite."""
+
+import math
+
+import pytest
+
+from repro.core.task import SpatialTask
+from repro.core.worker import MovingWorker
+from repro.geometry.angles import AngleInterval
+from repro.geometry.points import Point
+
+
+def make_task(
+    task_id: int = 0,
+    x: float = 0.5,
+    y: float = 0.5,
+    start: float = 0.0,
+    end: float = 10.0,
+    beta: float = 0.5,
+) -> SpatialTask:
+    """A task with innocuous defaults."""
+    return SpatialTask(task_id, Point(x, y), start, end, beta)
+
+
+def make_worker(
+    worker_id: int = 0,
+    x: float = 0.0,
+    y: float = 0.0,
+    velocity: float = 1.0,
+    cone: AngleInterval = None,
+    confidence: float = 0.9,
+    depart_time: float = 0.0,
+) -> MovingWorker:
+    """A worker with innocuous defaults (full-circle cone)."""
+    return MovingWorker(
+        worker_id,
+        Point(x, y),
+        velocity,
+        cone if cone is not None else AngleInterval.full_circle(),
+        confidence,
+        depart_time,
+    )
+
+
+@pytest.fixture
+def task_factory():
+    return make_task
+
+
+@pytest.fixture
+def worker_factory():
+    return make_worker

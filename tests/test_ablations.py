@@ -1,0 +1,39 @@
+"""Smoke tests for the ablation studies (full runs live in benchmarks/)."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    AblationRow,
+    baseline_comparison,
+    format_ablation,
+    gamma_ablation,
+    pruning_ablation,
+    sampling_budget_ablation,
+)
+
+
+class TestAblationStudies:
+    def test_pruning_rows(self):
+        rows = pruning_ablation(seeds=(1,))
+        assert [r.label for r in rows] == ["pruning ON", "pruning OFF"]
+        assert rows[0].extra <= rows[1].extra
+
+    def test_gamma_rows(self):
+        rows = gamma_ablation(gammas=(4, 16), seeds=(1,))
+        assert [r.label for r in rows] == ["gamma=4", "gamma=16"]
+        assert rows[0].extra >= rows[1].extra
+
+    def test_sampling_budget_rows(self):
+        rows = sampling_budget_ablation(budgets=(5, 40), seeds=(1,))
+        assert rows[0].label == "K=5"
+        assert rows[1].extra == 40.0
+
+    def test_baseline_rows(self):
+        rows = baseline_comparison(seeds=(1,))
+        labels = [r.label for r in rows]
+        assert "MAX-TASK" in labels and "RANDOM" in labels
+
+    def test_format(self):
+        rows = [AblationRow("x", 0.9, 1.5, 0.01, 3.0)]
+        text = format_ablation("Title", rows, extra_name="count")
+        assert "Title" in text and "count" in text and "0.9000" in text

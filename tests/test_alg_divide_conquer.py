@@ -1,0 +1,106 @@
+"""Tests for the divide-and-conquer solver (Figure 6) and G-TRUTH."""
+
+import pytest
+
+from repro.algorithms import (
+    DivideConquerSolver,
+    GreedySolver,
+    GroundTruthSolver,
+    SamplingSolver,
+)
+from repro.core.objectives import evaluate_assignment
+from repro.datagen import ExperimentConfig, generate_problem
+
+
+def problem_of(m, n, seed):
+    return generate_problem(
+        ExperimentConfig.scaled_defaults(num_tasks=m, num_workers=n), seed
+    )
+
+
+class TestDivideConquer:
+    def test_invalid_gamma(self):
+        with pytest.raises(ValueError):
+            DivideConquerSolver(gamma=0)
+
+    def test_small_problem_single_leaf(self):
+        problem = problem_of(6, 12, 3)
+        solver = DivideConquerSolver(gamma=10)
+        result = solver.solve(problem, rng=1)
+        assert result.stats["leaf_solves"] == 1.0
+        assert result.stats["max_depth"] == 0.0
+
+    def test_large_problem_recurses(self):
+        problem = problem_of(40, 60, 5)
+        solver = DivideConquerSolver(gamma=8)
+        result = solver.solve(problem, rng=1)
+        assert result.stats["leaf_solves"] >= 4.0
+        assert result.stats["max_depth"] >= 2.0
+
+    def test_every_connected_worker_assigned_once(self):
+        problem = problem_of(30, 50, 7)
+        result = DivideConquerSolver(gamma=6).solve(problem, rng=2)
+        seen = set()
+        for task_id, worker_id in result.assignment.pairs():
+            assert worker_id not in seen
+            seen.add(worker_id)
+            assert problem.is_valid_pair(task_id, worker_id)
+        connected = {
+            w.worker_id for w in problem.workers if problem.degree(w.worker_id) > 0
+        }
+        assert seen == connected
+
+    def test_objective_matches_reevaluation(self):
+        problem = problem_of(24, 40, 9)
+        result = DivideConquerSolver(gamma=6).solve(problem, rng=3)
+        fresh = evaluate_assignment(problem, result.assignment)
+        assert result.objective.total_std == pytest.approx(fresh.total_std)
+        assert result.objective.min_reliability == pytest.approx(fresh.min_reliability)
+
+    def test_deterministic_given_seed(self):
+        problem = problem_of(24, 40, 11)
+        a = DivideConquerSolver(gamma=6).solve(problem, rng=5)
+        b = DivideConquerSolver(gamma=6).solve(problem, rng=5)
+        assert a.assignment == b.assignment
+
+    def test_custom_base_solver(self):
+        problem = problem_of(20, 30, 13)
+        solver = DivideConquerSolver(gamma=5, base_solver=GreedySolver())
+        result = solver.solve(problem, rng=1)
+        assert len(result.assignment) > 0
+
+    def test_quality_beats_greedy_on_small_m(self):
+        # The paper's recurring observation at small m (Figures 13/23).
+        wins = 0
+        for seed in (1, 2, 3, 4, 5):
+            problem = problem_of(16, 48, seed)
+            dc = DivideConquerSolver(gamma=6, base_solver=SamplingSolver(num_samples=50))
+            greedy = GreedySolver()
+            dc_std = dc.solve(problem, rng=seed).objective.total_std
+            greedy_std = greedy.solve(problem, rng=seed).objective.total_std
+            wins += dc_std > greedy_std
+        assert wins >= 4
+
+
+class TestGroundTruth:
+    def test_invalid_multiplier(self):
+        with pytest.raises(ValueError):
+            GroundTruthSolver(multiplier=0)
+
+    def test_stats_record_multiplier(self):
+        problem = problem_of(12, 20, 15)
+        result = GroundTruthSolver(gamma=6, multiplier=10).solve(problem, rng=1)
+        assert result.stats["sample_multiplier"] == 10.0
+
+    def test_not_dominated_by_dc_on_average(self):
+        total_dc = 0.0
+        total_gt = 0.0
+        for seed in (1, 2, 3):
+            problem = problem_of(16, 32, seed)
+            dc = DivideConquerSolver(
+                gamma=6, base_solver=SamplingSolver(num_samples=20)
+            ).solve(problem, rng=seed)
+            gt = GroundTruthSolver(gamma=6, multiplier=10).solve(problem, rng=seed)
+            total_dc += dc.objective.total_std
+            total_gt += gt.objective.total_std
+        assert total_gt >= 0.9 * total_dc

@@ -1,0 +1,95 @@
+"""The exhaustive oracle, and approximation-quality checks against it."""
+
+import pytest
+
+from repro.algorithms import (
+    DivideConquerSolver,
+    ExhaustiveSolver,
+    GreedySolver,
+    SamplingSolver,
+)
+from repro.algorithms.exhaustive import population_size
+from repro.core.objectives import dominates
+from repro.core.problem import RdbscProblem
+from repro.datagen import ExperimentConfig, generate_problem
+from tests.conftest import make_task, make_worker
+
+
+def tiny_problem(seed, m=4, n=7):
+    return generate_problem(
+        ExperimentConfig.scaled_defaults(num_tasks=m, num_workers=n), seed
+    )
+
+
+class TestPopulationSize:
+    def test_counts_product_of_degrees(self):
+        problem = tiny_problem(1)
+        expected = 1
+        for worker in problem.workers:
+            deg = problem.degree(worker.worker_id)
+            if deg:
+                expected *= deg
+        assert population_size(problem) == expected
+
+    def test_refuses_huge(self):
+        problem = generate_problem(
+            ExperimentConfig.scaled_defaults(num_tasks=40, num_workers=60), 2
+        )
+        with pytest.raises(OverflowError):
+            population_size(problem)
+
+
+class TestExhaustive:
+    def test_empty_problem(self):
+        result = ExhaustiveSolver().solve(RdbscProblem([], []))
+        assert len(result.assignment) == 0
+
+    def test_single_choice_instance(self):
+        tasks = [make_task(0, x=0.5, y=0.5)]
+        workers = [make_worker(0, x=0.4, y=0.5, velocity=0.5)]
+        problem = RdbscProblem(tasks, workers)
+        result = ExhaustiveSolver().solve(problem)
+        assert result.assignment.task_of(0) == 0
+
+    def test_winner_undominated_in_population(self):
+        problem = tiny_problem(3)
+        solver = ExhaustiveSolver()
+        best = solver.solve(problem)
+        for candidate in solver.pareto_front(problem):
+            assert not dominates(candidate.objective, best.objective)
+
+    def test_pareto_front_members_mutually_undominated(self):
+        problem = tiny_problem(5)
+        front = ExhaustiveSolver().pareto_front(problem)
+        for a in front:
+            for b in front:
+                assert not dominates(a.objective, b.objective)
+
+
+class TestApproximationQuality:
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4, 5, 6])
+    def test_no_solver_beats_pareto_front(self, seed):
+        # Approximation results can never dominate an exhaustive Pareto
+        # point — sanity that our objective evaluation is consistent.
+        problem = tiny_problem(seed)
+        front = ExhaustiveSolver().pareto_front(problem)
+        for solver in (
+            GreedySolver(),
+            SamplingSolver(num_samples=40),
+            DivideConquerSolver(gamma=3, base_solver=SamplingSolver(num_samples=20)),
+        ):
+            result = solver.solve(problem, rng=seed)
+            for point in front:
+                assert not dominates(result.objective, point.objective)
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_solvers_land_reasonably_close_to_front(self, seed):
+        problem = tiny_problem(seed, m=3, n=6)
+        best_std = max(
+            r.objective.total_std for r in ExhaustiveSolver().pareto_front(problem)
+        )
+        if best_std <= 0.0:
+            pytest.skip("degenerate instance with no diversity at all")
+        for solver in (GreedySolver(), SamplingSolver(num_samples=80)):
+            achieved = solver.solve(problem, rng=seed).objective.total_std
+            assert achieved >= 0.5 * best_std

@@ -1,0 +1,103 @@
+"""Tests for the RDB-SC greedy solver (Figure 3)."""
+
+import pytest
+
+from repro.algorithms import GreedySolver
+from repro.core.problem import RdbscProblem
+from repro.core.objectives import evaluate_assignment
+from repro.datagen import ExperimentConfig, generate_problem
+from tests.conftest import make_task, make_worker
+
+
+def dense_problem(seed=3, m=12, n=24):
+    return generate_problem(
+        ExperimentConfig.scaled_defaults(num_tasks=m, num_workers=n), seed
+    )
+
+
+class TestGreedyBasics:
+    def test_assigns_every_connected_worker(self):
+        problem = dense_problem()
+        result = GreedySolver().solve(problem)
+        connected = [
+            w.worker_id for w in problem.workers if problem.degree(w.worker_id) > 0
+        ]
+        for worker_id in connected:
+            assert result.assignment.task_of(worker_id) is not None
+
+    def test_respects_validity(self):
+        problem = dense_problem(5)
+        result = GreedySolver().solve(problem)
+        for task_id, worker_id in result.assignment.pairs():
+            assert problem.is_valid_pair(task_id, worker_id)
+
+    def test_objective_matches_reevaluation(self):
+        problem = dense_problem(7)
+        result = GreedySolver().solve(problem)
+        fresh = evaluate_assignment(problem, result.assignment)
+        assert result.objective.min_reliability == pytest.approx(fresh.min_reliability)
+        assert result.objective.total_std == pytest.approx(fresh.total_std)
+
+    def test_deterministic(self):
+        problem = dense_problem(9)
+        a = GreedySolver().solve(problem)
+        b = GreedySolver().solve(problem)
+        assert a.assignment == b.assignment
+
+    def test_empty_problem(self):
+        problem = RdbscProblem([], [])
+        result = GreedySolver().solve(problem)
+        assert len(result.assignment) == 0
+        assert result.objective.min_reliability == 0.0
+
+    def test_no_valid_pairs(self):
+        # Worker too slow to reach anything in time.
+        tasks = [make_task(0, x=0.9, y=0.9, start=0.0, end=0.001)]
+        workers = [make_worker(0, x=0.1, y=0.1, velocity=0.01)]
+        problem = RdbscProblem(tasks, workers)
+        result = GreedySolver().solve(problem)
+        assert len(result.assignment) == 0
+
+    def test_stats_populated(self):
+        problem = dense_problem(11)
+        result = GreedySolver().solve(problem)
+        assert result.stats["rounds"] == len(result.assignment)
+        assert result.stats["exact_delta_evaluations"] >= 0
+
+
+class TestPruningEquivalence:
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4])
+    def test_pruned_quality_stays_close(self, seed):
+        # Lemma 4.3 pruning discards only dominated candidates, but the
+        # dominating-count *ranking* is then computed over the survivors
+        # (exact values for pruned pairs are never produced — that is the
+        # point of pruning), so the selected pairs can differ.  The paper's
+        # design accepts that; we pin the quality cost to a modest band.
+        problem = dense_problem(seed)
+        pruned = GreedySolver(use_pruning=True).solve(problem)
+        plain = GreedySolver(use_pruning=False).solve(problem)
+        assert pruned.objective.total_std >= 0.7 * plain.objective.total_std
+        assert pruned.objective.min_reliability >= 0.9 * plain.objective.min_reliability
+
+    def test_pruning_reduces_exact_evaluations(self):
+        problem = dense_problem(13, m=16, n=48)
+        pruned = GreedySolver(use_pruning=True).solve(problem)
+        plain = GreedySolver(use_pruning=False).solve(problem)
+        assert (
+            pruned.stats["exact_delta_evaluations"]
+            <= plain.stats["exact_delta_evaluations"]
+        )
+
+
+class TestGreedyKnownInstance:
+    def test_prefers_high_confidence_on_single_task(self):
+        # One task, two workers: greedy must assign both (rounds = workers).
+        task = make_task(0, x=0.5, y=0.5, start=0.0, end=10.0)
+        workers = [
+            make_worker(0, x=0.1, y=0.5, velocity=0.2, confidence=0.9),
+            make_worker(1, x=0.9, y=0.5, velocity=0.2, confidence=0.6),
+        ]
+        problem = RdbscProblem([task], workers)
+        result = GreedySolver().solve(problem)
+        assert result.assignment.workers_for(0) == frozenset({0, 1})
+        assert result.objective.min_reliability == pytest.approx(1 - 0.1 * 0.4)

@@ -1,0 +1,90 @@
+"""Tests for the MAX-TASK (GeoCrowd-style) baseline."""
+
+import pytest
+
+from repro.algorithms.max_task import MaxTaskSolver, maximum_task_matching
+from repro.core.problem import RdbscProblem
+from repro.datagen import ExperimentConfig, generate_problem
+from tests.conftest import make_task, make_worker
+
+
+def dense_problem(seed=3, m=14, n=20):
+    return generate_problem(
+        ExperimentConfig.scaled_defaults(num_tasks=m, num_workers=n), seed
+    )
+
+
+class TestMatching:
+    def test_perfect_matching_on_disjoint_pairs(self):
+        tasks = [make_task(i, x=0.1 + 0.2 * i, y=0.5) for i in range(4)]
+        workers = [
+            make_worker(i, x=0.1 + 0.2 * i, y=0.45, velocity=0.05) for i in range(4)
+        ]
+        problem = RdbscProblem(tasks, workers)
+        matching = maximum_task_matching(problem)
+        assert len(matching) == 4
+        assert sorted(matching.values()) == [0, 1, 2, 3]
+
+    def test_augmenting_path_needed(self):
+        # Worker 0 can do tasks {0, 1}; worker 1 only task 0.  A greedy
+        # first-fit would strand worker 1; augmentation must not.
+        tasks = [
+            make_task(0, x=0.3, y=0.5, start=0.0, end=10.0),
+            make_task(1, x=0.7, y=0.5, start=0.0, end=10.0),
+        ]
+        workers = [
+            make_worker(0, x=0.5, y=0.5, velocity=1.0),          # both
+            make_worker(1, x=0.3, y=0.45, velocity=0.02),        # task 0 only
+        ]
+        problem = RdbscProblem(tasks, workers)
+        matching = maximum_task_matching(problem)
+        assert len(matching) == 2
+        assert matching[1] == 0
+        assert matching[0] == 1
+
+    def test_matching_is_valid_and_injective(self):
+        problem = dense_problem(7)
+        matching = maximum_task_matching(problem)
+        assert len(set(matching.values())) == len(matching)
+        for worker_id, task_id in matching.items():
+            assert problem.is_valid_pair(task_id, worker_id)
+
+    def test_matching_maximal(self):
+        # No free worker may still have a free candidate task.
+        problem = dense_problem(9)
+        matching = maximum_task_matching(problem)
+        used_tasks = set(matching.values())
+        for worker in problem.workers:
+            if worker.worker_id in matching:
+                continue
+            free_candidates = set(problem.candidate_tasks(worker.worker_id)) - used_tasks
+            assert not free_candidates
+
+
+class TestMaxTaskSolver:
+    def test_covers_at_least_as_many_tasks_as_rdbsc_solvers(self):
+        from repro.algorithms import GreedySolver, SamplingSolver
+
+        problem = dense_problem(11)
+        max_task = MaxTaskSolver().solve(problem)
+        covered = len(max_task.assignment.assigned_tasks())
+        for solver in (GreedySolver(), SamplingSolver(num_samples=40)):
+            other = solver.solve(problem, rng=1)
+            assert covered >= len(other.assignment.assigned_tasks())
+
+    def test_leftovers_assigned(self):
+        problem = dense_problem(13, m=5, n=20)
+        result = MaxTaskSolver().solve(problem)
+        connected = sum(1 for w in problem.workers if problem.degree(w.worker_id) > 0)
+        assert len(result.assignment) == connected
+
+    def test_no_leftovers_mode(self):
+        problem = dense_problem(13, m=5, n=20)
+        result = MaxTaskSolver(assign_leftovers=False).solve(problem)
+        assert len(result.assignment) == result.stats["tasks_covered"]
+
+    def test_stats(self):
+        problem = dense_problem(15)
+        result = MaxTaskSolver().solve(problem)
+        assert result.stats["tasks_covered"] >= 1.0
+        assert result.stats["leftover_workers"] >= 0.0

@@ -1,0 +1,105 @@
+"""Tests for BG_Partition (Figure 7) and the from-scratch 2-means."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.partition import balanced_task_split, bg_partition, two_means
+from repro.datagen import ExperimentConfig, generate_problem
+from repro.geometry.points import Point
+from tests.conftest import make_task, make_worker
+from repro.core.problem import RdbscProblem
+
+
+class TestTwoMeans:
+    def test_separated_clusters(self):
+        left = [Point(0.1 + 0.01 * i, 0.1) for i in range(5)]
+        right = [Point(0.9 - 0.01 * i, 0.9) for i in range(5)]
+        c1, c2 = two_means(left + right, rng=0)
+        xs = sorted([c1.x, c2.x])
+        assert xs[0] < 0.3 and xs[1] > 0.7
+
+    def test_identical_points(self):
+        c1, c2 = two_means([Point(0.5, 0.5)] * 4, rng=0)
+        assert c1 == c2 == Point(0.5, 0.5)
+
+    def test_too_few_points_raises(self):
+        with pytest.raises(ValueError):
+            two_means([Point(0, 0)], rng=0)
+
+
+class TestBalancedSplit:
+    def test_exactly_balanced(self):
+        rng = np.random.default_rng(0)
+        points = [Point(float(x), float(y)) for x, y in rng.uniform(size=(11, 2))]
+        left, right = balanced_task_split(points, rng=1)
+        assert len(left) == 6 and len(right) == 5
+        assert sorted(left + right) == list(range(11))
+
+    def test_respects_geometry(self):
+        left_cluster = [Point(0.05 + 0.01 * i, 0.5) for i in range(4)]
+        right_cluster = [Point(0.95 - 0.01 * i, 0.5) for i in range(4)]
+        left, right = balanced_task_split(left_cluster + right_cluster, rng=2)
+        sides = {frozenset(left), frozenset(right)}
+        assert frozenset(range(4)) in sides
+        assert frozenset(range(4, 8)) in sides
+
+    def test_single_point_raises(self):
+        with pytest.raises(ValueError):
+            balanced_task_split([Point(0, 0)], rng=0)
+
+
+class TestBgPartition:
+    def _problem(self):
+        # Two spatial clusters of tasks; workers near each cluster plus one
+        # fast worker in the middle reaching both.
+        tasks = [
+            make_task(0, x=0.1, y=0.5), make_task(1, x=0.15, y=0.5),
+            make_task(2, x=0.85, y=0.5), make_task(3, x=0.9, y=0.5),
+        ]
+        workers = [
+            make_worker(0, x=0.1, y=0.45, velocity=0.02),
+            make_worker(1, x=0.9, y=0.45, velocity=0.02),
+            make_worker(2, x=0.5, y=0.5, velocity=2.0),
+            make_worker(3, x=5.0, y=5.0, velocity=0.0001),  # isolated
+        ]
+        return RdbscProblem(tasks, workers)
+
+    def test_tasks_split_evenly_and_disjoint(self):
+        problem = self._problem()
+        part = bg_partition(problem, rng=0)
+        assert len(part.task_ids_1) == 2 and len(part.task_ids_2) == 2
+        assert set(part.task_ids_1).isdisjoint(part.task_ids_2)
+        assert set(part.task_ids_1) | set(part.task_ids_2) == {0, 1, 2, 3}
+
+    def test_isolated_workers_single_side(self):
+        problem = self._problem()
+        part = bg_partition(problem, rng=0)
+        # Workers 0 and 1 can only reach one cluster each.
+        in_1 = 0 in part.worker_ids_1
+        assert in_1 != (0 in part.worker_ids_2)
+        in_1 = 1 in part.worker_ids_1
+        assert in_1 != (1 in part.worker_ids_2)
+
+    def test_conflicting_worker_duplicated(self):
+        problem = self._problem()
+        part = bg_partition(problem, rng=0)
+        assert 2 in part.conflicting_worker_ids
+        assert 2 in part.worker_ids_1 and 2 in part.worker_ids_2
+
+    def test_disconnected_worker_dropped(self):
+        problem = self._problem()
+        part = bg_partition(problem, rng=0)
+        assert 3 not in part.worker_ids_1
+        assert 3 not in part.worker_ids_2
+        assert 3 not in part.conflicting_worker_ids
+
+    def test_on_generated_instance(self):
+        problem = generate_problem(
+            ExperimentConfig.scaled_defaults(num_tasks=20, num_workers=40), 3
+        )
+        part = bg_partition(problem, rng=3)
+        assert abs(len(part.task_ids_1) - len(part.task_ids_2)) <= 1
+        for worker_id in part.conflicting_worker_ids:
+            candidates = set(problem.candidate_tasks(worker_id))
+            assert candidates & set(part.task_ids_1)
+            assert candidates & set(part.task_ids_2)

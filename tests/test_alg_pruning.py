@@ -1,0 +1,121 @@
+"""Tests for the Section 4.3 bound-based pruning."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.pruning import (
+    CandidateBounds,
+    diversity_increase_bounds,
+    prune_candidates,
+)
+from repro.core.diversity import WorkerProfile
+from repro.core.expected import expected_std
+from tests.conftest import make_task
+
+probs = st.floats(min_value=0.0, max_value=1.0)
+angles = st.floats(min_value=0.0, max_value=6.28)
+times = st.floats(min_value=0.0, max_value=10.0)
+
+
+def candidate(task_id, worker_id, dr, lb, ub):
+    return CandidateBounds(task_id, worker_id, dr, lb, ub)
+
+
+class TestDiversityIncreaseBounds:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(st.tuples(angles, times, probs), min_size=0, max_size=5),
+        st.tuples(angles, times, probs),
+    )
+    def test_bounds_bracket_true_increase(self, current_raw, new_raw):
+        task = make_task(start=0.0, end=10.0, beta=0.5)
+        current = [
+            WorkerProfile(i, a, t, p) for i, (a, t, p) in enumerate(current_raw)
+        ]
+        new = WorkerProfile(99, *new_raw)
+        lower, upper = diversity_increase_bounds(task, current, new)
+        true_delta = expected_std(task, [*current, new]) - expected_std(task, current)
+        assert lower - 1e-9 <= true_delta <= upper + 1e-9
+
+    def test_lower_bound_clamped_non_negative(self):
+        task = make_task(start=0.0, end=10.0)
+        new = WorkerProfile(0, 1.0, 5.0, 0.9)
+        lower, upper = diversity_increase_bounds(task, [], new)
+        assert lower >= 0.0
+        assert upper >= lower
+
+
+class TestPruneCandidates:
+    def test_empty(self):
+        assert prune_candidates([]) == []
+
+    def test_single_survives(self):
+        c = candidate(0, 0, 1.0, 0.1, 0.5)
+        assert prune_candidates([c]) == [c]
+
+    def test_dominated_pair_pruned(self):
+        better = candidate(0, 0, 1.0, 0.6, 0.8)
+        worse = candidate(1, 1, 0.5, 0.0, 0.5)  # dr smaller, ub < better's lb
+        survivors = prune_candidates([better, worse])
+        assert survivors == [better]
+
+    def test_higher_dr_cannot_be_pruned_by_lower(self):
+        low_dr = candidate(0, 0, 0.1, 0.9, 1.0)
+        high_dr = candidate(1, 1, 5.0, 0.0, 0.1)
+        survivors = prune_candidates([low_dr, high_dr])
+        # high_dr loses on diversity but wins on reliability: kept.
+        assert high_dr in survivors
+        # low_dr has much better diversity: kept too.
+        assert low_dr in survivors
+
+    def test_tied_dr_can_prune_each_other(self):
+        strong = candidate(0, 0, 1.0, 0.7, 0.9)
+        weak = candidate(1, 1, 1.0, 0.1, 0.3)
+        assert prune_candidates([strong, weak]) == [strong]
+
+    def test_self_does_not_prune(self):
+        only = candidate(0, 0, 1.0, 0.4, 0.4)
+        assert prune_candidates([only]) == [only]
+
+    def test_duplicate_best_lbs_prune_third(self):
+        a = candidate(0, 0, 1.0, 0.5, 0.9)
+        b = candidate(1, 1, 1.0, 0.5, 0.9)
+        c = candidate(2, 2, 1.0, 0.0, 0.2)
+        survivors = prune_candidates([a, b, c])
+        assert a in survivors and b in survivors and c not in survivors
+
+    def test_equal_bounds_all_survive(self):
+        cs = [candidate(i, i, 1.0, 0.3, 0.5) for i in range(3)]
+        assert prune_candidates(cs) == cs
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=-5, max_value=5),
+                st.floats(min_value=0.0, max_value=1.0),
+                st.floats(min_value=0.0, max_value=1.0),
+            ),
+            min_size=1,
+            max_size=15,
+        )
+    )
+    def test_matches_quadratic_definition(self, raw):
+        candidates = [
+            candidate(i, i, dr, min(a, b), max(a, b))
+            for i, (dr, a, b) in enumerate(raw)
+        ]
+
+        def is_pruned(c):
+            return any(
+                other is not c
+                and other.delta_min_r >= c.delta_min_r
+                and other.lb_delta_std > c.ub_delta_std
+                for other in candidates
+            )
+
+        expected = [c for c in candidates if not is_pruned(c)]
+        survivors = prune_candidates(candidates)
+        assert sorted(survivors, key=lambda c: c.task_id) == sorted(
+            expected, key=lambda c: c.task_id
+        )

@@ -1,0 +1,117 @@
+"""Tests for answer aggregation and angular-coverage analysis."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis import aggregate_answers, angular_coverage, coverage_report
+from repro.core.diversity import WorkerProfile
+from tests.conftest import make_task
+
+angles = st.floats(min_value=0.0, max_value=2 * math.pi - 1e-9)
+
+
+class TestAngularCoverage:
+    def test_no_angles_zero(self):
+        assert angular_coverage([], math.pi / 8) == 0.0
+
+    def test_zero_tolerance_zero(self):
+        assert angular_coverage([1.0, 2.0], 0.0) == 0.0
+
+    def test_single_angle(self):
+        assert angular_coverage([1.0], math.pi / 4) == pytest.approx(0.25)
+
+    def test_four_cardinal_half_covered(self):
+        cardinal = [0.0, math.pi / 2, math.pi, 3 * math.pi / 2]
+        assert angular_coverage(cardinal, math.pi / 8) == pytest.approx(0.5)
+
+    def test_overlapping_arcs_merge(self):
+        assert angular_coverage([1.0, 1.1], 0.2) == pytest.approx(
+            (0.4 + 0.1) / (2 * math.pi)
+        )
+
+    def test_wraparound_merge(self):
+        value = angular_coverage([0.05, 2 * math.pi - 0.05], 0.1)
+        assert value == pytest.approx(0.3 / (2 * math.pi), abs=1e-6)
+
+    def test_full_circle(self):
+        assert angular_coverage([0.0], 4.0) == 1.0
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ValueError):
+            angular_coverage([1.0], -0.1)
+
+    @given(st.lists(angles, max_size=15), st.floats(min_value=0.0, max_value=3.0))
+    def test_bounded(self, raw, tolerance):
+        value = angular_coverage(raw, tolerance)
+        assert 0.0 <= value <= 1.0
+
+    @given(st.lists(angles, min_size=1, max_size=10), st.floats(min_value=0.01, max_value=1.0))
+    def test_monotone_in_angles(self, raw, tolerance):
+        subset = raw[: len(raw) // 2 + 1]
+        assert angular_coverage(raw, tolerance) >= angular_coverage(subset, tolerance) - 1e-9
+
+
+class TestCoverageReport:
+    def test_ratio(self):
+        report = coverage_report([0.0], [0.0, math.pi], math.pi / 6)
+        assert report.experimental == pytest.approx(1.0 / 6.0)
+        assert report.ground_truth == pytest.approx(1.0 / 3.0)
+        assert report.ratio == pytest.approx(0.5)
+
+    def test_zero_ground_truth(self):
+        report = coverage_report([], [], 0.5)
+        assert report.ratio == 1.0
+
+
+class TestAggregation:
+    def _profiles(self):
+        # Three tight clusters: angles near 0, pi, and times split early/late.
+        return [
+            WorkerProfile(0, 0.02, 1.0, 0.9),
+            WorkerProfile(1, 0.04, 1.2, 0.9),
+            WorkerProfile(2, math.pi, 8.0, 0.9),
+            WorkerProfile(3, math.pi + 0.03, 8.2, 0.9),
+            WorkerProfile(4, math.pi / 2, 5.0, 0.9),
+        ]
+
+    def test_empty(self):
+        assert aggregate_answers(make_task(), [], 3) == []
+
+    def test_invalid_group_count(self):
+        with pytest.raises(ValueError):
+            aggregate_answers(make_task(), self._profiles(), 0)
+
+    def test_groups_cover_all_members(self):
+        task = make_task(start=0.0, end=10.0)
+        groups = aggregate_answers(task, self._profiles(), 3, rng=0)
+        members = [p for g in groups for p in g.members]
+        assert sorted(p.worker_id for p in members) == [0, 1, 2, 3, 4]
+
+    def test_representative_is_member(self):
+        task = make_task(start=0.0, end=10.0)
+        for group in aggregate_answers(task, self._profiles(), 3, rng=0):
+            assert group.representative in group.members
+
+    def test_fewer_answers_than_groups(self):
+        task = make_task(start=0.0, end=10.0)
+        groups = aggregate_answers(task, self._profiles()[:2], 5, rng=0)
+        assert 1 <= len(groups) <= 2
+
+    def test_similar_answers_grouped(self):
+        task = make_task(start=0.0, end=10.0, beta=0.5)
+        groups = aggregate_answers(task, self._profiles(), 3, rng=0)
+        by_worker = {}
+        for gi, group in enumerate(groups):
+            for profile in group.members:
+                by_worker[profile.worker_id] = gi
+        assert by_worker[0] == by_worker[1]
+        assert by_worker[2] == by_worker[3]
+
+    def test_deterministic_given_rng(self):
+        task = make_task(start=0.0, end=10.0)
+        a = aggregate_answers(task, self._profiles(), 3, rng=5)
+        b = aggregate_answers(task, self._profiles(), 3, rng=5)
+        assert [g.members for g in a] == [g.members for g in b]

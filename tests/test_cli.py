@@ -1,0 +1,86 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import FIGURES, build_parser, main, make_solver
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "fig99_nonsense"])
+
+    def test_figure_registry_matches_builders(self):
+        for name, builder in FIGURES.items():
+            assert builder().name == name
+
+
+class TestMakeSolver:
+    @pytest.mark.parametrize(
+        "name, expected",
+        [
+            ("greedy", "GREEDY"),
+            ("sampling", "SAMPLING"),
+            ("dc", "D&C"),
+            ("gtruth", "G-TRUTH"),
+            ("random", "RANDOM"),
+            ("maxtask", "MAX-TASK"),
+        ],
+    )
+    def test_known_names(self, name, expected):
+        assert make_solver(name).name == expected
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            make_solver("quantum")
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig13_tasks_uniform" in out
+        assert "pruning" in out
+
+    def test_solve_single(self, capsys):
+        code = main(
+            ["solve", "--tasks", "10", "--workers", "20", "--solver", "greedy",
+             "--seed", "3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "GREEDY" in out
+        assert "min_rel=" in out
+
+    def test_solve_all(self, capsys):
+        assert main(["solve", "--tasks", "8", "--workers", "16", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        for name in ("GREEDY", "SAMPLING", "D&C", "G-TRUTH"):
+            assert name in out
+
+    def test_solve_skewed(self, capsys):
+        assert main(
+            ["solve", "--tasks", "8", "--workers", "16", "--distribution",
+             "skewed", "--solver", "sampling"]
+        ) == 0
+        assert "SAMPLING" in capsys.readouterr().out
+
+    def test_platform(self, capsys):
+        assert main(
+            ["platform", "--intervals", "3", "--minutes", "12", "--seed", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "t= 3.0min" in out
+
+    def test_coverage(self, capsys):
+        assert main(["coverage"]) == 0
+        assert "ground_truth" in capsys.readouterr().out
+
+    def test_index(self, capsys):
+        assert main(["index"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 17" in out and "pairs=" in out

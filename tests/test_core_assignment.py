@@ -1,0 +1,83 @@
+"""Unit tests for the Assignment bidirectional mapping."""
+
+import pytest
+
+from repro.core.assignment import Assignment
+
+
+class TestAssignBasics:
+    def test_assign_and_lookup(self):
+        a = Assignment()
+        a.assign(10, 1)
+        assert a.task_of(1) == 10
+        assert a.workers_for(10) == frozenset({1})
+        assert a.is_assigned(1)
+
+    def test_multiple_workers_per_task(self):
+        a = Assignment()
+        a.assign(10, 1)
+        a.assign(10, 2)
+        assert a.workers_for(10) == frozenset({1, 2})
+
+    def test_worker_single_task_enforced(self):
+        a = Assignment()
+        a.assign(10, 1)
+        with pytest.raises(ValueError):
+            a.assign(11, 1)
+
+    def test_unassign(self):
+        a = Assignment()
+        a.assign(10, 1)
+        assert a.unassign(1) == 10
+        assert a.task_of(1) is None
+        assert a.workers_for(10) == frozenset()
+        assert 10 not in a.assigned_tasks()
+
+    def test_unassign_unknown_raises(self):
+        with pytest.raises(KeyError):
+            Assignment().unassign(5)
+
+    def test_len_counts_workers(self):
+        a = Assignment()
+        a.assign(1, 1)
+        a.assign(1, 2)
+        a.assign(2, 3)
+        assert len(a) == 3
+
+    def test_pairs_iteration(self):
+        a = Assignment.from_pairs([(1, 10), (2, 20), (1, 30)])
+        assert sorted(a.pairs()) == [(1, 10), (1, 30), (2, 20)]
+
+    def test_from_pairs_duplicate_worker_raises(self):
+        with pytest.raises(ValueError):
+            Assignment.from_pairs([(1, 10), (2, 10)])
+
+
+class TestCopyAndEquality:
+    def test_copy_is_independent(self):
+        a = Assignment.from_pairs([(1, 10)])
+        b = a.copy()
+        b.assign(2, 20)
+        assert not a.is_assigned(20)
+        assert b.is_assigned(20)
+
+    def test_copy_deepens_task_sets(self):
+        a = Assignment.from_pairs([(1, 10)])
+        b = a.copy()
+        b.assign(1, 11)
+        assert a.workers_for(1) == frozenset({10})
+
+    def test_equality_by_content(self):
+        a = Assignment.from_pairs([(1, 10), (2, 20)])
+        b = Assignment.from_pairs([(2, 20), (1, 10)])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_inequality(self):
+        assert Assignment.from_pairs([(1, 10)]) != Assignment.from_pairs([(2, 10)])
+
+    def test_empty_truths(self):
+        a = Assignment()
+        assert len(a) == 0
+        assert a.assigned_tasks() == []
+        assert list(a.pairs()) == []

@@ -1,0 +1,173 @@
+"""Unit and property tests for deterministic SD / TD / STD (Eqs. 3-5)."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.diversity import (
+    WorkerProfile,
+    approach_angle,
+    arrival_intervals,
+    spatial_diversity,
+    std,
+    std_of_workers,
+    temporal_diversity,
+    worker_profile,
+    worker_profiles,
+)
+from repro.core.validity import ValidityRule
+from repro.geometry.angles import TWO_PI
+from tests.conftest import make_task, make_worker
+
+angle_lists = st.lists(
+    st.floats(min_value=0.0, max_value=TWO_PI - 1e-9), min_size=0, max_size=10
+)
+
+
+class TestSpatialDiversity:
+    def test_no_rays_zero(self):
+        assert spatial_diversity([]) == 0.0
+
+    def test_single_ray_zero(self):
+        assert spatial_diversity([1.3]) == 0.0
+
+    def test_two_opposite_rays_max_for_pairs(self):
+        # Two half-circles: entropy = ln 2.
+        assert spatial_diversity([0.0, math.pi]) == pytest.approx(math.log(2.0))
+
+    def test_uniform_rays_maximise(self):
+        n = 6
+        uniform = [k * TWO_PI / n for k in range(n)]
+        assert spatial_diversity(uniform) == pytest.approx(math.log(n))
+
+    def test_clustered_rays_low(self):
+        clustered = [0.0, 0.01, 0.02]
+        assert spatial_diversity(clustered) < 0.2
+
+    def test_duplicate_rays_as_if_one(self):
+        assert spatial_diversity([1.0, 1.0]) == pytest.approx(0.0, abs=1e-9)
+
+    @given(angle_lists)
+    def test_bounded_by_log_r(self, angles):
+        value = spatial_diversity(angles)
+        assert value >= 0.0
+        if len(angles) >= 2:
+            assert value <= math.log(len(angles)) + 1e-9
+
+    @given(angle_lists, st.floats(min_value=-10, max_value=10))
+    def test_rotation_invariant(self, angles, shift):
+        rotated = [a + shift for a in angles]
+        assert spatial_diversity(rotated) == pytest.approx(
+            spatial_diversity(angles), abs=1e-9
+        )
+
+
+class TestArrivalIntervals:
+    def test_no_arrivals_single_interval(self):
+        assert arrival_intervals([], 0.0, 10.0) == [10.0]
+
+    def test_splits(self):
+        assert arrival_intervals([3.0, 7.0], 0.0, 10.0) == [3.0, 4.0, 3.0]
+
+    def test_clamps_out_of_range(self):
+        assert arrival_intervals([-5.0, 15.0], 0.0, 10.0) == [0.0, 10.0, 0.0]
+
+    def test_invalid_period_raises(self):
+        with pytest.raises(ValueError):
+            arrival_intervals([1.0], 5.0, 4.0)
+
+    @given(
+        st.lists(st.floats(min_value=0.0, max_value=10.0), max_size=8),
+    )
+    def test_intervals_sum_to_duration(self, arrivals):
+        intervals = arrival_intervals(arrivals, 0.0, 10.0)
+        assert len(intervals) == len(arrivals) + 1
+        assert sum(intervals) == pytest.approx(10.0)
+
+
+class TestTemporalDiversity:
+    def test_no_arrivals_zero(self):
+        assert temporal_diversity([], 0.0, 10.0) == 0.0
+
+    def test_single_midpoint_arrival(self):
+        assert temporal_diversity([5.0], 0.0, 10.0) == pytest.approx(math.log(2.0))
+
+    def test_single_edge_arrival_zero(self):
+        assert temporal_diversity([0.0], 0.0, 10.0) == pytest.approx(0.0, abs=1e-9)
+
+    def test_zero_duration_zero(self):
+        assert temporal_diversity([3.0], 3.0, 3.0) == 0.0
+
+    def test_uniform_arrivals_maximise(self):
+        arrivals = [2.5, 5.0, 7.5]
+        assert temporal_diversity(arrivals, 0.0, 10.0) == pytest.approx(math.log(4.0))
+
+    def test_single_arrival_positive_unlike_sd(self):
+        # The asymmetry behind GREEDY's bad start-up: one worker creates
+        # temporal diversity but no spatial diversity.
+        assert temporal_diversity([4.0], 0.0, 10.0) > 0.0
+        assert spatial_diversity([1.0]) == 0.0
+
+
+class TestStd:
+    def _profiles(self):
+        return [
+            WorkerProfile(0, 0.0, 2.5, 0.9),
+            WorkerProfile(1, math.pi, 7.5, 0.8),
+        ]
+
+    def test_beta_blend(self):
+        task = make_task(start=0.0, end=10.0)
+        sd = spatial_diversity([0.0, math.pi])
+        td = temporal_diversity([2.5, 7.5], 0.0, 10.0)
+        assert std(task, self._profiles(), beta=1.0) == pytest.approx(sd)
+        assert std(task, self._profiles(), beta=0.0) == pytest.approx(td)
+        assert std(task, self._profiles(), beta=0.3) == pytest.approx(0.3 * sd + 0.7 * td)
+
+    def test_default_beta_from_task(self):
+        task = make_task(start=0.0, end=10.0, beta=1.0)
+        assert std(task, self._profiles()) == pytest.approx(
+            spatial_diversity([0.0, math.pi])
+        )
+
+    def test_invalid_beta_raises(self):
+        with pytest.raises(ValueError):
+            std(make_task(), self._profiles(), beta=2.0)
+
+
+class TestWorkerProfiles:
+    def test_approach_angle_east(self):
+        task = make_task(x=0.5, y=0.5)
+        worker = make_worker(x=0.9, y=0.5)
+        assert approach_angle(task, worker) == pytest.approx(0.0)
+
+    def test_approach_angle_coincident_defaults_zero(self):
+        task = make_task(x=0.5, y=0.5)
+        worker = make_worker(x=0.5, y=0.5)
+        assert approach_angle(task, worker) == 0.0
+
+    def test_worker_profile_fields(self):
+        task = make_task(x=0.5, y=0.5, start=0.0, end=10.0)
+        worker = make_worker(x=0.0, y=0.5, velocity=0.25, confidence=0.77)
+        profile = worker_profile(task, worker)
+        assert profile.worker_id == worker.worker_id
+        assert profile.arrival == pytest.approx(2.0)
+        assert profile.angle == pytest.approx(math.pi)
+        assert profile.confidence == 0.77
+
+    def test_worker_profile_invalid_pair_raises(self):
+        task = make_task(x=0.5, y=0.5, start=0.0, end=0.1)
+        slow = make_worker(x=0.0, y=0.5, velocity=0.01)
+        with pytest.raises(ValueError):
+            worker_profile(task, slow)
+
+    def test_std_of_workers_matches_profiles(self):
+        task = make_task(x=0.5, y=0.5, start=0.0, end=10.0)
+        workers = [
+            make_worker(0, x=0.1, y=0.5, velocity=0.2),
+            make_worker(1, x=0.9, y=0.5, velocity=0.1),
+        ]
+        via_profiles = std(task, worker_profiles(task, workers, ValidityRule()))
+        assert std_of_workers(task, workers) == pytest.approx(via_profiles)

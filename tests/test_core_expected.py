@@ -1,0 +1,159 @@
+"""Property tests: the O(r^2) matrix reduction equals exact enumeration.
+
+This is the load-bearing correctness argument for Lemma 3.1 / Eqs. 9-10:
+on random instances the polynomial computation must agree with the
+possible-world oracle to floating-point precision, including edge cases
+(duplicate angles, boundary arrivals, certain and hopeless workers).
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.diversity import WorkerProfile, std
+from repro.core.expected import (
+    expected_spatial_diversity,
+    expected_std,
+    expected_std_bounds,
+    expected_temporal_diversity,
+)
+from repro.core.possible_worlds import (
+    exact_expected_spatial_diversity,
+    exact_expected_std,
+    exact_expected_temporal_diversity,
+)
+from repro.geometry.angles import TWO_PI
+from tests.conftest import make_task
+
+probs = st.floats(min_value=0.0, max_value=1.0)
+angles = st.floats(min_value=0.0, max_value=TWO_PI - 1e-9)
+times = st.floats(min_value=0.0, max_value=10.0)
+
+
+@st.composite
+def diversity_instances(draw, max_workers=7):
+    r = draw(st.integers(min_value=0, max_value=max_workers))
+    return (
+        [draw(angles) for _ in range(r)],
+        [draw(times) for _ in range(r)],
+        [draw(probs) for _ in range(r)],
+    )
+
+
+class TestSpatialReduction:
+    def test_empty(self):
+        assert expected_spatial_diversity([], []) == 0.0
+
+    def test_single_worker_zero(self):
+        assert expected_spatial_diversity([1.0], [0.9]) == 0.0
+
+    def test_two_workers_closed_form(self):
+        # Both must succeed for SD > 0; then SD = h(g) + h(1-g).
+        value = expected_spatial_diversity([0.0, math.pi], [0.8, 0.5])
+        assert value == pytest.approx(0.8 * 0.5 * math.log(2.0))
+
+    @settings(max_examples=120, deadline=None)
+    @given(diversity_instances())
+    def test_matches_exact(self, instance):
+        angle_list, _, ps = instance
+        fast = expected_spatial_diversity(angle_list, ps)
+        exact = exact_expected_spatial_diversity(angle_list, ps)
+        assert fast == pytest.approx(exact, abs=1e-10)
+
+    def test_duplicate_angles(self):
+        fast = expected_spatial_diversity([1.0, 1.0, 4.0], [0.5, 0.5, 0.5])
+        exact = exact_expected_spatial_diversity([1.0, 1.0, 4.0], [0.5, 0.5, 0.5])
+        assert fast == pytest.approx(exact, abs=1e-12)
+
+    def test_certain_and_hopeless_mixture(self):
+        ps = [1.0, 0.0, 1.0]
+        a = [0.0, 2.0, math.pi]
+        assert expected_spatial_diversity(a, ps) == pytest.approx(
+            exact_expected_spatial_diversity(a, ps), abs=1e-12
+        )
+
+
+class TestTemporalReduction:
+    def test_empty(self):
+        assert expected_temporal_diversity([], [], 0.0, 10.0) == 0.0
+
+    def test_zero_duration(self):
+        assert expected_temporal_diversity([1.0], [0.9], 1.0, 1.0) == 0.0
+
+    def test_single_worker_closed_form(self):
+        # TD > 0 only when the worker succeeds.
+        value = expected_temporal_diversity([5.0], [0.6], 0.0, 10.0)
+        assert value == pytest.approx(0.6 * math.log(2.0))
+
+    @settings(max_examples=120, deadline=None)
+    @given(diversity_instances())
+    def test_matches_exact(self, instance):
+        _, arrivals, ps = instance
+        fast = expected_temporal_diversity(arrivals, ps, 0.0, 10.0)
+        exact = exact_expected_temporal_diversity(arrivals, ps, 0.0, 10.0)
+        assert fast == pytest.approx(exact, abs=1e-10)
+
+    def test_boundary_arrivals(self):
+        arrivals = [0.0, 10.0, 5.0]
+        ps = [0.7, 0.7, 0.7]
+        assert expected_temporal_diversity(arrivals, ps, 0.0, 10.0) == pytest.approx(
+            exact_expected_temporal_diversity(arrivals, ps, 0.0, 10.0), abs=1e-12
+        )
+
+
+class TestExpectedStd:
+    @settings(max_examples=60, deadline=None)
+    @given(diversity_instances(max_workers=6), st.floats(min_value=0.0, max_value=1.0))
+    def test_matches_exact(self, instance, beta):
+        angle_list, arrivals, ps = instance
+        task = make_task(start=0.0, end=10.0, beta=beta)
+        profiles = [
+            WorkerProfile(i, angle_list[i], arrivals[i], ps[i])
+            for i in range(len(ps))
+        ]
+        assert expected_std(task, profiles) == pytest.approx(
+            exact_expected_std(task, profiles), abs=1e-10
+        )
+
+    def test_invalid_beta_raises(self):
+        with pytest.raises(ValueError):
+            expected_std(make_task(), [], beta=1.5)
+
+    def test_beta_extremes_skip_other_component(self):
+        task = make_task(start=0.0, end=10.0)
+        profiles = [WorkerProfile(0, 1.0, 5.0, 0.9), WorkerProfile(1, 2.0, 6.0, 0.9)]
+        sd_only = expected_std(task, profiles, beta=1.0)
+        td_only = expected_std(task, profiles, beta=0.0)
+        assert sd_only == pytest.approx(
+            expected_spatial_diversity([1.0, 2.0], [0.9, 0.9])
+        )
+        assert td_only == pytest.approx(
+            expected_temporal_diversity([5.0, 6.0], [0.9, 0.9], 0.0, 10.0)
+        )
+
+
+class TestBounds:
+    @settings(max_examples=80, deadline=None)
+    @given(diversity_instances(max_workers=6), st.floats(min_value=0.0, max_value=1.0))
+    def test_bounds_bracket_expected(self, instance, beta):
+        # Section 4.3: lb <= E[STD] <= ub must hold on every instance.
+        angle_list, arrivals, ps = instance
+        task = make_task(start=0.0, end=10.0, beta=beta)
+        profiles = [
+            WorkerProfile(i, angle_list[i], arrivals[i], ps[i])
+            for i in range(len(ps))
+        ]
+        lower, upper = expected_std_bounds(task, profiles)
+        value = expected_std(task, profiles)
+        assert lower - 1e-9 <= value <= upper + 1e-9
+
+    def test_empty_profiles_zero_bounds(self):
+        assert expected_std_bounds(make_task(), []) == (0.0, 0.0)
+
+    def test_upper_is_deterministic_std(self):
+        task = make_task(start=0.0, end=10.0)
+        profiles = [WorkerProfile(0, 0.0, 2.0, 0.5), WorkerProfile(1, 3.0, 8.0, 0.5)]
+        _, upper = expected_std_bounds(task, profiles)
+        assert upper == pytest.approx(std(task, profiles))

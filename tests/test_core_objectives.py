@@ -1,0 +1,164 @@
+"""Tests for objective evaluation and the incremental evaluator."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.assignment import Assignment
+from repro.core.objectives import (
+    IncrementalEvaluator,
+    ObjectiveValue,
+    dominates,
+    evaluate_assignment,
+)
+from repro.core.problem import RdbscProblem
+from repro.datagen import ExperimentConfig, generate_problem
+from tests.conftest import make_task, make_worker
+
+
+def small_problem(seed: int = 3) -> RdbscProblem:
+    config = ExperimentConfig.scaled_defaults(num_tasks=10, num_workers=20)
+    return generate_problem(config, seed)
+
+
+class TestDominates:
+    def test_strictly_better_both(self):
+        assert dominates(ObjectiveValue(0.9, 5.0), ObjectiveValue(0.8, 4.0))
+
+    def test_better_one_equal_other(self):
+        assert dominates(ObjectiveValue(0.9, 5.0), ObjectiveValue(0.9, 4.0))
+        assert dominates(ObjectiveValue(0.95, 5.0), ObjectiveValue(0.9, 5.0))
+
+    def test_equal_does_not_dominate(self):
+        v = ObjectiveValue(0.9, 5.0)
+        assert not dominates(v, v)
+
+    def test_tradeoff_does_not_dominate(self):
+        a, b = ObjectiveValue(0.9, 4.0), ObjectiveValue(0.8, 5.0)
+        assert not dominates(a, b)
+        assert not dominates(b, a)
+
+
+class TestEvaluateAssignment:
+    def test_empty_assignment(self):
+        problem = small_problem()
+        value = evaluate_assignment(problem, Assignment())
+        assert value == ObjectiveValue(0.0, 0.0)
+
+    def test_single_pair(self):
+        tasks = [make_task(0, x=0.5, y=0.5, start=0.0, end=10.0)]
+        workers = [make_worker(0, x=0.2, y=0.5, velocity=0.1, confidence=0.8)]
+        problem = RdbscProblem(tasks, workers)
+        a = Assignment.from_pairs([(0, 0)])
+        value = evaluate_assignment(problem, a)
+        assert value.min_reliability == pytest.approx(0.8)
+        assert value.total_std > 0.0  # one worker still creates TD
+
+    def test_include_empty_flag(self):
+        tasks = [make_task(0, x=0.4), make_task(1, x=0.6)]
+        workers = [make_worker(0, x=0.39, y=0.5, velocity=0.2, confidence=0.9)]
+        problem = RdbscProblem(tasks, workers)
+        a = Assignment.from_pairs([(0, 0)])
+        assert evaluate_assignment(problem, a).min_reliability == pytest.approx(0.9)
+        assert evaluate_assignment(problem, a, include_empty=True).min_reliability == 0.0
+
+    def test_certain_worker_full_reliability(self):
+        tasks = [make_task(0, x=0.5, y=0.5)]
+        workers = [make_worker(0, x=0.4, y=0.5, velocity=0.5, confidence=1.0)]
+        problem = RdbscProblem(tasks, workers)
+        a = Assignment.from_pairs([(0, 0)])
+        assert evaluate_assignment(problem, a).min_reliability == 1.0
+
+
+class TestIncrementalEvaluator:
+    def test_matches_batch_evaluation(self):
+        problem = small_problem(5)
+        evaluator = IncrementalEvaluator(problem)
+        assignment = Assignment()
+        for worker in problem.workers:
+            candidates = problem.candidate_tasks(worker.worker_id)
+            if candidates:
+                task_id = candidates[0]
+                evaluator.apply(task_id, worker.worker_id)
+                assignment.assign(task_id, worker.worker_id)
+        batch = evaluate_assignment(problem, assignment)
+        incremental = evaluator.value()
+        assert incremental.min_reliability == pytest.approx(batch.min_reliability)
+        assert incremental.total_std == pytest.approx(batch.total_std)
+
+    def test_delta_estd_predicts_apply(self):
+        problem = small_problem(7)
+        evaluator = IncrementalEvaluator(problem)
+        for worker in problem.workers[:8]:
+            candidates = problem.candidate_tasks(worker.worker_id)
+            if not candidates:
+                continue
+            task_id = candidates[-1]
+            before = evaluator.total_std
+            predicted = evaluator.delta_estd(task_id, worker.worker_id)
+            evaluator.apply(task_id, worker.worker_id)
+            assert evaluator.total_std - before == pytest.approx(predicted, abs=1e-9)
+
+    def test_delta_estd_non_negative(self):
+        # Lemma 4.2 at the evaluator level.
+        problem = small_problem(11)
+        evaluator = IncrementalEvaluator(problem)
+        for worker in problem.workers:
+            for task_id in problem.candidate_tasks(worker.worker_id):
+                assert evaluator.delta_estd(task_id, worker.worker_id) >= -1e-12
+
+    def test_delta_min_r_first_assignment(self):
+        tasks = [make_task(0, x=0.5, y=0.5)]
+        workers = [make_worker(0, x=0.4, y=0.5, velocity=0.5, confidence=0.9)]
+        problem = RdbscProblem(tasks, workers)
+        evaluator = IncrementalEvaluator(problem)
+        delta = evaluator.delta_min_r(0, 0)
+        assert delta == pytest.approx(-math.log(0.1))
+
+    def test_delta_min_r_new_task_can_be_negative(self):
+        tasks = [make_task(0, x=0.4), make_task(1, x=0.6)]
+        workers = [
+            make_worker(0, x=0.39, y=0.5, velocity=0.2, confidence=0.99),
+            make_worker(1, x=0.61, y=0.5, velocity=0.2, confidence=0.5),
+        ]
+        problem = RdbscProblem(tasks, workers)
+        evaluator = IncrementalEvaluator(problem)
+        evaluator.apply(0, 0)  # min R is now large
+        # Opening task 1 with a weak worker drags the minimum down.
+        assert evaluator.delta_min_r(1, 1) < 0.0
+
+    def test_delta_min_r_matches_apply(self):
+        problem = small_problem(13)
+        evaluator = IncrementalEvaluator(problem)
+        applied = 0
+        for worker in problem.workers:
+            candidates = problem.candidate_tasks(worker.worker_id)
+            if not candidates:
+                continue
+            task_id = candidates[0]
+            old_min = evaluator.min_r()
+            predicted = evaluator.delta_min_r(task_id, worker.worker_id)
+            evaluator.apply(task_id, worker.worker_id)
+            new_min = evaluator.min_r()
+            if math.isinf(old_min):
+                assert new_min == pytest.approx(predicted)
+            else:
+                assert new_min - old_min == pytest.approx(predicted, abs=1e-9)
+            applied += 1
+            if applied >= 10:
+                break
+
+    def test_min_two_r_tracks_duplicates(self):
+        tasks = [make_task(0, x=0.4), make_task(1, x=0.6)]
+        workers = [
+            make_worker(0, x=0.39, y=0.5, velocity=0.2, confidence=0.9),
+            make_worker(1, x=0.61, y=0.5, velocity=0.2, confidence=0.9),
+        ]
+        problem = RdbscProblem(tasks, workers)
+        evaluator = IncrementalEvaluator(problem)
+        evaluator.apply(0, 0)
+        evaluator.apply(1, 1)
+        best, second = evaluator.min_two_r()
+        assert best == pytest.approx(second)

@@ -1,0 +1,94 @@
+"""Unit tests for the exact possible-world semantics (Eq. 2 / Eq. 6)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.diversity import WorkerProfile, spatial_diversity, temporal_diversity
+from repro.core.possible_worlds import (
+    MAX_EXACT_WORKERS,
+    enumerate_worlds,
+    exact_expected_spatial_diversity,
+    exact_expected_std,
+    exact_expected_temporal_diversity,
+)
+from tests.conftest import make_task
+
+probs = st.floats(min_value=0.0, max_value=1.0)
+
+
+class TestEnumerateWorlds:
+    def test_empty_set_single_world(self):
+        worlds = list(enumerate_worlds([]))
+        assert worlds == [((), 1.0)]
+
+    def test_single_worker_two_worlds(self):
+        worlds = dict(enumerate_worlds([0.7]))
+        assert worlds[()] == pytest.approx(0.3)
+        assert worlds[(0,)] == pytest.approx(0.7)
+
+    def test_world_count(self):
+        assert len(list(enumerate_worlds([0.5] * 5))) == 32
+
+    def test_certain_workers(self):
+        worlds = {w: p for w, p in enumerate_worlds([1.0, 0.0]) if p > 0}
+        assert worlds == {(0,): pytest.approx(1.0)}
+
+    def test_refuses_oversized(self):
+        with pytest.raises(ValueError):
+            list(enumerate_worlds([0.5] * (MAX_EXACT_WORKERS + 1)))
+
+    @given(st.lists(probs, max_size=8))
+    def test_probabilities_sum_to_one(self, ps):
+        total = sum(p for _, p in enumerate_worlds(ps))
+        assert total == pytest.approx(1.0)
+
+    def test_eq2_probability_formula(self):
+        ps = [0.9, 0.6, 0.3]
+        worlds = dict(enumerate_worlds(ps))
+        # World {0, 2}: p0 * (1 - p1) * p2.
+        assert worlds[(0, 2)] == pytest.approx(0.9 * 0.4 * 0.3)
+
+
+class TestExactExpectations:
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            exact_expected_spatial_diversity([0.0], [0.5, 0.5])
+        with pytest.raises(ValueError):
+            exact_expected_temporal_diversity([0.0], [0.5, 0.5], 0.0, 1.0)
+
+    def test_certain_workers_match_deterministic(self):
+        angles = [0.0, math.pi / 2, math.pi]
+        assert exact_expected_spatial_diversity(angles, [1.0] * 3) == pytest.approx(
+            spatial_diversity(angles)
+        )
+        arrivals = [2.0, 5.0, 8.0]
+        assert exact_expected_temporal_diversity(
+            arrivals, [1.0] * 3, 0.0, 10.0
+        ) == pytest.approx(temporal_diversity(arrivals, 0.0, 10.0))
+
+    def test_zero_confidence_gives_zero(self):
+        assert exact_expected_spatial_diversity([0.0, math.pi], [0.0, 0.0]) == 0.0
+
+    def test_expected_std_blends(self):
+        task = make_task(start=0.0, end=10.0)
+        profiles = [
+            WorkerProfile(0, 0.0, 2.0, 0.8),
+            WorkerProfile(1, math.pi, 7.0, 0.6),
+        ]
+        sd = exact_expected_spatial_diversity([0.0, math.pi], [0.8, 0.6])
+        td = exact_expected_temporal_diversity([2.0, 7.0], [0.8, 0.6], 0.0, 10.0)
+        assert exact_expected_std(task, profiles, beta=0.25) == pytest.approx(
+            0.25 * sd + 0.75 * td
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(probs, min_size=1, max_size=6), st.floats(min_value=0.0, max_value=1.0))
+    def test_monotone_in_added_worker(self, ps, extra):
+        # Lemma 4.2: expected diversity never decreases with a new worker.
+        angles = [i * 0.7 for i in range(len(ps))]
+        before = exact_expected_spatial_diversity(angles, ps)
+        after = exact_expected_spatial_diversity([*angles, 3.0], [*ps, extra])
+        assert after >= before - 1e-9

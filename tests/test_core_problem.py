@@ -1,0 +1,123 @@
+"""Unit tests for the RdbscProblem valid-pair graph."""
+
+import math
+
+import pytest
+
+from repro.core.problem import RdbscProblem, ValidPair
+from repro.core.validity import ValidityRule
+from tests.conftest import make_task, make_worker
+
+
+def tiny_problem():
+    """Two tasks, three workers; worker 2 can reach both tasks."""
+    tasks = [
+        make_task(0, x=0.2, y=0.5, start=0.0, end=10.0),
+        make_task(1, x=0.8, y=0.5, start=0.0, end=10.0),
+    ]
+    workers = [
+        make_worker(0, x=0.19, y=0.5, velocity=0.01),  # only task 0 in time
+        make_worker(1, x=0.79, y=0.5, velocity=0.01),  # only task 1 in time
+        make_worker(2, x=0.5, y=0.5, velocity=1.0),    # both
+    ]
+    return RdbscProblem(tasks, workers)
+
+
+class TestGraphConstruction:
+    def test_candidates(self):
+        problem = tiny_problem()
+        assert problem.candidate_tasks(0) == [0]
+        assert problem.candidate_tasks(1) == [1]
+        assert sorted(problem.candidate_tasks(2)) == [0, 1]
+
+    def test_degree(self):
+        problem = tiny_problem()
+        assert problem.degree(0) == 1
+        assert problem.degree(2) == 2
+
+    def test_candidate_workers(self):
+        problem = tiny_problem()
+        assert sorted(problem.candidate_workers(0)) == [0, 2]
+        assert sorted(problem.candidate_workers(1)) == [1, 2]
+
+    def test_is_valid_pair_and_arrival(self):
+        problem = tiny_problem()
+        assert problem.is_valid_pair(0, 0)
+        assert not problem.is_valid_pair(1, 0)
+        assert problem.arrival(0, 2) == pytest.approx(0.3)
+
+    def test_arrival_unknown_pair_raises(self):
+        with pytest.raises(KeyError):
+            tiny_problem().arrival(1, 0)
+
+    def test_num_pairs(self):
+        assert tiny_problem().num_pairs == 4
+
+    def test_duplicate_task_ids_rejected(self):
+        with pytest.raises(ValueError):
+            RdbscProblem([make_task(0), make_task(0)], [])
+
+    def test_duplicate_worker_ids_rejected(self):
+        with pytest.raises(ValueError):
+            RdbscProblem([], [make_worker(0), make_worker(0)])
+
+
+class TestPrecomputedPairs:
+    def test_precomputed_pairs_respected(self):
+        tasks = [make_task(0), make_task(1, x=0.6)]
+        workers = [make_worker(0, x=0.5, y=0.5, velocity=1.0)]
+        pairs = [ValidPair(0, 0, arrival=0.0)]
+        problem = RdbscProblem(tasks, workers, precomputed_pairs=pairs)
+        assert problem.candidate_tasks(0) == [0]
+        assert problem.arrival(0, 0) == 0.0
+
+    def test_unknown_ids_in_pairs_rejected(self):
+        tasks = [make_task(0)]
+        workers = [make_worker(0)]
+        with pytest.raises(ValueError):
+            RdbscProblem(tasks, workers, precomputed_pairs=[ValidPair(7, 0, 0.0)])
+        with pytest.raises(ValueError):
+            RdbscProblem(tasks, workers, precomputed_pairs=[ValidPair(0, 7, 0.0)])
+
+    def test_pair_profile_uses_stored_arrival(self):
+        tasks = [make_task(0, x=0.5, y=0.5, start=0.0, end=10.0)]
+        workers = [make_worker(0, x=0.9, y=0.5, velocity=0.0)]  # unreachable
+        pairs = [ValidPair(0, 0, arrival=4.5)]  # pinned anyway
+        problem = RdbscProblem(tasks, workers, precomputed_pairs=pairs)
+        profile = problem.pair_profile(0, 0)
+        assert profile.arrival == 4.5
+        assert profile.angle == pytest.approx(0.0)  # worker due east of task
+        assert profile.confidence == workers[0].confidence
+
+    def test_pair_profile_invalid_pair_raises(self):
+        problem = tiny_problem()
+        with pytest.raises(KeyError):
+            problem.pair_profile(1, 0)
+
+
+class TestPopulationAndRestriction:
+    def test_log_population_size(self):
+        problem = tiny_problem()
+        # deg: 1, 1, 2 -> log population = log 2.
+        assert problem.log_population_size() == pytest.approx(math.log(2.0))
+
+    def test_log_population_ignores_isolated_workers(self):
+        tasks = [make_task(0)]
+        workers = [make_worker(0, x=0.45, y=0.5), make_worker(1, x=99.0, velocity=0.001)]
+        problem = RdbscProblem(tasks, workers)
+        assert problem.degree(1) == 0
+        assert problem.log_population_size() == pytest.approx(0.0)
+
+    def test_restricted_to_keeps_inherited_pairs(self):
+        problem = tiny_problem()
+        sub = problem.restricted_to([0], [0, 2])
+        assert sub.num_tasks == 1
+        assert sub.num_workers == 2
+        assert sub.candidate_tasks(2) == [0]
+        assert sub.arrival(0, 2) == problem.arrival(0, 2)
+
+    def test_restriction_drops_cross_edges(self):
+        problem = tiny_problem()
+        sub = problem.restricted_to([1], [2])
+        assert sub.candidate_tasks(2) == [1]
+        assert not sub.is_valid_pair(0, 2)

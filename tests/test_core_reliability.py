@@ -1,0 +1,110 @@
+"""Unit and property tests for reliability (Eq. 1) and its reduction (Eq. 8)."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.assignment import Assignment
+from repro.core.problem import RdbscProblem
+from repro.core.reliability import (
+    log_reliability,
+    log_to_reliability,
+    min_reliability,
+    reliability,
+    task_reliability,
+)
+from tests.conftest import make_task, make_worker
+
+confidences = st.lists(
+    st.floats(min_value=0.0, max_value=0.999), min_size=0, max_size=12
+)
+
+
+class TestReliability:
+    def test_empty_set_zero(self):
+        assert reliability([]) == 0.0
+
+    def test_single_worker(self):
+        assert reliability([0.9]) == pytest.approx(0.9)
+
+    def test_two_workers(self):
+        # 1 - 0.1 * 0.2 = 0.98
+        assert reliability([0.9, 0.8]) == pytest.approx(0.98)
+
+    def test_certain_worker_gives_one(self):
+        assert reliability([0.5, 1.0]) == 1.0
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            reliability([1.5])
+
+    @given(confidences, st.floats(min_value=0.0, max_value=0.999))
+    def test_monotone_in_members(self, ps, extra):
+        # Lemma 4.1: adding a worker never decreases reliability.
+        assert reliability([*ps, extra]) >= reliability(ps) - 1e-12
+
+    @given(confidences)
+    def test_bounded(self, ps):
+        assert 0.0 <= reliability(ps) <= 1.0
+
+
+class TestLogReliability:
+    def test_empty_zero(self):
+        assert log_reliability([]) == 0.0
+
+    def test_additivity(self):
+        # Lemma 4.1: R(W + w) = R(W) - ln(1 - p_w).
+        base = log_reliability([0.9, 0.5])
+        assert log_reliability([0.9, 0.5, 0.7]) == pytest.approx(
+            base - math.log(0.3)
+        )
+
+    def test_certain_worker_infinite(self):
+        assert math.isinf(log_reliability([1.0]))
+
+    @given(confidences)
+    def test_equivalence_with_rel(self, ps):
+        # Eq. 8: R = -ln(1 - rel).
+        r = log_reliability(ps)
+        assert log_to_reliability(r) == pytest.approx(reliability(ps), abs=1e-9)
+
+    def test_log_to_reliability_rejects_negative(self):
+        with pytest.raises(ValueError):
+            log_to_reliability(-0.1)
+
+    def test_log_to_reliability_inf(self):
+        assert log_to_reliability(math.inf) == 1.0
+
+
+class TestMinReliability:
+    def _problem(self):
+        tasks = [make_task(0, x=0.2), make_task(1, x=0.8), make_task(2, x=0.5)]
+        workers = [
+            make_worker(0, x=0.2, y=0.49, confidence=0.9),
+            make_worker(1, x=0.8, y=0.49, confidence=0.8),
+            make_worker(2, x=0.8, y=0.51, confidence=0.7),
+        ]
+        return RdbscProblem(tasks, workers)
+
+    def test_min_over_nonempty(self):
+        problem = self._problem()
+        a = Assignment.from_pairs([(0, 0), (1, 1), (1, 2)])
+        # Task 0: 0.9.  Task 1: 1 - 0.2*0.3 = 0.94.  Task 2: empty, skipped.
+        assert min_reliability(problem, a) == pytest.approx(0.9)
+
+    def test_include_empty_gives_zero(self):
+        problem = self._problem()
+        a = Assignment.from_pairs([(0, 0)])
+        assert min_reliability(problem, a, include_empty=True) == 0.0
+
+    def test_empty_assignment(self):
+        problem = self._problem()
+        assert min_reliability(problem, Assignment()) == 0.0
+
+    def test_task_reliability(self):
+        problem = self._problem()
+        a = Assignment.from_pairs([(1, 1), (1, 2)])
+        assert task_reliability(problem, a, 1) == pytest.approx(0.94)
+        assert task_reliability(problem, a, 0) == 0.0

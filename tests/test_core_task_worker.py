@@ -1,0 +1,100 @@
+"""Unit tests for SpatialTask (Definition 1) and MovingWorker (Definition 2)."""
+
+import math
+
+import pytest
+
+from repro.core.task import SpatialTask
+from repro.core.worker import MovingWorker
+from repro.geometry.angles import AngleInterval
+from repro.geometry.points import Point
+from tests.conftest import make_task, make_worker
+
+
+class TestSpatialTask:
+    def test_duration(self):
+        assert make_task(start=2.0, end=5.5).duration == pytest.approx(3.5)
+
+    def test_invalid_period_raises(self):
+        with pytest.raises(ValueError):
+            make_task(start=5.0, end=4.0)
+
+    def test_zero_length_period_allowed(self):
+        task = make_task(start=3.0, end=3.0)
+        assert task.duration == 0.0
+        assert task.is_open_at(3.0)
+
+    def test_is_open_at_boundaries_inclusive(self):
+        task = make_task(start=1.0, end=2.0)
+        assert task.is_open_at(1.0)
+        assert task.is_open_at(2.0)
+        assert not task.is_open_at(0.999)
+        assert not task.is_open_at(2.001)
+
+    def test_beta_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            make_task(beta=1.5)
+        with pytest.raises(ValueError):
+            make_task(beta=-0.1)
+
+    def test_with_period(self):
+        task = make_task(start=0.0, end=1.0)
+        shifted = task.with_period(5.0, 7.0)
+        assert shifted.start == 5.0 and shifted.end == 7.0
+        assert shifted.task_id == task.task_id
+        assert shifted.location == task.location
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            make_task().start = 99.0  # type: ignore[misc]
+
+
+class TestMovingWorker:
+    def test_negative_velocity_raises(self):
+        with pytest.raises(ValueError):
+            make_worker(velocity=-1.0)
+
+    def test_confidence_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            make_worker(confidence=1.2)
+        with pytest.raises(ValueError):
+            make_worker(confidence=-0.1)
+
+    def test_heads_towards_inside_cone(self):
+        worker = make_worker(cone=AngleInterval(0.0, math.pi / 2))
+        assert worker.heads_towards(Point(1.0, 0.5))  # bearing ~0.46
+
+    def test_heads_towards_outside_cone(self):
+        worker = make_worker(cone=AngleInterval(0.0, math.pi / 2))
+        assert not worker.heads_towards(Point(-1.0, 0.0))
+
+    def test_heads_towards_own_location(self):
+        worker = make_worker(cone=AngleInterval(0.0, 0.1))
+        assert worker.heads_towards(worker.location)
+
+    def test_arrival_time(self):
+        worker = make_worker(velocity=2.0, depart_time=1.0)
+        assert worker.arrival_time_at(Point(3.0, 4.0)) == pytest.approx(3.5)
+
+    def test_arrival_time_stationary_infinite(self):
+        worker = make_worker(velocity=0.0)
+        assert math.isinf(worker.arrival_time_at(Point(1.0, 0.0)))
+
+    def test_log_confidence_weight(self):
+        worker = make_worker(confidence=0.9)
+        assert worker.log_confidence_weight == pytest.approx(-math.log(0.1))
+
+    def test_log_confidence_weight_certain_worker(self):
+        assert math.isinf(make_worker(confidence=1.0).log_confidence_weight)
+
+    def test_log_confidence_weight_zero_worker(self):
+        assert make_worker(confidence=0.0).log_confidence_weight == 0.0
+
+    def test_moved_to(self):
+        worker = make_worker(confidence=0.8, velocity=2.0)
+        relocated = worker.moved_to(Point(0.3, 0.4), depart_time=9.0)
+        assert relocated.location == Point(0.3, 0.4)
+        assert relocated.depart_time == 9.0
+        assert relocated.worker_id == worker.worker_id
+        assert relocated.confidence == worker.confidence
+        assert relocated.velocity == worker.velocity

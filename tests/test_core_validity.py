@@ -1,0 +1,79 @@
+"""Unit tests for the pair-validity rule (Definition 4, constraint 1)."""
+
+import math
+
+import pytest
+
+from repro.core.validity import ValidityRule
+from repro.geometry.angles import AngleInterval
+from tests.conftest import make_task, make_worker
+
+
+class TestStrictValidity:
+    def test_reachable_pair_is_valid(self):
+        # Distance 0.5 at speed 0.5 -> arrival at t=1, inside [0, 10].
+        task = make_task(x=0.5, y=0.0, start=0.0, end=10.0)
+        worker = make_worker(x=0.0, y=0.0, velocity=0.5)
+        rule = ValidityRule()
+        assert rule.is_valid(worker, task)
+        assert rule.effective_arrival(worker, task) == pytest.approx(1.0)
+
+    def test_too_slow_misses_deadline(self):
+        task = make_task(x=1.0, y=0.0, start=0.0, end=1.0)
+        worker = make_worker(x=0.0, y=0.0, velocity=0.5)  # arrives at t=2
+        assert not ValidityRule().is_valid(worker, task)
+
+    def test_arrival_before_start_invalid_when_strict(self):
+        task = make_task(x=0.1, y=0.0, start=5.0, end=10.0)
+        worker = make_worker(x=0.0, y=0.0, velocity=1.0)  # arrives at t=0.1
+        assert not ValidityRule(allow_waiting=False).is_valid(worker, task)
+
+    def test_arrival_exactly_at_start_valid(self):
+        task = make_task(x=1.0, y=0.0, start=1.0, end=2.0)
+        worker = make_worker(x=0.0, y=0.0, velocity=1.0)
+        assert ValidityRule().effective_arrival(worker, task) == pytest.approx(1.0)
+
+    def test_arrival_exactly_at_end_valid(self):
+        task = make_task(x=2.0, y=0.0, start=0.0, end=2.0)
+        worker = make_worker(x=0.0, y=0.0, velocity=1.0)
+        assert ValidityRule().is_valid(worker, task)
+
+    def test_direction_cone_blocks(self):
+        # Task due west; worker only accepts eastward tasks.
+        task = make_task(x=-1.0, y=0.0, start=0.0, end=10.0)
+        worker = make_worker(x=0.0, y=0.0, cone=AngleInterval(0.0, math.pi / 4))
+        assert not ValidityRule().is_valid(worker, task)
+
+    def test_stationary_worker_remote_task_invalid(self):
+        task = make_task(x=1.0, y=0.0)
+        worker = make_worker(velocity=0.0)
+        assert not ValidityRule().is_valid(worker, task)
+
+    def test_stationary_worker_colocated_task_valid(self):
+        task = make_task(x=0.0, y=0.0, start=0.0, end=1.0)
+        worker = make_worker(x=0.0, y=0.0, velocity=0.0)
+        assert ValidityRule().effective_arrival(worker, task) == pytest.approx(0.0)
+
+    def test_depart_time_shifts_arrival(self):
+        task = make_task(x=1.0, y=0.0, start=0.0, end=2.0)
+        late_worker = make_worker(x=0.0, y=0.0, velocity=1.0, depart_time=1.5)
+        # Arrives at 2.5 > end.
+        assert not ValidityRule().is_valid(late_worker, task)
+
+
+class TestWaitingValidity:
+    def test_early_arrival_waits_until_start(self):
+        task = make_task(x=0.1, y=0.0, start=5.0, end=10.0)
+        worker = make_worker(x=0.0, y=0.0, velocity=1.0)
+        rule = ValidityRule(allow_waiting=True)
+        assert rule.effective_arrival(worker, task) == pytest.approx(5.0)
+
+    def test_waiting_does_not_rescue_missed_deadline(self):
+        task = make_task(x=5.0, y=0.0, start=0.0, end=1.0)
+        worker = make_worker(x=0.0, y=0.0, velocity=1.0)  # arrives at t=5
+        assert not ValidityRule(allow_waiting=True).is_valid(worker, task)
+
+    def test_waiting_respects_direction_cone(self):
+        task = make_task(x=-1.0, y=0.0, start=5.0, end=10.0)
+        worker = make_worker(x=0.0, y=0.0, cone=AngleInterval(0.0, 0.5))
+        assert not ValidityRule(allow_waiting=True).is_valid(worker, task)

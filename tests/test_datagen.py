@@ -1,0 +1,174 @@
+"""Tests for the workload generators (Table 2, UNIFORM/SKEWED, real substitutes)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.datagen import (
+    ExperimentConfig,
+    Trajectory,
+    average_degree,
+    generate_poi_field,
+    generate_problem,
+    generate_real_substitute_problem,
+    generate_tasks,
+    generate_trajectory,
+    generate_workers,
+    worker_from_trajectory,
+)
+from repro.datagen.beijing import latlon_to_unit, tasks_from_pois
+from repro.geometry.points import Point
+
+
+class TestConfigValidation:
+    def test_defaults_are_paper_defaults(self):
+        config = ExperimentConfig.paper_defaults()
+        assert config.num_tasks == config.num_workers == 10_000
+
+    def test_bad_distribution(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(distribution="zipf")
+
+    def test_bad_ranges(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(expiration_range=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            ExperimentConfig(reliability_range=(0.5, 1.5))
+        with pytest.raises(ValueError):
+            ExperimentConfig(beta_range=(-0.1, 0.5))
+        with pytest.raises(ValueError):
+            ExperimentConfig(angle_range_max=0.0)
+
+    def test_with_updates(self):
+        config = ExperimentConfig.scaled_defaults()
+        changed = config.with_updates(num_tasks=7)
+        assert changed.num_tasks == 7
+        assert changed.num_workers == config.num_workers
+
+
+class TestSyntheticGeneration:
+    def test_counts(self):
+        config = ExperimentConfig.scaled_defaults(num_tasks=17, num_workers=23)
+        assert len(generate_tasks(config, 0)) == 17
+        assert len(generate_workers(config, 0)) == 23
+
+    def test_determinism(self):
+        config = ExperimentConfig.scaled_defaults(num_tasks=10, num_workers=10)
+        assert generate_tasks(config, 5) == generate_tasks(config, 5)
+        assert generate_workers(config, 5) == generate_workers(config, 5)
+
+    def test_tasks_respect_config(self):
+        config = ExperimentConfig.scaled_defaults(num_tasks=50, num_workers=1)
+        for task in generate_tasks(config, 1):
+            assert 0.0 <= task.location.x <= 1.0
+            assert 0.0 <= task.location.y <= 1.0
+            assert config.start_time_range[0] <= task.start <= config.start_time_range[1]
+            rt = task.end - task.start
+            assert config.expiration_range[0] <= rt <= config.expiration_range[1] + 1e-9
+            assert config.beta_range[0] <= task.beta <= config.beta_range[1]
+
+    def test_workers_respect_config(self):
+        config = ExperimentConfig.scaled_defaults(num_tasks=1, num_workers=50)
+        for worker in generate_workers(config, 1):
+            assert config.velocity_range[0] <= worker.velocity <= config.velocity_range[1]
+            assert (
+                config.reliability_range[0]
+                <= worker.confidence
+                <= config.reliability_range[1]
+            )
+            assert worker.cone.width <= config.angle_range_max + 1e-9
+
+    def test_skewed_concentrates_centre(self):
+        config = ExperimentConfig(
+            num_tasks=2000, num_workers=1, distribution="skewed"
+        )
+        tasks = generate_tasks(config, 3)
+        centre = Point(0.5, 0.5)
+        close = sum(1 for t in tasks if t.location.distance_to(centre) < 0.3)
+        assert close / len(tasks) > 0.6
+
+    def test_uniform_spreads(self):
+        config = ExperimentConfig(num_tasks=2000, num_workers=1)
+        tasks = generate_tasks(config, 3)
+        centre = Point(0.5, 0.5)
+        close = sum(1 for t in tasks if t.location.distance_to(centre) < 0.3)
+        assert close / len(tasks) < 0.5
+
+    def test_average_degree_density(self):
+        problem = generate_problem(ExperimentConfig.scaled_defaults(), 2)
+        assert average_degree(problem) >= 1.0
+
+
+class TestTrajectories:
+    def test_trajectory_invariants(self):
+        trace = generate_trajectory(0)
+        assert len(trace.points) == len(trace.timestamps)
+        assert all(b > a for a, b in zip(trace.timestamps, trace.timestamps[1:]))
+        assert trace.average_speed() > 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Trajectory((Point(0, 0),), (0.0,))
+        with pytest.raises(ValueError):
+            Trajectory((Point(0, 0), Point(1, 1)), (1.0, 1.0))
+        with pytest.raises(ValueError):
+            Trajectory((Point(0, 0), Point(1, 1)), (0.0,))
+
+    def test_heading_sector_contains_bearings(self):
+        from repro.geometry.angles import bearing
+
+        trace = generate_trajectory(7)
+        sector = trace.heading_sector()
+        for point in trace.points[1:]:
+            if point != trace.start:
+                assert sector.contains(bearing(trace.start, point))
+
+    def test_worker_from_trajectory_recipe(self):
+        trace = generate_trajectory(9)
+        worker = worker_from_trajectory(trace, worker_id=4, confidence=0.8)
+        assert worker.location == trace.start
+        assert worker.velocity == pytest.approx(trace.average_speed())
+        assert worker.confidence == 0.8
+        assert worker.cone.width <= trace.heading_sector().width + 1e-9
+
+
+class TestBeijingSubstitute:
+    def test_poi_field_in_unit_square(self):
+        pois = generate_poi_field(500, 1)
+        assert len(pois) == 500
+        assert all(0.0 <= p.x <= 1.0 and 0.0 <= p.y <= 1.0 for p in pois)
+
+    def test_poi_field_is_clustered(self):
+        from repro.index.fractal import correlation_dimension
+
+        pois = generate_poi_field(3000, 2)
+        rng = np.random.default_rng(3)
+        uniform = [Point(float(x), float(y)) for x, y in rng.uniform(size=(3000, 2))]
+        assert correlation_dimension(pois) < correlation_dimension(uniform)
+
+    def test_latlon_mapping(self):
+        sw = latlon_to_unit(39.6, 116.1)
+        ne = latlon_to_unit(40.25, 116.75)
+        assert sw == Point(0.0, 0.0)
+        assert ne == Point(1.0, 1.0)
+
+    def test_tasks_from_pois_subsample(self):
+        config = ExperimentConfig.scaled_defaults(num_tasks=20, num_workers=1)
+        pois = generate_poi_field(100, 4)
+        tasks = tasks_from_pois(pois, 20, config, 4)
+        assert len(tasks) == 20
+        poi_set = set(pois)
+        assert all(t.location in poi_set for t in tasks)
+
+    def test_tasks_from_pois_oversample_rejected(self):
+        config = ExperimentConfig.scaled_defaults(num_tasks=20, num_workers=1)
+        with pytest.raises(ValueError):
+            tasks_from_pois(generate_poi_field(10, 4), 20, config, 4)
+
+    def test_real_substitute_problem(self):
+        config = ExperimentConfig.scaled_defaults(num_tasks=25, num_workers=30)
+        problem = generate_real_substitute_problem(config, 5)
+        assert problem.num_tasks == 25
+        assert problem.num_workers == 30
+        assert problem.num_pairs > 0

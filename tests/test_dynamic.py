@@ -1,0 +1,139 @@
+"""Tests for the online CrowdsourcingSession facade."""
+
+import pytest
+
+from repro.algorithms import GreedySolver, SamplingSolver
+from repro.datagen import ExperimentConfig, generate_tasks, generate_workers
+from repro.dynamic import CrowdsourcingSession
+from tests.conftest import make_task, make_worker
+
+
+def seeded_population(seed=3, m=15, n=25):
+    import numpy as np
+
+    config = ExperimentConfig.scaled_defaults(num_tasks=m, num_workers=n)
+    rng = np.random.default_rng(seed)
+    return generate_tasks(config, rng), generate_workers(config, rng)
+
+
+class TestChurn:
+    def test_add_remove_task(self):
+        session = CrowdsourcingSession()
+        task = make_task(0)
+        session.add_task(task)
+        assert session.num_tasks == 1
+        assert session.remove_task(0) == task
+        assert session.num_tasks == 0
+
+    def test_duplicate_ids_rejected(self):
+        session = CrowdsourcingSession()
+        session.add_task(make_task(0))
+        with pytest.raises(ValueError):
+            session.add_task(make_task(0))
+        session.add_worker(make_worker(0))
+        with pytest.raises(ValueError):
+            session.add_worker(make_worker(0))
+
+    def test_expire_tasks(self):
+        session = CrowdsourcingSession()
+        session.add_task(make_task(0, start=0.0, end=1.0))
+        session.add_task(make_task(1, start=0.0, end=5.0))
+        expired = session.expire_tasks(now=2.0)
+        assert expired == [0]
+        assert session.num_tasks == 1
+        assert session.stats.tasks_expired == 1
+
+    def test_remove_task_frees_workers(self):
+        session = CrowdsourcingSession(solver=GreedySolver())
+        session.add_task(make_task(0, x=0.5, y=0.5))
+        session.add_worker(make_worker(0, x=0.4, y=0.5, velocity=0.5))
+        session.reassign(now=0.0)
+        assert session.assignment_of(0) == 0
+        session.remove_task(0)
+        assert session.assignment_of(0) is None
+
+    def test_remove_worker_clears_assignment(self):
+        session = CrowdsourcingSession(solver=GreedySolver())
+        session.add_task(make_task(0, x=0.5, y=0.5))
+        session.add_worker(make_worker(0, x=0.4, y=0.5, velocity=0.5))
+        session.reassign(now=0.0)
+        session.remove_worker(0)
+        assert session.workers_on(0) == frozenset()
+
+    def test_update_worker_relocates(self):
+        session = CrowdsourcingSession()
+        worker = make_worker(0, x=0.1, y=0.1)
+        session.add_worker(worker)
+        moved = worker.moved_to(worker.location.translated(0.5, 0.5), 1.0)
+        session.update_worker(moved)
+        assert session.num_workers == 1
+        assert session.stats.workers_added == 1  # net counters unchanged
+
+
+class TestReassignment:
+    def test_reassign_produces_feasible_assignment(self):
+        tasks, workers = seeded_population()
+        session = CrowdsourcingSession(solver=SamplingSolver(num_samples=20), rng=5)
+        for task in tasks:
+            session.add_task(task)
+        for worker in workers:
+            session.add_worker(worker)
+        outcome = session.reassign(now=0.0)
+        assert outcome.num_tasks == len(tasks)
+        assert outcome.num_workers == len(workers)
+        problem = session.current_problem()
+        for task_id, worker_id in outcome.assignment.pairs():
+            assert problem.is_valid_pair(task_id, worker_id)
+
+    def test_index_pairs_match_direct_problem(self):
+        from repro.core.problem import RdbscProblem
+
+        tasks, workers = seeded_population(7)
+        session = CrowdsourcingSession()
+        for task in tasks:
+            session.add_task(task)
+        for worker in workers:
+            session.add_worker(worker)
+        via_session = session.current_problem()
+        direct = RdbscProblem(tasks, workers, session.validity)
+        assert via_session.num_pairs == direct.num_pairs
+
+    def test_reassign_after_churn(self):
+        tasks, workers = seeded_population(9)
+        session = CrowdsourcingSession(solver=GreedySolver(), rng=1)
+        for task in tasks[:10]:
+            session.add_task(task)
+        for worker in workers:
+            session.add_worker(worker)
+        first = session.reassign(now=0.0)
+        # Tasks complete, new ones arrive, a worker leaves.
+        session.remove_task(tasks[0].task_id)
+        session.add_task(tasks[10])
+        session.remove_worker(workers[0].worker_id)
+        second = session.reassign(now=0.0)
+        assert session.stats.reassignments == 2
+        assert second.num_workers == len(workers) - 1
+
+    def test_evaluate_current_drops_stale_pairs(self):
+        session = CrowdsourcingSession(solver=GreedySolver())
+        session.add_task(make_task(0, x=0.5, y=0.5, start=0.0, end=10.0))
+        session.add_worker(make_worker(0, x=0.4, y=0.5, velocity=0.5, confidence=0.9))
+        session.reassign(now=0.0)
+        value_before = session.evaluate_current()
+        assert value_before.min_reliability == pytest.approx(0.9)
+        # The assigned task expires; evaluation must not crash and must
+        # report the empty objective.
+        session._tasks.pop(0)
+        session.grid.remove_task(0)
+        value_after = session.evaluate_current()
+        assert value_after.min_reliability == 0.0
+
+    def test_stats_counters(self):
+        session = CrowdsourcingSession()
+        session.add_task(make_task(0))
+        session.add_worker(make_worker(0, x=0.45, y=0.5))
+        session.reassign(now=0.0)
+        assert session.stats.tasks_added == 1
+        assert session.stats.workers_added == 1
+        assert session.stats.reassignments == 1
+        assert session.stats.pairs_retrieved >= 0

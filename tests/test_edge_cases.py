@@ -1,0 +1,142 @@
+"""Edge-case tests across subsystems: degenerate inputs, determinism."""
+
+import math
+
+import pytest
+
+from repro.algorithms import (
+    DivideConquerSolver,
+    GreedySolver,
+    SamplingSolver,
+)
+from repro.algorithms.merge import sa_merge
+from repro.core.assignment import Assignment
+from repro.core.expected import _success_tail_probabilities, expected_std
+from repro.core.diversity import WorkerProfile
+from repro.core.problem import RdbscProblem
+from repro.datagen import ExperimentConfig, generate_problem
+from tests.conftest import make_task, make_worker
+
+
+class TestSuccessTailProbabilities:
+    def test_empty(self):
+        assert _success_tail_probabilities([]) == (0.0, 0.0)
+
+    def test_single(self):
+        at_least_one, at_least_two = _success_tail_probabilities([0.7])
+        assert at_least_one == pytest.approx(0.7)
+        assert at_least_two == 0.0
+
+    def test_pair(self):
+        at_least_one, at_least_two = _success_tail_probabilities([0.5, 0.5])
+        assert at_least_one == pytest.approx(0.75)
+        assert at_least_two == pytest.approx(0.25)
+
+    def test_certain_workers(self):
+        at_least_one, at_least_two = _success_tail_probabilities([1.0, 1.0])
+        assert at_least_one == pytest.approx(1.0)
+        assert at_least_two == pytest.approx(1.0)
+
+
+class TestDegenerateTasks:
+    def test_zero_duration_task_std_is_spatial_only(self):
+        task = make_task(start=5.0, end=5.0, beta=0.5)
+        profiles = [
+            WorkerProfile(0, 0.0, 5.0, 1.0),
+            WorkerProfile(1, math.pi, 5.0, 1.0),
+        ]
+        # TD contributes nothing on a zero-length window.
+        value = expected_std(task, profiles)
+        assert value == pytest.approx(0.5 * math.log(2.0))
+
+    def test_all_certain_workers(self):
+        task = make_task(start=0.0, end=10.0, beta=1.0)
+        profiles = [WorkerProfile(i, i * 1.0, 5.0, 1.0) for i in range(4)]
+        from repro.core.diversity import std
+
+        assert expected_std(task, profiles) == pytest.approx(std(task, profiles))
+
+    def test_all_hopeless_workers(self):
+        task = make_task(start=0.0, end=10.0)
+        profiles = [WorkerProfile(i, i * 1.0, 5.0, 0.0) for i in range(4)]
+        assert expected_std(task, profiles) == 0.0
+
+
+class TestSolversOnDegenerateInstances:
+    def test_one_task_many_workers(self):
+        task = make_task(0, x=0.5, y=0.5, start=0.0, end=10.0)
+        workers = [
+            make_worker(j, x=0.1 + 0.05 * j, y=0.3, velocity=0.5) for j in range(8)
+        ]
+        problem = RdbscProblem([task], workers)
+        for solver in (GreedySolver(), SamplingSolver(num_samples=10)):
+            result = solver.solve(problem, rng=1)
+            assert len(result.assignment.workers_for(0)) == 8
+
+    def test_many_tasks_one_worker(self):
+        tasks = [make_task(i, x=0.5 + 0.02 * i, y=0.5) for i in range(6)]
+        workers = [make_worker(0, x=0.4, y=0.5, velocity=1.0)]
+        problem = RdbscProblem(tasks, workers)
+        result = GreedySolver().solve(problem, rng=1)
+        assert len(result.assignment) == 1
+
+    def test_dc_on_single_task_problem(self):
+        task = make_task(0, x=0.5, y=0.5)
+        workers = [make_worker(0, x=0.4, y=0.5, velocity=0.5)]
+        problem = RdbscProblem([task], workers)
+        result = DivideConquerSolver(gamma=4).solve(problem, rng=1)
+        assert result.assignment.task_of(0) == 0
+
+    def test_workers_all_over_boundary_coordinates(self):
+        tasks = [make_task(0, x=0.0, y=0.0), make_task(1, x=1.0, y=1.0)]
+        workers = [
+            make_worker(0, x=0.0, y=0.0, velocity=0.5),
+            make_worker(1, x=1.0, y=1.0, velocity=0.5),
+        ]
+        problem = RdbscProblem(tasks, workers)
+        result = GreedySolver().solve(problem, rng=0)
+        assert len(result.assignment) == 2
+
+
+class TestMergeDeterminism:
+    def test_same_inputs_same_merge(self):
+        problem = generate_problem(
+            ExperimentConfig.scaled_defaults(num_tasks=10, num_workers=20), 3
+        )
+        from repro.algorithms.partition import bg_partition
+
+        part = bg_partition(problem, rng=0)
+        sub1 = problem.restricted_to(part.task_ids_1, part.worker_ids_1)
+        sub2 = problem.restricted_to(part.task_ids_2, part.worker_ids_2)
+        a1 = SamplingSolver(num_samples=10).solve(sub1, rng=1).assignment
+        a2 = SamplingSolver(num_samples=10).solve(sub2, rng=2).assignment
+        merged_a, _ = sa_merge(problem, a1, a2, part.conflicting_worker_ids)
+        merged_b, _ = sa_merge(problem, a1, a2, part.conflicting_worker_ids)
+        assert merged_a == merged_b
+
+    def test_max_group_size_one_forces_greedy_everywhere(self):
+        problem = generate_problem(
+            ExperimentConfig.scaled_defaults(num_tasks=10, num_workers=30), 5
+        )
+        result = DivideConquerSolver(gamma=4, max_group_size=1).solve(problem, rng=1)
+        # Still feasible with the most restrictive merge budget.
+        for task_id, worker_id in result.assignment.pairs():
+            assert problem.is_valid_pair(task_id, worker_id)
+
+
+class TestProblemEdge:
+    def test_empty_problem_population(self):
+        problem = RdbscProblem([], [])
+        assert problem.log_population_size() == 0.0
+        assert problem.valid_pairs() == []
+
+    def test_workers_without_tasks(self):
+        problem = RdbscProblem([], [make_worker(0)])
+        assert problem.degree(0) == 0
+        result = GreedySolver().solve(problem)
+        assert len(result.assignment) == 0
+
+    def test_tasks_without_workers(self):
+        problem = RdbscProblem([make_task(0)], [])
+        result = SamplingSolver(num_samples=3).solve(problem, rng=0)
+        assert result.objective.min_reliability == 0.0

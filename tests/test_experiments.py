@@ -1,0 +1,141 @@
+"""Tests for the experiment harness (spec / runner / reporting / figures)."""
+
+import pytest
+
+from repro.algorithms import GreedySolver, RandomSolver
+from repro.datagen import ExperimentConfig, generate_problem
+from repro.experiments import (
+    Experiment,
+    ParameterPoint,
+    format_series,
+    format_table,
+    run_experiment,
+)
+from repro.experiments.figures import (
+    fig11_expiration_real,
+    fig13_tasks_uniform,
+    fig14_workers_uniform,
+    fig15_angles_uniform,
+    fig22_beta_real,
+    fig23_tasks_skewed,
+    fig24_workers_skewed,
+    fig25_velocity_uniform,
+    fig26_velocity_skewed,
+    fig27_angles_skewed,
+    run_coverage_showcase,
+    run_index_experiment,
+)
+from repro.experiments.reporting import format_figure
+
+
+def tiny_experiment():
+    def factory(m):
+        def make(seed):
+            return generate_problem(
+                ExperimentConfig.scaled_defaults(num_tasks=m, num_workers=2 * m), seed
+            )
+
+        return make
+
+    return Experiment(
+        name="tiny",
+        figure="Test Figure",
+        parameter_name="m",
+        points=[ParameterPoint(str(m), factory(m)) for m in (4, 8)],
+        make_solvers=lambda: [GreedySolver(), RandomSolver()],
+    )
+
+
+class TestSpec:
+    def test_empty_points_rejected(self):
+        with pytest.raises(ValueError):
+            Experiment("x", "F", "p", points=[])
+
+    def test_figure_builders_have_points(self):
+        for builder in (
+            fig11_expiration_real,
+            fig13_tasks_uniform,
+            fig14_workers_uniform,
+            fig15_angles_uniform,
+            fig22_beta_real,
+            fig23_tasks_skewed,
+            fig24_workers_skewed,
+            fig25_velocity_uniform,
+            fig26_velocity_skewed,
+            fig27_angles_skewed,
+        ):
+            experiment = builder()
+            assert len(experiment.points) >= 4
+            assert experiment.figure.startswith("Figure")
+
+
+class TestRunner:
+    def test_rows_cover_grid(self):
+        result = run_experiment(tiny_experiment(), seeds=(1,))
+        assert len(result.rows) == 2 * 2  # points x solvers
+        assert result.solvers() == ["GREEDY", "RANDOM"]
+
+    def test_seed_averaging(self):
+        result = run_experiment(tiny_experiment(), seeds=(1, 2, 3))
+        assert all(row.runs == 3 for row in result.rows)
+
+    def test_no_seeds_rejected(self):
+        with pytest.raises(ValueError):
+            run_experiment(tiny_experiment(), seeds=())
+
+    def test_row_lookup(self):
+        result = run_experiment(tiny_experiment(), seeds=(1,))
+        row = result.row("4", "GREEDY")
+        assert row.parameter == "4"
+        with pytest.raises(KeyError):
+            result.row("4", "NOPE")
+
+    def test_series(self):
+        result = run_experiment(tiny_experiment(), seeds=(1,))
+        series = result.series("GREEDY", "total_std")
+        assert [label for label, _ in series] == ["4", "8"]
+
+    def test_timings_positive(self):
+        result = run_experiment(tiny_experiment(), seeds=(1,))
+        assert all(row.seconds > 0.0 for row in result.rows)
+
+
+class TestReporting:
+    def test_format_table_contains_rows(self):
+        result = run_experiment(tiny_experiment(), seeds=(1,))
+        table = format_table(result)
+        assert "GREEDY" in table and "RANDOM" in table
+        assert "Test Figure" in table
+
+    def test_format_series_metrics(self):
+        result = run_experiment(tiny_experiment(), seeds=(1,))
+        for metric in ("min_reliability", "total_std", "seconds"):
+            text = format_series(result, metric)
+            assert "GREEDY" in text
+
+    def test_format_series_unknown_metric(self):
+        result = run_experiment(tiny_experiment(), seeds=(1,))
+        with pytest.raises(ValueError):
+            format_series(result, "nope")
+
+    def test_format_figure_has_both_panels(self):
+        result = run_experiment(tiny_experiment(), seeds=(1,))
+        text = format_figure(result)
+        assert "Minimum Reliability" in text
+        assert "total_STD" in text
+
+
+class TestHarnessFunctions:
+    def test_index_experiment_smoke(self):
+        rows = run_index_experiment(n_values=(40, 80), num_tasks=60, seed=1)
+        assert len(rows) == 2
+        assert rows[0].pairs >= 0
+        assert rows[1].construction_seconds > 0.0
+
+    def test_coverage_showcase_smoke(self):
+        reports = run_coverage_showcase(
+            make_solvers=lambda: [GreedySolver()], n_workers=24, seed=2
+        )
+        assert "GREEDY" in reports
+        report = reports["GREEDY"]
+        assert 0.0 <= report.experimental <= report.ground_truth <= 1.0

@@ -1,0 +1,229 @@
+"""Unit and property tests for repro.geometry.angles."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry.angles import (
+    TWO_PI,
+    AngleInterval,
+    angular_difference,
+    bearing,
+    circular_gaps,
+    enclosing_interval,
+    normalize_angle,
+)
+from repro.geometry.points import Point
+
+angles = st.floats(min_value=-100.0, max_value=100.0, allow_nan=False)
+
+
+class TestNormalizeAngle:
+    def test_identity_in_range(self):
+        assert normalize_angle(1.0) == pytest.approx(1.0)
+
+    def test_negative_wraps(self):
+        assert normalize_angle(-math.pi / 2) == pytest.approx(3 * math.pi / 2)
+
+    def test_two_pi_wraps_to_zero(self):
+        assert normalize_angle(TWO_PI) == pytest.approx(0.0)
+
+    def test_large_multiple(self):
+        assert normalize_angle(7 * TWO_PI + 0.25) == pytest.approx(0.25)
+
+    @given(angles)
+    def test_always_in_range(self, theta):
+        result = normalize_angle(theta)
+        assert 0.0 <= result < TWO_PI
+
+    @given(angles)
+    def test_idempotent(self, theta):
+        once = normalize_angle(theta)
+        assert normalize_angle(once) == pytest.approx(once)
+
+
+class TestBearing:
+    def test_east(self):
+        assert bearing(Point(0, 0), Point(1, 0)) == pytest.approx(0.0)
+
+    def test_north(self):
+        assert bearing(Point(0, 0), Point(0, 1)) == pytest.approx(math.pi / 2)
+
+    def test_west(self):
+        assert bearing(Point(0, 0), Point(-1, 0)) == pytest.approx(math.pi)
+
+    def test_south(self):
+        assert bearing(Point(0, 0), Point(0, -1)) == pytest.approx(3 * math.pi / 2)
+
+    def test_coincident_raises(self):
+        with pytest.raises(ValueError):
+            bearing(Point(0.5, 0.5), Point(0.5, 0.5))
+
+    @given(angles, st.floats(min_value=0.01, max_value=10.0, allow_nan=False))
+    def test_roundtrip(self, theta, radius):
+        origin = Point(0.0, 0.0)
+        target = Point(radius * math.cos(theta), radius * math.sin(theta))
+        assert angular_difference(bearing(origin, target), theta) < 1e-9
+
+
+class TestAngularDifference:
+    def test_zero(self):
+        assert angular_difference(1.0, 1.0) == 0.0
+
+    def test_wraps_shortest_way(self):
+        assert angular_difference(0.1, TWO_PI - 0.1) == pytest.approx(0.2)
+
+    def test_never_exceeds_pi(self):
+        assert angular_difference(0.0, math.pi + 0.5) <= math.pi
+
+
+class TestAngleInterval:
+    def test_contains_inside(self):
+        cone = AngleInterval(0.0, math.pi / 2)
+        assert cone.contains(math.pi / 4)
+
+    def test_excludes_outside(self):
+        cone = AngleInterval(0.0, math.pi / 2)
+        assert not cone.contains(math.pi)
+
+    def test_wrap_around_contains(self):
+        cone = AngleInterval(TWO_PI - 0.5, 1.0)  # spans the 0 axis
+        assert cone.contains(0.25)
+        assert cone.contains(TWO_PI - 0.25)
+        assert not cone.contains(math.pi)
+
+    def test_full_circle_contains_everything(self):
+        full = AngleInterval.full_circle()
+        assert full.is_full()
+        for theta in (0.0, 1.0, math.pi, 5.0):
+            assert full.contains(theta)
+
+    def test_zero_width_contains_only_edge(self):
+        ray = AngleInterval(1.0, 0.0)
+        assert ray.contains(1.0)
+        assert not ray.contains(1.1)
+
+    def test_negative_width_rejected(self):
+        with pytest.raises(ValueError):
+            AngleInterval(0.0, -0.1)
+
+    def test_from_bounds_regular(self):
+        cone = AngleInterval.from_bounds(1.0, 2.0)
+        assert cone.lo == pytest.approx(1.0)
+        assert cone.width == pytest.approx(1.0)
+
+    def test_from_bounds_wrapping(self):
+        cone = AngleInterval.from_bounds(6.0, 7.0)  # hi past 2*pi
+        assert cone.contains(6.2)
+        assert cone.contains(0.3)
+
+    def test_from_bounds_full(self):
+        assert AngleInterval.from_bounds(0.0, TWO_PI).is_full()
+        assert AngleInterval.from_bounds(1.0, 1.0 + TWO_PI).is_full()
+
+    def test_hi_property(self):
+        assert AngleInterval(1.0, 2.0).hi == pytest.approx(3.0)
+
+    def test_midpoint(self):
+        assert AngleInterval(0.0, math.pi).midpoint() == pytest.approx(math.pi / 2)
+
+    def test_midpoint_wrapping(self):
+        cone = AngleInterval(TWO_PI - 0.5, 1.0)
+        assert cone.midpoint() == pytest.approx(0.0, abs=1e-9)
+
+    def test_overlaps_shared_region(self):
+        a = AngleInterval(0.0, 1.0)
+        b = AngleInterval(0.5, 1.0)
+        assert a.overlaps(b) and b.overlaps(a)
+
+    def test_overlaps_disjoint(self):
+        a = AngleInterval(0.0, 0.5)
+        b = AngleInterval(2.0, 0.5)
+        assert not a.overlaps(b) and not b.overlaps(a)
+
+    def test_overlaps_full(self):
+        assert AngleInterval.full_circle().overlaps(AngleInterval(1.0, 0.0))
+
+    def test_expanded(self):
+        cone = AngleInterval(1.0, 0.5).expanded(0.25)
+        assert cone.contains(0.8)
+        assert cone.contains(1.7)
+
+    def test_expanded_negative_raises(self):
+        with pytest.raises(ValueError):
+            AngleInterval(0.0, 1.0).expanded(-0.1)
+
+    @given(angles, st.floats(min_value=0.0, max_value=TWO_PI), angles)
+    def test_contains_respects_width(self, lo, width, theta):
+        from repro.geometry.angles import ANGLE_EPS
+
+        cone = AngleInterval(lo, width)
+        offset = normalize_angle(theta - cone.lo)
+        expected = (
+            cone.is_full()
+            or offset <= cone.width + ANGLE_EPS
+            or offset >= TWO_PI - ANGLE_EPS  # wrap: same direction, huge theta
+        )
+        assert cone.contains(theta) == expected
+
+
+class TestCircularGaps:
+    def test_empty(self):
+        assert circular_gaps([]) == []
+
+    def test_single_ray_full_gap(self):
+        gaps = circular_gaps([1.0])
+        assert gaps == [pytest.approx(TWO_PI)]
+
+    def test_two_opposite_rays(self):
+        gaps = circular_gaps([0.0, math.pi])
+        assert sorted(gaps) == [pytest.approx(math.pi), pytest.approx(math.pi)]
+
+    def test_duplicate_rays_zero_gap(self):
+        gaps = sorted(circular_gaps([1.0, 1.0]))
+        assert gaps[0] == pytest.approx(0.0)
+        assert gaps[1] == pytest.approx(TWO_PI)
+
+    @given(st.lists(angles, min_size=1, max_size=12))
+    def test_gaps_sum_to_two_pi(self, raw):
+        gaps = circular_gaps(raw)
+        assert len(gaps) == len(raw)
+        assert sum(gaps) == pytest.approx(TWO_PI)
+        assert all(g >= 0.0 for g in gaps)
+
+
+class TestEnclosingInterval:
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            enclosing_interval([])
+
+    def test_single_angle_zero_width(self):
+        cone = enclosing_interval([2.0])
+        assert cone.width == 0.0
+        assert cone.contains(2.0)
+
+    def test_cluster(self):
+        cone = enclosing_interval([0.1, 0.2, 0.4])
+        assert cone.lo == pytest.approx(0.1)
+        assert cone.width == pytest.approx(0.3)
+
+    def test_cluster_across_zero(self):
+        cone = enclosing_interval([TWO_PI - 0.1, 0.1])
+        assert cone.width == pytest.approx(0.2)
+        assert cone.contains(0.0)
+
+    @given(st.lists(angles, min_size=1, max_size=10))
+    def test_contains_all_inputs(self, raw):
+        cone = enclosing_interval(raw)
+        for theta in raw:
+            assert cone.contains(theta)
+
+    @given(st.lists(angles, min_size=2, max_size=10))
+    def test_is_minimal_among_candidates(self, raw):
+        # The enclosing interval is no wider than the circle minus the
+        # biggest gap between consecutive input directions.
+        cone = enclosing_interval(raw)
+        biggest_gap = max(circular_gaps(raw))
+        assert cone.width <= TWO_PI - biggest_gap + 1e-9

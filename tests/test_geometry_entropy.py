@@ -1,0 +1,81 @@
+"""Unit and property tests for repro.geometry.entropy."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry.entropy import entropy, entropy_of_partition, entropy_term, max_entropy
+
+fractions = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+class TestEntropyTerm:
+    def test_zero_is_zero(self):
+        assert entropy_term(0.0) == 0.0
+
+    def test_one_is_zero(self):
+        assert entropy_term(1.0) == 0.0
+
+    def test_half(self):
+        assert entropy_term(0.5) == pytest.approx(0.5 * math.log(2.0))
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            entropy_term(1.5)
+        with pytest.raises(ValueError):
+            entropy_term(-0.5)
+
+    @given(fractions)
+    def test_non_negative(self, f):
+        assert entropy_term(f) >= 0.0
+
+    def test_maximum_at_1_over_e(self):
+        peak = entropy_term(1.0 / math.e)
+        for f in (0.1, 0.2, 0.5, 0.9):
+            assert entropy_term(f) <= peak + 1e-12
+
+
+class TestEntropy:
+    def test_uniform_partition(self):
+        assert entropy([0.25] * 4) == pytest.approx(math.log(4.0))
+
+    def test_degenerate_partition(self):
+        assert entropy([1.0, 0.0, 0.0]) == 0.0
+
+    @given(st.integers(min_value=1, max_value=20))
+    def test_uniform_maximises(self, n):
+        assert entropy([1.0 / n] * n) == pytest.approx(max_entropy(n))
+
+
+class TestEntropyOfPartition:
+    def test_normalises(self):
+        # Partition 10 into 5 + 5 == fractions (0.5, 0.5).
+        assert entropy_of_partition([5.0, 5.0], 10.0) == pytest.approx(math.log(2.0))
+
+    def test_zero_total_is_zero(self):
+        assert entropy_of_partition([1.0, 2.0], 0.0) == 0.0
+
+    def test_negative_part_raises(self):
+        with pytest.raises(ValueError):
+            entropy_of_partition([-1.0, 2.0], 1.0)
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=10.0), min_size=1, max_size=10))
+    def test_bounded_by_log_n(self, parts):
+        total = sum(parts)
+        if total <= 0.0:
+            assert entropy_of_partition(parts, max(total, 1.0)) == 0.0
+        else:
+            assert entropy_of_partition(parts, total) <= max_entropy(len(parts)) + 1e-9
+
+
+class TestMaxEntropy:
+    def test_single_part(self):
+        assert max_entropy(1) == 0.0
+
+    def test_zero_parts(self):
+        assert max_entropy(0) == 0.0
+
+    def test_matches_log(self):
+        assert max_entropy(7) == pytest.approx(math.log(7.0))

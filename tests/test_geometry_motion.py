@@ -1,0 +1,71 @@
+"""Unit tests for repro.geometry.motion."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry.motion import (
+    arrival_time,
+    position_along,
+    reachable_radius,
+    travel_time,
+)
+from repro.geometry.points import Point
+
+
+class TestTravelTime:
+    def test_unit_speed(self):
+        assert travel_time(Point(0, 0), Point(3, 4), 1.0) == pytest.approx(5.0)
+
+    def test_double_speed_halves_time(self):
+        assert travel_time(Point(0, 0), Point(3, 4), 2.0) == pytest.approx(2.5)
+
+    def test_zero_distance_zero_time(self):
+        assert travel_time(Point(1, 1), Point(1, 1), 0.0) == 0.0
+
+    def test_zero_speed_infinite(self):
+        assert math.isinf(travel_time(Point(0, 0), Point(1, 0), 0.0))
+
+    def test_negative_speed_raises(self):
+        with pytest.raises(ValueError):
+            travel_time(Point(0, 0), Point(1, 0), -1.0)
+
+
+class TestArrivalTime:
+    def test_depart_offset(self):
+        assert arrival_time(Point(0, 0), Point(1, 0), 0.5, depart_time=3.0) == pytest.approx(5.0)
+
+    @given(
+        st.floats(min_value=0.01, max_value=10, allow_nan=False),
+        st.floats(min_value=0, max_value=100, allow_nan=False),
+    )
+    def test_arrival_never_before_departure(self, speed, depart):
+        assert arrival_time(Point(0, 0), Point(1, 1), speed, depart) >= depart
+
+
+class TestReachableRadius:
+    def test_basic(self):
+        assert reachable_radius(2.0, 5.0, now=3.0) == pytest.approx(4.0)
+
+    def test_past_deadline_zero(self):
+        assert reachable_radius(2.0, 5.0, now=6.0) == 0.0
+
+    def test_exact_deadline_zero(self):
+        assert reachable_radius(2.0, 5.0, now=5.0) == 0.0
+
+
+class TestPositionAlong:
+    def test_endpoints(self):
+        a, b = Point(0, 0), Point(2, 2)
+        assert position_along(a, b, 0.0) == a
+        assert position_along(a, b, 1.0) == b
+
+    def test_midpoint(self):
+        assert position_along(Point(0, 0), Point(2, 0), 0.5) == Point(1.0, 0.0)
+
+    def test_clamps_fraction(self):
+        a, b = Point(0, 0), Point(1, 0)
+        assert position_along(a, b, -0.5) == a
+        assert position_along(a, b, 1.5) == b

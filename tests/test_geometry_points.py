@@ -1,0 +1,78 @@
+"""Unit tests for repro.geometry.points."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry.points import Point, bounding_box, centroid, distance, midpoint
+
+finite = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+class TestPoint:
+    def test_iter_unpacks(self):
+        x, y = Point(1.5, -2.0)
+        assert (x, y) == (1.5, -2.0)
+
+    def test_as_tuple(self):
+        assert Point(0.25, 0.75).as_tuple() == (0.25, 0.75)
+
+    def test_translated(self):
+        assert Point(1.0, 2.0).translated(0.5, -1.0) == Point(1.5, 1.0)
+
+    def test_is_hashable_and_frozen(self):
+        p = Point(0.0, 0.0)
+        assert hash(p) == hash(Point(0.0, 0.0))
+        with pytest.raises(Exception):
+            p.x = 1.0  # type: ignore[misc]
+
+    def test_distance_3_4_5(self):
+        assert distance(Point(0.0, 0.0), Point(3.0, 4.0)) == pytest.approx(5.0)
+
+    def test_distance_to_self_is_zero(self):
+        assert Point(0.7, 0.1).distance_to(Point(0.7, 0.1)) == 0.0
+
+    @given(finite, finite, finite, finite)
+    def test_distance_symmetry(self, ax, ay, bx, by):
+        a, b = Point(ax, ay), Point(bx, by)
+        assert distance(a, b) == pytest.approx(distance(b, a))
+
+    @given(finite, finite, finite, finite, finite, finite)
+    def test_triangle_inequality(self, ax, ay, bx, by, cx, cy):
+        a, b, c = Point(ax, ay), Point(bx, by), Point(cx, cy)
+        assert distance(a, c) <= distance(a, b) + distance(b, c) + 1e-6
+
+
+class TestMidpointCentroid:
+    def test_midpoint(self):
+        assert midpoint(Point(0.0, 0.0), Point(2.0, 4.0)) == Point(1.0, 2.0)
+
+    def test_centroid_single(self):
+        assert centroid([Point(3.0, 4.0)]) == Point(3.0, 4.0)
+
+    def test_centroid_square(self):
+        square = [Point(0, 0), Point(1, 0), Point(0, 1), Point(1, 1)]
+        assert centroid(square) == Point(0.5, 0.5)
+
+    def test_centroid_empty_raises(self):
+        with pytest.raises(ValueError):
+            centroid([])
+
+
+class TestBoundingBox:
+    def test_single_point(self):
+        lo, hi = bounding_box([Point(0.3, 0.4)])
+        assert lo == hi == Point(0.3, 0.4)
+
+    def test_spread(self):
+        lo, hi = bounding_box([Point(0.2, 0.9), Point(0.8, 0.1), Point(0.5, 0.5)])
+        assert lo == Point(0.2, 0.1)
+        assert hi == Point(0.8, 0.9)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            bounding_box([])

@@ -1,0 +1,123 @@
+"""Tests for grid cells and their aggregate bounds."""
+
+import math
+
+import pytest
+
+from repro.geometry.angles import AngleInterval
+from repro.geometry.points import Point
+from repro.index.cell import GridCell, _widen
+from tests.conftest import make_task, make_worker
+
+
+def cell_at(row=0, col=0, side=0.25):
+    return GridCell(row * 4 + col, row, col, Point(col * side, row * side), side)
+
+
+class TestGeometry:
+    def test_corners(self):
+        cell = cell_at(0, 0, 0.25)
+        assert set(cell.corners()) == {
+            Point(0.0, 0.0),
+            Point(0.25, 0.0),
+            Point(0.0, 0.25),
+            Point(0.25, 0.25),
+        }
+
+    def test_min_distance_adjacent_zero(self):
+        a, b = cell_at(0, 0), cell_at(0, 1)
+        assert a.min_distance_to(b) == 0.0
+
+    def test_min_distance_with_gap(self):
+        a, b = cell_at(0, 0), cell_at(0, 2)
+        assert a.min_distance_to(b) == pytest.approx(0.25)
+
+    def test_min_distance_diagonal(self):
+        a, b = cell_at(0, 0), cell_at(2, 2)
+        assert a.min_distance_to(b) == pytest.approx(0.25 * math.sqrt(2.0))
+
+    def test_max_distance(self):
+        a, b = cell_at(0, 0), cell_at(0, 1)
+        assert a.max_distance_to(b) == pytest.approx(math.hypot(0.5, 0.25))
+
+    def test_min_distance_symmetry(self):
+        a, b = cell_at(1, 0), cell_at(3, 2)
+        assert a.min_distance_to(b) == pytest.approx(b.min_distance_to(a))
+
+
+class TestAggregates:
+    def test_empty_cell_defaults(self):
+        cell = cell_at()
+        assert cell.v_max == 0.0
+        assert cell.e_max == -math.inf
+        assert cell.s_min == math.inf
+        assert cell.cone_union is None
+        assert cell.is_empty
+
+    def test_task_bounds(self):
+        cell = cell_at()
+        cell.add_task(make_task(0, start=2.0, end=5.0))
+        cell.add_task(make_task(1, start=1.0, end=9.0))
+        assert cell.s_min == 1.0
+        assert cell.e_max == 9.0
+
+    def test_worker_bounds(self):
+        cell = cell_at()
+        cell.add_worker(make_worker(0, velocity=0.2))
+        cell.add_worker(make_worker(1, velocity=0.7))
+        assert cell.v_max == pytest.approx(0.7)
+
+    def test_removal_refreshes_aggregates(self):
+        cell = cell_at()
+        cell.add_worker(make_worker(0, velocity=0.2))
+        cell.add_worker(make_worker(1, velocity=0.7))
+        cell.remove_worker(1)
+        assert cell.v_max == pytest.approx(0.2)
+        cell.add_task(make_task(0, start=0.0, end=5.0))
+        cell.add_task(make_task(1, start=0.0, end=9.0))
+        cell.remove_task(1)
+        assert cell.e_max == 5.0
+
+    def test_cone_union_grows(self):
+        cell = cell_at()
+        cell.add_worker(make_worker(0, cone=AngleInterval(0.0, 0.5)))
+        cell.add_worker(make_worker(1, cone=AngleInterval(1.0, 0.5)))
+        union = cell.cone_union
+        assert union.contains(0.2)
+        assert union.contains(1.2)
+
+    def test_cone_union_full_when_workers_cover_circle(self):
+        cell = cell_at()
+        cell.add_worker(make_worker(0, cone=AngleInterval(0.0, math.pi)))
+        cell.add_worker(make_worker(1, cone=AngleInterval(math.pi, math.pi)))
+        assert cell.cone_union.is_full()
+
+
+class TestWiden:
+    def test_none_base(self):
+        cone = AngleInterval(1.0, 0.5)
+        assert _widen(None, cone) == cone
+
+    def test_contained_addition_no_change(self):
+        base = AngleInterval(0.0, 2.0)
+        addition = AngleInterval(0.5, 0.5)
+        assert _widen(base, addition) == base
+
+    def test_disjoint_intervals_bridged(self):
+        a = AngleInterval(0.0, 0.5)
+        b = AngleInterval(2.0, 0.5)
+        union = _widen(a, b)
+        for theta in (0.0, 0.4, 2.0, 2.4):
+            assert union.contains(theta)
+
+    def test_result_always_superset(self):
+        import itertools
+
+        candidates = [
+            AngleInterval(lo, width)
+            for lo, width in itertools.product((0.0, 1.5, 4.0), (0.3, 2.0, 5.0))
+        ]
+        for a, b in itertools.product(candidates, candidates):
+            union = _widen(a, b)
+            for theta in (a.lo, a.hi, b.lo, b.hi):
+                assert union.contains(theta)

@@ -1,0 +1,99 @@
+"""Tests for the Appendix I cost model (Eqs. 22-23) and D2 estimation."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geometry.points import Point
+from repro.index.cost_model import numeric_optimal_eta, optimal_eta, update_cost
+from repro.index.fractal import box_pair_counts, correlation_dimension
+
+
+class TestUpdateCost:
+    def test_positive(self):
+        assert update_cost(0.1, l_max=0.3, n_tasks=100) > 0.0
+
+    def test_tiny_cells_expensive(self):
+        # Many cells to scan: cost must blow up as eta -> 0.
+        assert update_cost(0.001, 0.3, 100) > update_cost(0.1, 0.3, 100)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            update_cost(0.0, 0.3, 100)
+        with pytest.raises(ValueError):
+            update_cost(0.1, -1.0, 100)
+        with pytest.raises(ValueError):
+            update_cost(0.1, 0.3, 1)
+        with pytest.raises(ValueError):
+            update_cost(0.1, 0.3, 100, d2=2.5)
+
+
+class TestOptimalEta:
+    def test_uniform_closed_form(self):
+        # D2 = 2: eta = cbrt(L / (N - 1)); the paper's Appendix I formula.
+        eta = optimal_eta(l_max=0.2, n_tasks=101, d2=2.0)
+        assert eta == pytest.approx((0.2 / 100) ** (1 / 3))
+
+    def test_matches_numeric_minimiser(self):
+        for d2 in (1.2, 1.5, 1.8, 2.0):
+            analytic = optimal_eta(l_max=0.5, n_tasks=200, d2=d2, eta_min=1e-4)
+            numeric = numeric_optimal_eta(l_max=0.5, n_tasks=200, d2=d2)
+            assert analytic == pytest.approx(numeric, rel=0.05)
+
+    def test_larger_reach_larger_cells(self):
+        small = optimal_eta(l_max=0.05, n_tasks=100)
+        large = optimal_eta(l_max=0.8, n_tasks=100)
+        assert large > small
+
+    def test_more_tasks_smaller_cells(self):
+        few = optimal_eta(l_max=0.3, n_tasks=50)
+        many = optimal_eta(l_max=0.3, n_tasks=5000)
+        assert many < few
+
+    def test_clamped_into_range(self):
+        eta = optimal_eta(l_max=100.0, n_tasks=2, eta_max=0.5)
+        assert eta <= 0.5
+        eta = optimal_eta(l_max=1e-9, n_tasks=10_000_000, eta_min=0.01)
+        assert eta >= 0.01
+
+
+class TestFractalDimension:
+    def test_uniform_near_two(self):
+        rng = np.random.default_rng(0)
+        points = [Point(float(x), float(y)) for x, y in rng.uniform(size=(3000, 2))]
+        d2 = correlation_dimension(points)
+        assert 1.7 <= d2 <= 2.0
+
+    def test_clustered_below_uniform(self):
+        rng = np.random.default_rng(1)
+        uniform = [Point(float(x), float(y)) for x, y in rng.uniform(size=(2000, 2))]
+        cluster = np.clip(rng.normal(0.5, 0.05, size=(2000, 2)), 0, 1)
+        clustered = [Point(float(x), float(y)) for x, y in cluster]
+        assert correlation_dimension(clustered) < correlation_dimension(uniform)
+
+    def test_line_near_one(self):
+        points = [Point(i / 2999.0, 0.5) for i in range(3000)]
+        d2 = correlation_dimension(points)
+        assert 0.7 <= d2 <= 1.3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            correlation_dimension([Point(0, 0)])
+        with pytest.raises(ValueError):
+            correlation_dimension([Point(0, 0), Point(1, 1)], r_min=0.5, r_max=0.4)
+        with pytest.raises(ValueError):
+            correlation_dimension([Point(0, 0), Point(1, 1)], n_scales=1)
+
+    def test_box_pair_counts_monotone_in_r(self):
+        rng = np.random.default_rng(2)
+        points = [Point(float(x), float(y)) for x, y in rng.uniform(size=(500, 2))]
+        counts = box_pair_counts(points, [0.05, 0.1, 0.2, 0.4])
+        values = [s2 for _, s2 in counts]
+        assert all(b >= a for a, b in zip(values, values[1:]))
+
+    def test_box_pair_counts_validation(self):
+        with pytest.raises(ValueError):
+            box_pair_counts([], [0.1])
+        with pytest.raises(ValueError):
+            box_pair_counts([Point(0, 0)], [0.0])

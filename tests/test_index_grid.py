@@ -1,0 +1,144 @@
+"""Tests for the RDB-SC-Grid index: correctness vs brute force, dynamics."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.problem import RdbscProblem
+from repro.core.validity import ValidityRule
+from repro.datagen import ExperimentConfig, generate_problem, generate_tasks, generate_workers
+from repro.index.grid import RdbscGrid, retrieve_pairs_without_index
+from tests.conftest import make_task, make_worker
+
+
+def pair_set(pairs):
+    return sorted((p.task_id, p.worker_id) for p in pairs)
+
+
+def build_instance(seed, m=30, n=40):
+    config = ExperimentConfig(
+        num_tasks=m,
+        num_workers=n,
+        start_time_range=(0.0, 1.5),
+        expiration_range=(0.5, 1.5),
+        velocity_range=(0.05, 0.3),
+        angle_range_max=math.pi,
+    )
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    return generate_tasks(config, rng), generate_workers(config, rng)
+
+
+class TestRetrievalCorrectness:
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    @pytest.mark.parametrize("eta", [0.05, 0.13, 0.33, 1.0])
+    def test_matches_brute_force(self, seed, eta):
+        tasks, workers = build_instance(seed)
+        grid = RdbscGrid.bulk_load(tasks, workers, eta)
+        assert pair_set(grid.valid_pairs()) == pair_set(
+            retrieve_pairs_without_index(tasks, workers)
+        )
+
+    def test_without_exact_confirm_also_correct(self):
+        tasks, workers = build_instance(5)
+        grid = RdbscGrid.bulk_load(tasks, workers, 0.1, exact_confirm=False)
+        assert pair_set(grid.valid_pairs()) == pair_set(
+            retrieve_pairs_without_index(tasks, workers)
+        )
+
+    def test_waiting_validity_respected(self):
+        tasks, workers = build_instance(7)
+        rule = ValidityRule(allow_waiting=True)
+        grid = RdbscGrid.bulk_load(tasks, workers, 0.2, rule)
+        assert pair_set(grid.valid_pairs()) == pair_set(
+            retrieve_pairs_without_index(tasks, workers, rule)
+        )
+
+    def test_problem_from_index_pairs(self):
+        tasks, workers = build_instance(9)
+        grid = RdbscGrid.bulk_load(tasks, workers, 0.15)
+        via_index = RdbscProblem(tasks, workers, precomputed_pairs=grid.valid_pairs())
+        direct = RdbscProblem(tasks, workers)
+        assert via_index.num_pairs == direct.num_pairs
+
+
+class TestDynamicMaintenance:
+    def test_worker_churn_preserves_correctness(self):
+        tasks, workers = build_instance(11)
+        grid = RdbscGrid.bulk_load(tasks, workers, 0.12)
+        grid.build_all_tcell_lists()
+        removed = [w for w in workers[:10]]
+        for worker in removed:
+            grid.remove_worker(worker.worker_id)
+        remaining = workers[10:]
+        assert pair_set(grid.valid_pairs()) == pair_set(
+            retrieve_pairs_without_index(tasks, remaining)
+        )
+        for worker in removed:
+            grid.insert_worker(worker)
+        assert pair_set(grid.valid_pairs()) == pair_set(
+            retrieve_pairs_without_index(tasks, workers)
+        )
+
+    def test_task_churn_preserves_correctness(self):
+        tasks, workers = build_instance(13)
+        grid = RdbscGrid.bulk_load(tasks, workers, 0.12)
+        grid.build_all_tcell_lists()
+        for task in tasks[:8]:
+            grid.remove_task(task.task_id)
+        assert pair_set(grid.valid_pairs()) == pair_set(
+            retrieve_pairs_without_index(tasks[8:], workers)
+        )
+        for task in tasks[:8]:
+            grid.insert_task(task)
+        assert pair_set(grid.valid_pairs()) == pair_set(
+            retrieve_pairs_without_index(tasks, workers)
+        )
+
+    def test_duplicate_insert_rejected(self):
+        tasks, workers = build_instance(15)
+        grid = RdbscGrid.bulk_load(tasks, workers, 0.2)
+        with pytest.raises(ValueError):
+            grid.insert_task(tasks[0])
+        with pytest.raises(ValueError):
+            grid.insert_worker(workers[0])
+
+    def test_remove_unknown_raises(self):
+        grid = RdbscGrid(0.25)
+        with pytest.raises(KeyError):
+            grid.remove_task(42)
+        with pytest.raises(KeyError):
+            grid.remove_worker(42)
+
+    def test_empty_cells_dropped(self):
+        grid = RdbscGrid(0.25)
+        task = make_task(0, x=0.1, y=0.1)
+        grid.insert_task(task)
+        assert grid.num_cells == 1
+        grid.remove_task(0)
+        assert grid.num_cells == 0
+
+
+class TestPruningStats:
+    def test_pruning_happens_in_local_regime(self):
+        config = ExperimentConfig(
+            num_tasks=80,
+            num_workers=80,
+            start_time_range=(0.0, 1.0),
+            expiration_range=(0.25, 0.5),
+            velocity_range=(0.02, 0.08),
+            angle_range_max=math.pi / 3,
+        )
+        problem = generate_problem(config, 3)
+        grid = RdbscGrid.bulk_load(problem.tasks, problem.workers, 0.08)
+        grid.build_all_tcell_lists()
+        assert grid.stats["cells_pruned_time"] + grid.stats["cells_pruned_angle"] > 0
+
+    def test_eta_validation(self):
+        with pytest.raises(ValueError):
+            RdbscGrid(0.0)
+        with pytest.raises(ValueError):
+            RdbscGrid(1.5)

@@ -1,0 +1,122 @@
+"""End-to-end integration tests across subsystems."""
+
+import math
+
+import pytest
+
+from repro import (
+    DivideConquerSolver,
+    ExperimentConfig,
+    GreedySolver,
+    GroundTruthSolver,
+    SamplingSolver,
+    evaluate_assignment,
+    generate_problem,
+)
+from repro.core.problem import RdbscProblem
+from repro.datagen import generate_real_substitute_problem
+from repro.index.cost_model import optimal_eta
+from repro.index.fractal import correlation_dimension
+from repro.index.grid import RdbscGrid
+
+
+ALL_SOLVERS = [
+    GreedySolver(),
+    SamplingSolver(num_samples=30),
+    DivideConquerSolver(gamma=8, base_solver=SamplingSolver(num_samples=30)),
+    GroundTruthSolver(gamma=8),
+]
+
+
+class TestSolversOnAllWorkloads:
+    @pytest.mark.parametrize("solver", ALL_SOLVERS, ids=lambda s: s.name)
+    @pytest.mark.parametrize("distribution", ["uniform", "skewed"])
+    def test_synthetic(self, solver, distribution):
+        config = ExperimentConfig.scaled_defaults(
+            num_tasks=16, num_workers=32
+        ).with_updates(distribution=distribution)
+        problem = generate_problem(config, 3)
+        result = solver.solve(problem, rng=3)
+        # Contract: valid pairs only, each worker once, objective consistent.
+        seen = set()
+        for task_id, worker_id in result.assignment.pairs():
+            assert problem.is_valid_pair(task_id, worker_id)
+            assert worker_id not in seen
+            seen.add(worker_id)
+        fresh = evaluate_assignment(problem, result.assignment)
+        assert result.objective.total_std == pytest.approx(fresh.total_std)
+
+    @pytest.mark.parametrize("solver", ALL_SOLVERS, ids=lambda s: s.name)
+    def test_real_substitute(self, solver):
+        config = ExperimentConfig.scaled_defaults(num_tasks=20, num_workers=24)
+        problem = generate_real_substitute_problem(config, 5)
+        result = solver.solve(problem, rng=5)
+        assert result.objective.min_reliability >= 0.0
+        assert result.objective.total_std >= 0.0
+
+
+class TestIndexDrivenPipeline:
+    def test_index_fed_problem_solves_identically(self):
+        """Full pipeline: cost model -> grid -> pair retrieval -> solver."""
+        config = ExperimentConfig.scaled_defaults(num_tasks=18, num_workers=36)
+        direct = generate_problem(config, 7)
+        tasks, workers = direct.tasks, direct.workers
+
+        d2 = correlation_dimension([t.location for t in tasks])
+        horizon = max(t.end for t in tasks)
+        l_max = min(max(w.velocity for w in workers) * horizon, math.sqrt(2.0))
+        eta = min(max(optimal_eta(l_max, len(tasks), d2), 0.05), 0.5)
+
+        grid = RdbscGrid.bulk_load(tasks, workers, eta, direct.validity)
+        via_index = RdbscProblem(
+            tasks, workers, direct.validity, precomputed_pairs=grid.valid_pairs()
+        )
+        assert via_index.num_pairs == direct.num_pairs
+
+        for solver in (GreedySolver(), SamplingSolver(num_samples=25)):
+            a = solver.solve(direct, rng=11)
+            b = solver.solve(via_index, rng=11)
+            assert a.objective.total_std == pytest.approx(b.objective.total_std)
+            assert a.objective.min_reliability == pytest.approx(
+                b.objective.min_reliability
+            )
+
+    def test_dynamic_index_stays_consistent_with_problem(self):
+        config = ExperimentConfig.scaled_defaults(num_tasks=14, num_workers=20)
+        problem = generate_problem(config, 9)
+        grid = RdbscGrid.bulk_load(problem.tasks, problem.workers, 0.2, problem.validity)
+        # Simulate churn: remove half the workers, re-add them.
+        ids = [w.worker_id for w in problem.workers[:10]]
+        for worker_id in ids:
+            grid.remove_worker(worker_id)
+        for worker_id in ids:
+            grid.insert_worker(problem.workers_by_id[worker_id])
+        rebuilt = RdbscProblem(
+            problem.tasks,
+            problem.workers,
+            problem.validity,
+            precomputed_pairs=grid.valid_pairs(),
+        )
+        assert rebuilt.num_pairs == problem.num_pairs
+
+
+class TestQualityOrdering:
+    def test_paper_ordering_small_m(self):
+        """The headline Figure 13 claim at small m, averaged over seeds."""
+        greedy_total = 0.0
+        sampling_total = 0.0
+        dc_total = 0.0
+        for seed in (1, 2, 3, 4):
+            config = ExperimentConfig.scaled_defaults(num_tasks=12, num_workers=48)
+            problem = generate_problem(config, seed)
+            greedy_total += GreedySolver().solve(problem, rng=seed).objective.total_std
+            sampling_total += (
+                SamplingSolver(num_samples=50).solve(problem, rng=seed).objective.total_std
+            )
+            dc_total += (
+                DivideConquerSolver(gamma=5, base_solver=SamplingSolver(num_samples=50))
+                .solve(problem, rng=seed)
+                .objective.total_std
+            )
+        assert sampling_total > greedy_total
+        assert dc_total > greedy_total

@@ -1,0 +1,106 @@
+"""Tests for JSON serialisation round-trips."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import GreedySolver
+from repro.core.objectives import evaluate_assignment
+from repro.core.validity import ValidityRule
+from repro.datagen import ExperimentConfig, generate_problem
+from repro.io import (
+    assignment_from_dict,
+    assignment_to_dict,
+    load_assignment,
+    load_problem,
+    problem_from_dict,
+    problem_to_dict,
+    save_assignment,
+    save_problem,
+)
+from repro.core.assignment import Assignment
+
+
+def sample_problem(seed=3, waiting=False):
+    config = ExperimentConfig.scaled_defaults(num_tasks=8, num_workers=14)
+    return generate_problem(config, seed, ValidityRule(allow_waiting=waiting))
+
+
+class TestProblemRoundTrip:
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_dict_round_trip(self, seed):
+        original = sample_problem(seed)
+        restored = problem_from_dict(problem_to_dict(original))
+        assert restored.num_tasks == original.num_tasks
+        assert restored.num_workers == original.num_workers
+        assert restored.num_pairs == original.num_pairs
+        for pair in original.valid_pairs():
+            assert restored.arrival(pair.task_id, pair.worker_id) == pytest.approx(
+                pair.arrival
+            )
+        assert restored.tasks == original.tasks
+        assert restored.workers == original.workers
+
+    def test_validity_rule_preserved(self):
+        original = sample_problem(5, waiting=True)
+        restored = problem_from_dict(problem_to_dict(original))
+        assert restored.validity.allow_waiting is True
+
+    def test_solver_agrees_on_restored_problem(self):
+        original = sample_problem(7)
+        restored = problem_from_dict(problem_to_dict(original))
+        a = GreedySolver().solve(original, rng=1)
+        b = GreedySolver().solve(restored, rng=1)
+        assert a.objective.total_std == pytest.approx(b.objective.total_std)
+
+    def test_file_round_trip(self, tmp_path):
+        original = sample_problem(9)
+        path = tmp_path / "instance.json"
+        save_problem(original, path)
+        restored = load_problem(path)
+        assert restored.num_pairs == original.num_pairs
+        # The file must be plain JSON with a version stamp.
+        document = json.loads(path.read_text())
+        assert document["format_version"] == 1
+
+    def test_version_check(self):
+        document = problem_to_dict(sample_problem(1))
+        document["format_version"] = 99
+        with pytest.raises(ValueError):
+            problem_from_dict(document)
+
+
+class TestAssignmentRoundTrip:
+    def test_dict_round_trip(self):
+        original = Assignment.from_pairs([(1, 10), (1, 11), (2, 20)])
+        restored = assignment_from_dict(assignment_to_dict(original))
+        assert restored == original
+
+    def test_empty_assignment(self):
+        restored = assignment_from_dict(assignment_to_dict(Assignment()))
+        assert len(restored) == 0
+
+    def test_file_round_trip(self, tmp_path):
+        problem = sample_problem(11)
+        assignment = GreedySolver().solve(problem, rng=2).assignment
+        path = tmp_path / "assignment.json"
+        save_assignment(assignment, path)
+        restored = load_assignment(path)
+        assert restored == assignment
+        # The restored assignment still evaluates identically.
+        assert evaluate_assignment(problem, restored).total_std == pytest.approx(
+            evaluate_assignment(problem, assignment).total_std
+        )
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 20), st.integers(0, 50)),
+            max_size=30,
+            unique_by=lambda pair: pair[1],
+        )
+    )
+    def test_property_round_trip(self, pairs):
+        original = Assignment.from_pairs(pairs)
+        assert assignment_from_dict(assignment_to_dict(original)) == original

@@ -1,0 +1,199 @@
+"""Paper lemmas, verified: one property test per formal claim.
+
+The paper's appendix proves seven lemmas; this module pins each one to an
+executable check so the reproduction's fidelity is not just structural but
+semantic.  (Lemma 3.2, NP-hardness, is exercised end-to-end by
+``tests/test_nphard.py`` — the reduction's optimum solves number
+partitioning.)
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.pruning import CandidateBounds, prune_candidates
+from repro.core.diversity import WorkerProfile
+from repro.core.expected import expected_std
+from repro.core.possible_worlds import exact_expected_std
+from repro.core.reliability import log_reliability
+from repro.skyline.dominance import dominates_tuple
+from tests.conftest import make_task
+
+probs = st.floats(min_value=0.0, max_value=1.0)
+angles = st.floats(min_value=0.0, max_value=6.283)
+times = st.floats(min_value=0.0, max_value=10.0)
+
+
+@st.composite
+def profile_lists(draw, min_size=0, max_size=6):
+    n = draw(st.integers(min_value=min_size, max_value=max_size))
+    return [
+        WorkerProfile(i, draw(angles), draw(times), draw(probs)) for i in range(n)
+    ]
+
+
+@st.composite
+def single_profile(draw, worker_id=99):
+    return WorkerProfile(worker_id, draw(angles), draw(times), draw(probs))
+
+
+class TestLemma31ExpectedDiversityReduction:
+    """E[STD] by the diversity matrices equals the possible-world sum."""
+
+    @settings(max_examples=80, deadline=None)
+    @given(profile_lists(), st.floats(min_value=0.0, max_value=1.0))
+    def test_matrix_equals_enumeration(self, profiles, beta):
+        task = make_task(start=0.0, end=10.0, beta=beta)
+        assert expected_std(task, profiles) == pytest.approx(
+            exact_expected_std(task, profiles), abs=1e-10
+        )
+
+
+class TestLemma41ReliabilityAdditivity:
+    """R(t, W + w) = R(t, W) - ln(1 - p_w); R never decreases."""
+
+    @settings(max_examples=60)
+    @given(
+        st.lists(st.floats(min_value=0.0, max_value=0.999), max_size=8),
+        st.floats(min_value=0.0, max_value=0.999),
+    )
+    def test_additivity(self, ps, extra):
+        base = log_reliability(ps)
+        combined = log_reliability([*ps, extra])
+        assert combined == pytest.approx(base - math.log(1.0 - extra), abs=1e-9)
+        assert combined >= base - 1e-12
+
+
+class TestLemma42DiversityMonotonicity:
+    """Adding a worker never decreases the expected diversity."""
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        profile_lists(),
+        single_profile(),
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_monotone(self, profiles, new_profile, beta):
+        task = make_task(start=0.0, end=10.0, beta=beta)
+        before = expected_std(task, profiles)
+        after = expected_std(task, [*profiles, new_profile])
+        assert after >= before - 1e-9
+
+
+class TestLemma43PruningSafety:
+    """Pruned pairs are never on the true (dr, dd) skyline.
+
+    Given valid bounds lb <= dd <= ub, any pair pruned by Lemma 4.3 is
+    strictly dominated (in true values) by the pair that pruned it, so the
+    best pair always survives.
+    """
+
+    @settings(max_examples=80)
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=-3, max_value=3),   # delta_min_r
+                st.floats(min_value=0.0, max_value=1.0),  # bound anchor a
+                st.floats(min_value=0.0, max_value=1.0),  # bound anchor b
+                st.floats(min_value=0.0, max_value=1.0),  # true dd position
+            ),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    def test_pruned_never_on_true_skyline(self, raw):
+        candidates = []
+        true_dd = {}
+        for i, (dr, a, b, pos) in enumerate(raw):
+            lb, ub = min(a, b), max(a, b)
+            candidates.append(CandidateBounds(i, i, dr, lb, ub))
+            true_dd[i] = lb + pos * (ub - lb)  # any value inside the bounds
+        survivors = {c.task_id for c in prune_candidates(candidates)}
+        scores = [(c.delta_min_r, true_dd[c.task_id]) for c in candidates]
+        for i, candidate in enumerate(candidates):
+            if candidate.task_id in survivors:
+                continue
+            # Pruned: some other candidate strictly dominates it in truth.
+            assert any(
+                dominates_tuple(scores[j], scores[i])
+                for j in range(len(candidates))
+                if j != i
+            )
+
+
+class TestLemma61NonConflictStability:
+    """Removing one worker never *shrinks* another's diversity increment.
+
+    The Appendix G claim behind SA_Merge.  It holds for **temporal**
+    diversity (entropy of a refined interval partition is submodular in
+    the inserted boundaries — proved via ``ln(s/(s-x)) > 0``), and we
+    verify that below.  For **spatial** diversity the claim is *false at
+    the boundary*: a lone photographer has zero SD, so w_k's marginal gain
+    in the world where only w_j survives is positive *with* w_j but zero
+    without — the paper's proof implicitly assumes a surviving companion
+    ray.  We pin that counterexample as a regression test documenting the
+    deviation (SA_Merge itself is unaffected: it re-scores merge options
+    with exact expected values rather than relying on the lemma).
+    """
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        profile_lists(min_size=0, max_size=5),
+        single_profile(worker_id=97),
+        single_profile(worker_id=98),
+    )
+    def test_temporal_marginal_gain_grows_without_competitor(
+        self, others, w_j, w_k
+    ):
+        task = make_task(start=0.0, end=10.0, beta=0.0)  # TD only
+        with_j = [*others, w_j]
+        gain_with_j = expected_std(task, [*with_j, w_k]) - expected_std(task, with_j)
+        gain_without_j = expected_std(task, [*others, w_k]) - expected_std(
+            task, others
+        )
+        assert gain_without_j >= gain_with_j - 1e-9
+
+    def test_spatial_counterexample_documented(self):
+        # One unreliable bystander: the empty possible world dominates, so
+        # w_k alone contributes no SD — but with w_j present the pair does.
+        task = make_task(start=0.0, end=10.0, beta=1.0)  # SD only
+        others = [WorkerProfile(0, 0.0, 5.0, 0.05)]
+        w_j = WorkerProfile(97, 2.0, 5.0, 0.9)
+        w_k = WorkerProfile(98, 4.0, 5.0, 0.9)
+        with_j = [*others, w_j]
+        gain_with_j = expected_std(task, [*with_j, w_k]) - expected_std(task, with_j)
+        gain_without_j = expected_std(task, [*others, w_k]) - expected_std(
+            task, others
+        )
+        # The paper's inequality would demand the opposite.
+        assert gain_with_j > gain_without_j
+        # Sanity: the expectation machinery agrees with exact enumeration
+        # on the counterexample, so this is the lemma failing, not us.
+        assert expected_std(task, [*with_j, w_k]) == pytest.approx(
+            exact_expected_std(task, [*with_j, w_k]), abs=1e-10
+        )
+
+
+class TestLemma62ConflictGroupMinimality:
+    """Workers in different conflict groups share no assigned task."""
+
+    def test_groups_are_task_disjoint(self):
+        from repro.algorithms.merge import conflict_groups
+        from repro.core.assignment import Assignment
+
+        a1 = Assignment.from_pairs([(0, 1), (0, 2), (1, 3), (2, 4)])
+        a2 = Assignment.from_pairs([(3, 1), (4, 2), (4, 3), (5, 4)])
+        groups = conflict_groups(a1, a2, [1, 2, 3, 4])
+        # Tasks touched by each group, in either solution.
+        touched = []
+        for group in groups:
+            tasks = set()
+            for worker_id in group:
+                tasks.add(a1.task_of(worker_id))
+                tasks.add(a2.task_of(worker_id))
+            touched.append(tasks)
+        for i in range(len(touched)):
+            for j in range(i + 1, len(touched)):
+                assert touched[i].isdisjoint(touched[j])

@@ -1,0 +1,87 @@
+"""Tests for the Pareto local-search refinement."""
+
+import pytest
+
+from repro.algorithms import GreedySolver, RandomSolver, SamplingSolver
+from repro.algorithms.local_search import LocalSearchSolver, improve_assignment
+from repro.core.objectives import dominates, evaluate_assignment
+from repro.datagen import ExperimentConfig, generate_problem
+
+
+def dense_problem(seed=3, m=12, n=24):
+    return generate_problem(
+        ExperimentConfig.scaled_defaults(num_tasks=m, num_workers=n), seed
+    )
+
+
+class TestImproveAssignment:
+    def test_never_dominated_by_start(self):
+        for seed in (1, 2, 3, 4):
+            problem = dense_problem(seed)
+            start = RandomSolver().solve(problem, rng=seed).assignment
+            start_value = evaluate_assignment(problem, start)
+            improved, value, _ = improve_assignment(problem, start, rng=seed)
+            assert not dominates(start_value, value)
+
+    def test_keeps_feasibility(self):
+        problem = dense_problem(5)
+        start = RandomSolver().solve(problem, rng=5).assignment
+        improved, _, _ = improve_assignment(problem, start, rng=5)
+        assert len(improved) == len(start)
+        for task_id, worker_id in improved.pairs():
+            assert problem.is_valid_pair(task_id, worker_id)
+
+    def test_does_not_mutate_input(self):
+        problem = dense_problem(7)
+        start = RandomSolver().solve(problem, rng=7).assignment
+        snapshot = sorted(start.pairs())
+        improve_assignment(problem, start, rng=7)
+        assert sorted(start.pairs()) == snapshot
+
+    def test_zero_rounds_is_identity(self):
+        problem = dense_problem(9)
+        start = RandomSolver().solve(problem, rng=9).assignment
+        improved, value, moves = improve_assignment(problem, start, max_rounds=0)
+        assert moves == 0
+        assert sorted(improved.pairs()) == sorted(start.pairs())
+
+    def test_negative_rounds_rejected(self):
+        problem = dense_problem(9)
+        start = RandomSolver().solve(problem, rng=9).assignment
+        with pytest.raises(ValueError):
+            improve_assignment(problem, start, max_rounds=-1)
+
+    def test_improves_random_start_usually(self):
+        improved_count = 0
+        for seed in (1, 2, 3, 4, 5):
+            problem = dense_problem(seed)
+            start = RandomSolver().solve(problem, rng=seed).assignment
+            _, _, moves = improve_assignment(problem, start, rng=seed)
+            improved_count += moves > 0
+        assert improved_count >= 3
+
+
+class TestLocalSearchSolver:
+    def test_name_reflects_base(self):
+        assert LocalSearchSolver(GreedySolver()).name == "GREEDY+LS"
+        assert LocalSearchSolver(SamplingSolver(num_samples=5)).name == "SAMPLING+LS"
+
+    def test_not_dominated_by_base(self):
+        problem = dense_problem(11)
+        base = GreedySolver().solve(problem, rng=2)
+        wrapped = LocalSearchSolver(GreedySolver()).solve(problem, rng=2)
+        assert not dominates(base.objective, wrapped.objective)
+
+    def test_stats_carry_moves(self):
+        problem = dense_problem(13)
+        result = LocalSearchSolver(RandomSolver()).solve(problem, rng=1)
+        assert "local_moves" in result.stats
+
+    def test_objective_self_consistent(self):
+        problem = dense_problem(15)
+        result = LocalSearchSolver(RandomSolver()).solve(problem, rng=3)
+        fresh = evaluate_assignment(problem, result.assignment)
+        assert result.objective.total_std == pytest.approx(fresh.total_std)
+        assert result.objective.min_reliability == pytest.approx(
+            fresh.min_reliability
+        )

@@ -1,0 +1,109 @@
+"""Tests for the Lemma 3.2 reduction and partition solvers."""
+
+import itertools
+import math
+
+import pytest
+
+from repro.core.assignment import Assignment
+from repro.core.objectives import evaluate_assignment
+from repro.core.reliability import min_reliability
+from repro.nphard import (
+    build_rdbsc_instance,
+    discrepancy,
+    greedy_partition,
+    partition_from_assignment,
+    solve_partition_exact,
+)
+
+
+class TestPartitionSolvers:
+    def test_exact_perfect_partition(self):
+        d, subset = solve_partition_exact([1, 2, 3])  # {1,2} vs {3}
+        assert d == 0
+
+    def test_exact_odd_total(self):
+        d, _ = solve_partition_exact([1, 1, 1])
+        assert d == 1
+
+    def test_exact_single_item(self):
+        d, subset = solve_partition_exact([7])
+        assert d == 7
+        assert subset == []
+
+    def test_exact_refuses_large(self):
+        with pytest.raises(ValueError):
+            solve_partition_exact(list(range(1, 30)))
+
+    def test_exact_empty_rejected(self):
+        with pytest.raises(ValueError):
+            solve_partition_exact([])
+
+    def test_greedy_reasonable(self):
+        values = [8, 7, 6, 5, 4]
+        d_greedy, subset = greedy_partition(values)
+        d_exact, _ = solve_partition_exact(values)
+        assert d_greedy >= d_exact
+        assert d_greedy == discrepancy(values, subset)
+
+    def test_discrepancy(self):
+        assert discrepancy([5, 3, 2], [0]) == 0  # 5 vs 3+2
+
+
+class TestReduction:
+    def test_instance_shape(self):
+        values = [3, 5, 8]
+        problem = build_rdbsc_instance(values)
+        assert problem.num_tasks == 2
+        assert problem.num_workers == 3
+        # Everyone can reach both tasks.
+        for worker in problem.workers:
+            assert problem.degree(worker.worker_id) == 2
+
+    def test_confidence_mapping(self):
+        values = [4, 8]
+        problem = build_rdbsc_instance(values)
+        # p_i = 1 - e^{-a_i / a_max}: log weight equals a_i / a_max.
+        for i, value in enumerate(values):
+            worker = problem.workers_by_id[i]
+            assert worker.log_confidence_weight == pytest.approx(value / 8)
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            build_rdbsc_instance([])
+        with pytest.raises(ValueError):
+            build_rdbsc_instance([3, 0])
+
+    def test_std_identically_zero(self):
+        # The gadget's collinear geometry + beta=1 kills diversity entirely,
+        # leaving reliability as the only objective — the reduction's core.
+        values = [2, 3, 4]
+        problem = build_rdbsc_instance(values)
+        for combo in itertools.product([0, 1], repeat=len(values)):
+            assignment = Assignment()
+            for i, side in enumerate(combo):
+                assignment.assign(side, i)
+            value = evaluate_assignment(problem, assignment)
+            assert value.total_std == pytest.approx(0.0, abs=1e-12)
+
+    @pytest.mark.parametrize(
+        "values",
+        [[8, 7, 6, 5, 4], [1, 2, 3, 4], [10, 10, 1], [5, 5, 5, 5]],
+    )
+    def test_optimal_assignment_solves_partition(self, values):
+        # The heart of Lemma 3.2: maximising the minimum reliability over
+        # the gadget is exactly minimising the partition discrepancy.
+        problem = build_rdbsc_instance(values)
+        best_rel = -1.0
+        best_assignment = None
+        for combo in itertools.product([0, 1], repeat=len(values)):
+            assignment = Assignment()
+            for i, side in enumerate(combo):
+                assignment.assign(side, i)
+            rel = min_reliability(problem, assignment, include_empty=True)
+            if rel > best_rel:
+                best_rel = rel
+                best_assignment = assignment
+        left, _ = partition_from_assignment(values, best_assignment)
+        exact_d, _ = solve_partition_exact(values)
+        assert discrepancy(values, left) == exact_d

@@ -1,0 +1,107 @@
+"""Hypothesis property tests: the grid index is exactly brute force.
+
+The index's whole contract is *lossless* acceleration — for any instance
+and any cell size, index-assisted retrieval must return exactly the valid
+pairs the O(m*n) scan finds, before and after arbitrary churn.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.task import SpatialTask
+from repro.core.worker import MovingWorker
+from repro.geometry.angles import AngleInterval
+from repro.geometry.points import Point
+from repro.index.grid import RdbscGrid, retrieve_pairs_without_index
+
+coords = st.floats(min_value=0.0, max_value=1.0)
+angles = st.floats(min_value=0.0, max_value=2 * math.pi)
+
+
+@st.composite
+def task_lists(draw, max_tasks=10):
+    n = draw(st.integers(min_value=0, max_value=max_tasks))
+    tasks = []
+    for i in range(n):
+        start = draw(st.floats(min_value=0.0, max_value=5.0))
+        tasks.append(
+            SpatialTask(
+                task_id=i,
+                location=Point(draw(coords), draw(coords)),
+                start=start,
+                end=start + draw(st.floats(min_value=0.0, max_value=3.0)),
+                beta=draw(st.floats(min_value=0.0, max_value=1.0)),
+            )
+        )
+    return tasks
+
+
+@st.composite
+def worker_lists(draw, max_workers=10):
+    n = draw(st.integers(min_value=0, max_value=max_workers))
+    workers = []
+    for j in range(n):
+        workers.append(
+            MovingWorker(
+                worker_id=j,
+                location=Point(draw(coords), draw(coords)),
+                velocity=draw(st.floats(min_value=0.0, max_value=1.0)),
+                cone=AngleInterval(
+                    draw(angles), draw(st.floats(min_value=0.0, max_value=2 * math.pi))
+                ),
+                confidence=draw(st.floats(min_value=0.0, max_value=1.0)),
+                depart_time=draw(st.floats(min_value=0.0, max_value=2.0)),
+            )
+        )
+    return workers
+
+
+def pair_set(pairs):
+    return sorted((p.task_id, p.worker_id) for p in pairs)
+
+
+class TestIndexEqualsBruteForce:
+    @settings(max_examples=40, deadline=None)
+    @given(task_lists(), worker_lists(), st.sampled_from([0.07, 0.19, 0.5, 1.0]))
+    def test_bulk_load_retrieval(self, tasks, workers, eta):
+        grid = RdbscGrid.bulk_load(tasks, workers, eta)
+        assert pair_set(grid.valid_pairs()) == pair_set(
+            retrieve_pairs_without_index(tasks, workers)
+        )
+
+    @settings(max_examples=25, deadline=None)
+    @given(task_lists(), worker_lists(), st.data())
+    def test_retrieval_after_churn(self, tasks, workers, data):
+        grid = RdbscGrid.bulk_load(tasks, workers, 0.23)
+        grid.build_all_tcell_lists()
+
+        surviving_tasks = list(tasks)
+        surviving_workers = list(workers)
+        # Remove a random prefix of tasks and workers, then re-add half.
+        n_task_removals = data.draw(
+            st.integers(min_value=0, max_value=len(tasks)), label="task removals"
+        )
+        n_worker_removals = data.draw(
+            st.integers(min_value=0, max_value=len(workers)), label="worker removals"
+        )
+        removed_tasks = tasks[:n_task_removals]
+        removed_workers = workers[:n_worker_removals]
+        for task in removed_tasks:
+            grid.remove_task(task.task_id)
+            surviving_tasks.remove(task)
+        for worker in removed_workers:
+            grid.remove_worker(worker.worker_id)
+            surviving_workers.remove(worker)
+        for task in removed_tasks[::2]:
+            grid.insert_task(task)
+            surviving_tasks.append(task)
+        for worker in removed_workers[::2]:
+            grid.insert_worker(worker)
+            surviving_workers.append(worker)
+
+        assert pair_set(grid.valid_pairs()) == pair_set(
+            retrieve_pairs_without_index(surviving_tasks, surviving_workers)
+        )

@@ -1,0 +1,144 @@
+"""Hypothesis property tests on solver-level invariants.
+
+Every solver, on every instance, must produce a *feasible* assignment
+(valid pairs only, one task per worker, every connected worker placed) with
+a self-consistent objective, and the merge/partition machinery must
+conserve workers.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import (
+    DivideConquerSolver,
+    GreedySolver,
+    MaxTaskSolver,
+    RandomSolver,
+    SamplingSolver,
+)
+from repro.algorithms.merge import sa_merge
+from repro.algorithms.partition import bg_partition
+from repro.core.assignment import Assignment
+from repro.core.objectives import evaluate_assignment
+from repro.core.problem import RdbscProblem
+from repro.core.task import SpatialTask
+from repro.core.worker import MovingWorker
+from repro.geometry.angles import AngleInterval
+from repro.geometry.points import Point
+
+coords = st.floats(min_value=0.0, max_value=1.0)
+
+
+@st.composite
+def problems(draw, max_tasks=6, max_workers=10):
+    n_tasks = draw(st.integers(min_value=1, max_value=max_tasks))
+    n_workers = draw(st.integers(min_value=1, max_value=max_workers))
+    tasks = []
+    for i in range(n_tasks):
+        start = draw(st.floats(min_value=0.0, max_value=2.0))
+        tasks.append(
+            SpatialTask(
+                i,
+                Point(draw(coords), draw(coords)),
+                start,
+                start + draw(st.floats(min_value=0.5, max_value=3.0)),
+                beta=draw(st.floats(min_value=0.0, max_value=1.0)),
+            )
+        )
+    workers = []
+    for j in range(n_workers):
+        workers.append(
+            MovingWorker(
+                j,
+                Point(draw(coords), draw(coords)),
+                velocity=draw(st.floats(min_value=0.1, max_value=1.0)),
+                cone=AngleInterval(
+                    draw(st.floats(min_value=0.0, max_value=6.28)),
+                    draw(st.floats(min_value=0.5, max_value=6.29)),
+                ),
+                confidence=draw(st.floats(min_value=0.05, max_value=0.99)),
+            )
+        )
+    return RdbscProblem(tasks, workers)
+
+
+def assert_feasible(problem, assignment):
+    seen = set()
+    for task_id, worker_id in assignment.pairs():
+        assert problem.is_valid_pair(task_id, worker_id)
+        assert worker_id not in seen
+        seen.add(worker_id)
+    connected = {
+        w.worker_id for w in problem.workers if problem.degree(w.worker_id) > 0
+    }
+    assert seen == connected
+
+
+class TestSolverFeasibility:
+    @settings(max_examples=25, deadline=None)
+    @given(problems())
+    def test_greedy(self, problem):
+        result = GreedySolver().solve(problem, rng=0)
+        assert_feasible(problem, result.assignment)
+        fresh = evaluate_assignment(problem, result.assignment)
+        assert result.objective.total_std == pytest.approx(fresh.total_std)
+
+    @settings(max_examples=25, deadline=None)
+    @given(problems())
+    def test_sampling(self, problem):
+        result = SamplingSolver(num_samples=8).solve(problem, rng=0)
+        assert_feasible(problem, result.assignment)
+
+    @settings(max_examples=15, deadline=None)
+    @given(problems())
+    def test_divide_conquer(self, problem):
+        solver = DivideConquerSolver(gamma=3, base_solver=SamplingSolver(num_samples=6))
+        result = solver.solve(problem, rng=0)
+        assert_feasible(problem, result.assignment)
+
+    @settings(max_examples=25, deadline=None)
+    @given(problems())
+    def test_max_task(self, problem):
+        result = MaxTaskSolver().solve(problem, rng=0)
+        assert_feasible(problem, result.assignment)
+
+    @settings(max_examples=25, deadline=None)
+    @given(problems())
+    def test_random(self, problem):
+        result = RandomSolver().solve(problem, rng=0)
+        assert_feasible(problem, result.assignment)
+
+
+class TestPartitionMergeConservation:
+    @settings(max_examples=20, deadline=None)
+    @given(problems(max_tasks=6, max_workers=12))
+    def test_partition_covers_connected_workers(self, problem):
+        if problem.num_tasks < 2:
+            return
+        part = bg_partition(problem, rng=0)
+        connected = {
+            w.worker_id for w in problem.workers if problem.degree(w.worker_id) > 0
+        }
+        assert set(part.worker_ids_1) | set(part.worker_ids_2) == connected
+        assert set(part.conflicting_worker_ids) == (
+            set(part.worker_ids_1) & set(part.worker_ids_2)
+        )
+
+    @settings(max_examples=20, deadline=None)
+    @given(problems(max_tasks=6, max_workers=12), st.integers(min_value=1, max_value=8))
+    def test_merge_keeps_each_worker_once(self, problem, max_group):
+        if problem.num_tasks < 2:
+            return
+        part = bg_partition(problem, rng=0)
+        sub1 = problem.restricted_to(part.task_ids_1, part.worker_ids_1)
+        sub2 = problem.restricted_to(part.task_ids_2, part.worker_ids_2)
+        a1 = SamplingSolver(num_samples=4).solve(sub1, rng=1).assignment
+        a2 = SamplingSolver(num_samples=4).solve(sub2, rng=2).assignment
+        merged, stats = sa_merge(
+            problem, a1, a2, part.conflicting_worker_ids, max_group
+        )
+        assert_feasible(problem, merged)
+        assert stats.conflicts >= 0

@@ -1,0 +1,120 @@
+"""Tests for the Beta-Bernoulli reputation system (accuracy-control extension)."""
+
+import numpy as np
+import pytest
+
+from repro.platform_sim import PlatformConfig, PlatformSimulator
+from repro.platform_sim.reputation import BetaReputation, ReputationTracker
+from repro.algorithms import SamplingSolver
+from tests.conftest import make_worker
+
+
+class TestBetaReputation:
+    def test_uniform_prior_mean(self):
+        assert BetaReputation().mean == pytest.approx(0.5)
+
+    def test_from_prior_mean(self):
+        rep = BetaReputation.from_prior_mean(0.8, strength=10.0)
+        assert rep.mean == pytest.approx(0.8)
+        assert rep.observations == pytest.approx(10.0)
+
+    def test_prior_validation(self):
+        with pytest.raises(ValueError):
+            BetaReputation.from_prior_mean(0.0)
+        with pytest.raises(ValueError):
+            BetaReputation.from_prior_mean(0.5, strength=0.0)
+        with pytest.raises(ValueError):
+            BetaReputation(alpha=0.0)
+
+    def test_success_raises_mean(self):
+        rep = BetaReputation.from_prior_mean(0.5)
+        before = rep.mean
+        rep.observe(True)
+        assert rep.mean > before
+
+    def test_failure_lowers_mean(self):
+        rep = BetaReputation.from_prior_mean(0.5)
+        rep.observe(False)
+        assert rep.mean < 0.5
+
+    def test_converges_to_true_rate(self):
+        rng = np.random.default_rng(0)
+        rep = BetaReputation.from_prior_mean(0.5, strength=4.0)
+        true_p = 0.85
+        for _ in range(500):
+            rep.observe(bool(rng.uniform() < true_p))
+        assert rep.mean == pytest.approx(true_p, abs=0.05)
+
+
+class TestReputationTracker:
+    def test_seed_and_read(self):
+        tracker = ReputationTracker()
+        tracker.seed(3, 0.7)
+        assert tracker.confidence(3) == pytest.approx(0.7)
+
+    def test_unknown_worker_default(self):
+        assert ReputationTracker().confidence(9, default=0.42) == 0.42
+
+    def test_observe_auto_seeds(self):
+        tracker = ReputationTracker()
+        tracker.observe(5, True)
+        assert tracker.confidence(5) > 0.5
+
+    def test_extreme_confidences_clamped(self):
+        tracker = ReputationTracker()
+        tracker.seed(1, 1.0)
+        tracker.seed(2, 0.0)
+        assert 0.0 < tracker.confidence(2) < tracker.confidence(1) < 1.0
+
+    def test_refreshed_worker(self):
+        tracker = ReputationTracker(prior_strength=2.0)
+        worker = make_worker(7, confidence=0.6)
+        tracker.seed_workers([worker])
+        for _ in range(20):
+            tracker.observe(7, False)
+        refreshed = tracker.refreshed_worker(worker)
+        assert refreshed.confidence < 0.2
+        assert refreshed.worker_id == worker.worker_id
+        assert refreshed.location == worker.location
+
+    def test_refreshed_worker_unseeded_keeps_confidence(self):
+        tracker = ReputationTracker()
+        worker = make_worker(8, confidence=0.77)
+        assert tracker.refreshed_worker(worker).confidence == 0.77
+
+    def test_invalid_strength(self):
+        with pytest.raises(ValueError):
+            ReputationTracker(prior_strength=0.0)
+
+    def test_learning_separates_good_from_bad(self):
+        rng = np.random.default_rng(1)
+        tracker = ReputationTracker(prior_strength=4.0)
+        tracker.seed(0, 0.75)  # actually unreliable
+        tracker.seed(1, 0.75)  # actually excellent
+        for _ in range(100):
+            tracker.observe(0, bool(rng.uniform() < 0.4))
+            tracker.observe(1, bool(rng.uniform() < 0.95))
+        assert tracker.confidence(1) - tracker.confidence(0) > 0.3
+
+
+class TestSimulatorIntegration:
+    def test_learning_run_completes(self):
+        config = PlatformConfig(sim_minutes=20, t_interval=2.0, learn_reputations=True)
+        result = PlatformSimulator(config).run(SamplingSolver(num_samples=10), rng=4)
+        assert result.dispatches > 0
+        assert result.total_std > 0.0
+
+    def test_learning_changes_behaviour_eventually(self):
+        # Same seed, with and without learning: the runs should diverge in
+        # at least one observable (planning confidences shift assignments).
+        base = PlatformConfig(sim_minutes=30, t_interval=1.0)
+        learn = PlatformConfig(sim_minutes=30, t_interval=1.0, learn_reputations=True)
+        solver = SamplingSolver(num_samples=15)
+        a = PlatformSimulator(base).run(solver, rng=6)
+        b = PlatformSimulator(learn).run(solver, rng=6)
+        differs = (
+            a.total_std != pytest.approx(b.total_std)
+            or a.dispatches != b.dispatches
+            or a.min_reliability != pytest.approx(b.min_reliability)
+        )
+        assert differs

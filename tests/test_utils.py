@@ -1,0 +1,93 @@
+"""Tests for the from-scratch utility substrates."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils import DisjointSet, trimmed_mean
+
+
+class TestDisjointSet:
+    def test_singletons(self):
+        dsu = DisjointSet([1, 2, 3])
+        assert dsu.groups() == [[1], [2], [3]]
+
+    def test_union_connects(self):
+        dsu = DisjointSet()
+        dsu.union(1, 2)
+        assert dsu.connected(1, 2)
+        assert not dsu.connected(1, 3)
+
+    def test_transitive(self):
+        dsu = DisjointSet()
+        dsu.union(1, 2)
+        dsu.union(2, 3)
+        assert dsu.connected(1, 3)
+
+    def test_groups_partition(self):
+        dsu = DisjointSet(range(6))
+        dsu.union(0, 1)
+        dsu.union(2, 3)
+        dsu.union(3, 4)
+        groups = dsu.groups()
+        assert sorted(sum(groups, [])) == list(range(6))
+        assert [0, 1] in groups
+        assert [2, 3, 4] in groups
+        assert [5] in groups
+
+    def test_union_idempotent(self):
+        dsu = DisjointSet()
+        dsu.union(1, 2)
+        root = dsu.find(1)
+        assert dsu.union(1, 2) == root
+
+    def test_lazy_add_on_find(self):
+        dsu = DisjointSet()
+        assert dsu.find("x") == "x"
+
+    @given(st.lists(st.tuples(st.integers(0, 20), st.integers(0, 20)), max_size=40))
+    def test_matches_naive_connectivity(self, edges):
+        dsu = DisjointSet(range(21))
+        adjacency = {i: {i} for i in range(21)}
+        for a, b in edges:
+            dsu.union(a, b)
+        # Naive closure.
+        import itertools
+
+        changed = True
+        groups = [{a, b} for a, b in edges] + [{i} for i in range(21)]
+        while changed:
+            changed = False
+            for g1, g2 in itertools.combinations(groups, 2):
+                if g1 & g2 and g1 is not g2:
+                    g1 |= g2
+                    groups.remove(g2)
+                    changed = True
+                    break
+        naive = {frozenset(g) for g in groups}
+        ours = {frozenset(g) for g in dsu.groups()}
+        assert ours == naive
+
+
+class TestTrimmedMean:
+    def test_trims_extremes(self):
+        # Drop 1 and 100, average the rest.
+        assert trimmed_mean([1.0, 5.0, 6.0, 100.0]) == pytest.approx(5.5)
+
+    def test_small_input_falls_back_to_mean(self):
+        assert trimmed_mean([4.0, 8.0]) == pytest.approx(6.0)
+        assert trimmed_mean([5.0]) == 5.0
+
+    def test_zero_trim_is_mean(self):
+        assert trimmed_mean([1.0, 2.0, 3.0], trim_each_side=0) == pytest.approx(2.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            trimmed_mean([])
+        with pytest.raises(ValueError):
+            trimmed_mean([1.0], trim_each_side=-1)
+
+    @given(st.lists(st.floats(min_value=-100, max_value=100), min_size=1, max_size=20))
+    def test_within_min_max(self, values):
+        result = trimmed_mean(values)
+        assert min(values) - 1e-9 <= result <= max(values) + 1e-9

@@ -1,0 +1,102 @@
+"""Tests for the terminal visualisation helpers."""
+
+import pytest
+
+from repro.algorithms import GreedySolver
+from repro.core.problem import RdbscProblem
+from repro.datagen import ExperimentConfig, generate_problem
+from repro.viz import render_assignment, render_instance, series_with_sparkline, sparkline
+from tests.conftest import make_task, make_worker
+
+
+class TestRenderInstance:
+    def test_marks_tasks_and_workers(self):
+        problem = RdbscProblem(
+            [make_task(0, x=0.1, y=0.9)], [make_worker(0, x=0.9, y=0.1)]
+        )
+        art = render_instance(problem, width=10, height=10)
+        assert "t" in art
+        assert "w" in art
+        assert "1 tasks" in art
+
+    def test_colocated_star(self):
+        problem = RdbscProblem(
+            [make_task(0, x=0.5, y=0.5)], [make_worker(0, x=0.5, y=0.5, velocity=0.0)]
+        )
+        art = render_instance(problem, width=8, height=8)
+        assert "*" in art
+
+    def test_multiplicity_digits(self):
+        tasks = [make_task(i, x=0.5, y=0.5) for i in range(3)]
+        problem = RdbscProblem(tasks, [])
+        art = render_instance(problem, width=6, height=6)
+        assert "3" in art
+
+    def test_overflow_plus(self):
+        tasks = [make_task(i, x=0.5, y=0.5) for i in range(12)]
+        problem = RdbscProblem(tasks, [])
+        assert "+" in render_instance(problem, width=4, height=4)
+
+    def test_dimensions(self):
+        problem = RdbscProblem([], [])
+        art = render_instance(problem, width=30, height=5)
+        rows = art.splitlines()
+        assert len(rows) == 6  # 5 map rows + legend
+        assert all(len(row) == 30 for row in rows[:5])
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            render_instance(RdbscProblem([], []), width=0)
+
+    def test_orientation_y_up(self):
+        # A task at y=0.9 must appear on an earlier (upper) row than one
+        # at y=0.1.
+        problem = RdbscProblem(
+            [make_task(0, x=0.5, y=0.9), make_task(1, x=0.5, y=0.1)], []
+        )
+        rows = render_instance(problem, width=9, height=9).splitlines()[:9]
+        top = next(i for i, row in enumerate(rows) if "t" in row)
+        bottom = max(i for i, row in enumerate(rows) if "t" in row)
+        assert top < bottom
+
+
+class TestRenderAssignment:
+    def test_summary_lines(self):
+        problem = generate_problem(
+            ExperimentConfig.scaled_defaults(num_tasks=8, num_workers=16), 3
+        )
+        result = GreedySolver().solve(problem, rng=3)
+        art = render_assignment(problem, result.assignment, max_tasks=3)
+        assert "assignment:" in art
+        assert "rel=" in art
+
+    def test_truncates_task_list(self):
+        problem = generate_problem(
+            ExperimentConfig.scaled_defaults(num_tasks=20, num_workers=40), 5
+        )
+        result = GreedySolver().solve(problem, rng=5)
+        art = render_assignment(problem, result.assignment, max_tasks=2)
+        if len(result.assignment.assigned_tasks()) > 2:
+            assert "more tasks" in art
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_constant_series(self):
+        assert sparkline([5.0, 5.0, 5.0]) == "▁▁▁"
+
+    def test_monotone_series(self):
+        line = sparkline([0.0, 1.0, 2.0, 3.0])
+        assert line[0] == "▁"
+        assert line[-1] == "█"
+        assert len(line) == 4
+
+    def test_series_with_sparkline(self):
+        text = series_with_sparkline("GREEDY", [1.0, 2.0], precision=1)
+        assert text.startswith("GREEDY:")
+        assert "[1.0 .. 2.0]" in text
+
+    def test_series_with_sparkline_empty(self):
+        assert "empty" in series_with_sparkline("X", [])

@@ -1,0 +1,25 @@
+# Convenience targets; everything assumes the in-tree src/ layout.
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test benchsmoke bench-fastpath bench golden
+
+# Tier-1 verification (the command CI runs).
+test:
+	$(PYTHON) -m pytest -x -q
+
+# Tiny-scale execution of every benchmarks/bench_*.py module.
+benchsmoke:
+	$(PYTHON) -m pytest -q -m benchsmoke
+
+# Python-vs-numpy backend timings; writes BENCH_fastpath.json.
+bench-fastpath:
+	$(PYTHON) -m pytest -q benchmarks/bench_fastpath.py
+
+# Full figure-regeneration benchmark suite (slow).
+bench:
+	$(PYTHON) -m pytest -q benchmarks
+
+# Refresh the golden regression fixture after an intended behaviour change.
+golden:
+	$(PYTHON) tests/test_golden_regression.py --regenerate

@@ -9,6 +9,8 @@ The package implements the paper's full stack:
   (:mod:`repro.algorithms`),
 * the cost-model-based grid index for dynamic maintenance
   (:mod:`repro.index`),
+* NumPy batch kernels behind the ``backend="numpy"`` flags of the
+  problem, index, solvers and session (:mod:`repro.fastpath`),
 * Table-2 synthetic workload generators and substitutes for the paper's
   real datasets (:mod:`repro.datagen`),
 * a gMission-style platform simulator with the incremental updating

@@ -14,6 +14,10 @@ Two optimisations keep the inner loop honest at scale:
 * With ``use_pruning=True`` (the default), the Section 4.3 bound-based
   pruning discards provably inferior pairs before any exact ``ΔE[STD]``
   work is spent on them (Lemma 4.3).
+* With ``backend="numpy"`` the per-round ``Δmin_R`` scoring and the
+  Lemma 4.3 sweep run as :mod:`repro.fastpath` array kernels over all
+  candidates at once — same selections, same result, less interpreter
+  time per candidate.
 """
 
 from __future__ import annotations
@@ -38,15 +42,26 @@ class GreedySolver(Solver):
             diversity increases are computed.  Results are identical either
             way whenever the pruned pairs were genuinely dominated; the flag
             exists for the ablation benchmark.
+        backend: ``"python"`` scores candidates one by one; ``"numpy"``
+            batches the ``Δmin_R`` scoring and pruning sweep through the
+            fastpath kernels.  Both backends commit identical assignments.
     """
 
     name = "GREEDY"
 
-    def __init__(self, use_pruning: bool = True) -> None:
+    def __init__(self, use_pruning: bool = True, backend: str = "python") -> None:
+        if backend not in ("python", "numpy"):
+            raise ValueError(f"unknown backend {backend!r}")
         self.use_pruning = use_pruning
+        self.backend = backend
 
     def solve(self, problem: RdbscProblem, rng: RngLike = None) -> SolverResult:
         evaluator = IncrementalEvaluator(problem)
+        self._log_weights: Optional[Dict[int, float]] = (
+            {w.worker_id: w.log_confidence_weight for w in problem.workers}
+            if self.backend == "numpy"
+            else None
+        )
         unassigned = sorted(
             w.worker_id for w in problem.workers if problem.degree(w.worker_id) > 0
         )
@@ -130,6 +145,10 @@ class GreedySolver(Solver):
         Returns ``(scored pairs, exact evaluations, pruned count)`` where
         each scored pair is ``((task_id, worker_id), delta_min_r, dstd)``.
         """
+        if self.backend == "numpy":
+            return self._score_round_numpy(
+                problem, evaluator, pairs, min_two, dstd_cache, bounds_cache
+            )
         exact = 0
         if not self.use_pruning:
             out = []
@@ -171,4 +190,83 @@ class GreedySolver(Solver):
             )
             exact += computed
             out.append(((cand.task_id, cand.worker_id), cand.delta_min_r, dd))
+        return out, exact, n_pruned
+
+    def _score_round_numpy(
+        self,
+        problem: RdbscProblem,
+        evaluator: IncrementalEvaluator,
+        pairs: List[Tuple[int, int]],
+        min_two: Tuple[float, float],
+        dstd_cache: Dict[int, Dict[int, float]],
+        bounds_cache: Dict[int, Dict[int, Tuple[float, float]]],
+    ) -> Tuple[List[Tuple[Tuple[int, int], float, float]], int, int]:
+        """The fastpath twin of the scalar scoring loop.
+
+        ``Δmin_R`` for every candidate comes from one broadcast kernel
+        call, and the Lemma 4.3 sweep is the vectorised
+        :func:`repro.fastpath.kernels.lemma43_prune_order`.  Bound and
+        exact-``ΔE[STD]`` values reuse the same per-task caches as the
+        scalar path, so both backends make identical selections.
+        """
+        import numpy as np
+
+        from repro.fastpath.kernels import batch_delta_min_r, lemma43_prune_order
+
+        best, second = min_two
+        weights = self._log_weights
+        assert weights is not None
+        n = len(pairs)
+        task_r = np.empty(n)
+        task_has = np.empty(n, dtype=bool)
+        pair_weights = np.empty(n)
+        # Per-round memo: each task's (R, occupied) is looked up once.
+        seen: Dict[int, Tuple[float, bool]] = {}
+        for k, (task_id, worker_id) in enumerate(pairs):
+            cached = seen.get(task_id)
+            if cached is None:
+                state = evaluator.state_of(task_id)
+                cached = (state.r_value, bool(state.profiles))
+                seen[task_id] = cached
+            task_r[k] = cached[0]
+            task_has[k] = cached[1]
+            pair_weights[k] = weights[worker_id]
+        dr = batch_delta_min_r(task_r, task_has, pair_weights, best, second)
+
+        exact = 0
+        if not self.use_pruning:
+            out = []
+            for k, (task_id, worker_id) in enumerate(pairs):
+                dd, computed = self._exact_dstd(
+                    evaluator, dstd_cache, task_id, worker_id
+                )
+                exact += computed
+                out.append(((task_id, worker_id), float(dr[k]), dd))
+            return out, exact, 0
+
+        lb = np.empty(n)
+        ub = np.empty(n)
+        for k, (task_id, worker_id) in enumerate(pairs):
+            cached_dd = dstd_cache.get(task_id, {}).get(worker_id)
+            if cached_dd is not None:
+                lb[k] = ub[k] = cached_dd
+                continue
+            per_task_bounds = bounds_cache.setdefault(task_id, {})
+            known = per_task_bounds.get(worker_id)
+            if known is None:
+                task = problem.tasks_by_id[task_id]
+                state = evaluator.state_of(task_id)
+                new_profile = problem.pair_profile(task_id, worker_id)
+                known = diversity_increase_bounds(task, state.profiles, new_profile)
+                per_task_bounds[worker_id] = known
+            lb[k], ub[k] = known
+
+        survivor_order = lemma43_prune_order(dr, lb, ub)
+        n_pruned = n - int(survivor_order.shape[0])
+        out = []
+        for k in survivor_order.tolist():
+            task_id, worker_id = pairs[k]
+            dd, computed = self._exact_dstd(evaluator, dstd_cache, task_id, worker_id)
+            exact += computed
+            out.append(((task_id, worker_id), float(dr[k]), dd))
         return out, exact, n_pruned

@@ -8,6 +8,10 @@ buy — useful in ablations and as a smoke-test baseline.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
+import numpy as np
+
 from repro.algorithms.base import RngLike, Solver, SolverResult, make_rng
 from repro.core.assignment import Assignment
 from repro.core.problem import RdbscProblem
@@ -26,6 +30,67 @@ def draw_random_assignment(problem: RdbscProblem, rng: RngLike = None) -> Assign
             continue
         choice = int(generator.integers(0, len(candidates)))
         assignment.assign(candidates[choice], worker.worker_id)
+    return assignment
+
+
+@dataclass(frozen=True)
+class CandidateTable:
+    """Flattened candidate-task lists of every positive-degree worker.
+
+    The Section 5.1 population, in array form: worker ``k`` (in the
+    problem's worker order, zero-degree workers dropped) owns the slice
+    ``flat_tasks[offsets[k]:offsets[k] + degrees[k]]``.  Building the
+    table once amortises the per-draw candidate lookups across the K
+    samples of the SAMPLING solver.
+    """
+
+    worker_ids: np.ndarray
+    degrees: np.ndarray
+    offsets: np.ndarray
+    flat_tasks: np.ndarray
+
+    @classmethod
+    def from_problem(cls, problem: RdbscProblem) -> "CandidateTable":
+        worker_ids = []
+        degrees = []
+        flat: list = []
+        for worker in problem.workers:
+            candidates = problem.candidate_tasks(worker.worker_id)
+            if not candidates:
+                continue
+            worker_ids.append(worker.worker_id)
+            degrees.append(len(candidates))
+            flat.extend(candidates)
+        degrees_arr = np.asarray(degrees, dtype=np.int64)
+        offsets = np.zeros(len(degrees), dtype=np.int64)
+        if len(degrees) > 1:
+            np.cumsum(degrees_arr[:-1], out=offsets[1:])
+        return cls(
+            worker_ids=np.asarray(worker_ids, dtype=np.int64),
+            degrees=degrees_arr,
+            offsets=offsets,
+            flat_tasks=np.asarray(flat, dtype=np.int64),
+        )
+
+
+def draw_random_assignment_batch(
+    table: CandidateTable, rng: RngLike = None
+) -> Assignment:
+    """Batched twin of :func:`draw_random_assignment`.
+
+    One ``Generator.integers`` call with the degree vector replaces the
+    per-worker loop.  The bounded-integer sampler consumes the underlying
+    bit stream element by element exactly as the scalar calls do, so for
+    the same generator state this draws the *same* assignment.
+    """
+    generator = make_rng(rng)
+    assignment = Assignment()
+    if table.worker_ids.shape[0] == 0:
+        return assignment
+    choices = generator.integers(0, table.degrees)
+    picked = table.flat_tasks[table.offsets + choices]
+    for task_id, worker_id in zip(picked.tolist(), table.worker_ids.tolist()):
+        assignment.assign(task_id, worker_id)
     return assignment
 
 

@@ -7,6 +7,14 @@ edge per worker node in Figure 4).  ``K`` samples are scored on
 best dominance rank — the skyline member dominating the most other samples,
 exactly the paper's [22]-style tie-break for when no sample dominates all
 others.
+
+With ``backend="numpy"`` each sample's per-worker choices are drawn in one
+bounded-``integers`` call over a flattened candidate table instead of a
+Python loop.  NumPy's ``Generator.integers`` consumes the bit stream
+identically for an array of bounds and for element-wise scalar calls, so
+the drawn samples — and therefore the returned assignment — are identical
+to the python backend for the same seed (pinned by the differential test
+suite).
 """
 
 from __future__ import annotations
@@ -14,7 +22,11 @@ from __future__ import annotations
 from typing import List, Optional, Tuple
 
 from repro.algorithms.base import RngLike, Solver, SolverResult, make_rng
-from repro.algorithms.random_assign import draw_random_assignment
+from repro.algorithms.random_assign import (
+    CandidateTable,
+    draw_random_assignment,
+    draw_random_assignment_batch,
+)
 from repro.algorithms.sample_size import SamplePlan
 from repro.core.assignment import Assignment
 from repro.core.objectives import evaluate_assignment
@@ -29,6 +41,9 @@ class SamplingSolver(Solver):
         plan: the (epsilon, delta) sample-size plan; ignored when
             ``num_samples`` pins the count explicitly.
         num_samples: fixed sample count override.
+        backend: ``"python"`` draws each worker's choice in a loop;
+            ``"numpy"`` draws a whole sample at once (same RNG stream,
+            identical samples).
     """
 
     name = "SAMPLING"
@@ -37,9 +52,13 @@ class SamplingSolver(Solver):
         self,
         plan: Optional[SamplePlan] = None,
         num_samples: Optional[int] = None,
+        backend: str = "python",
     ) -> None:
+        if backend not in ("python", "numpy"):
+            raise ValueError(f"unknown backend {backend!r}")
         self.plan = plan if plan is not None else SamplePlan()
         self.num_samples = num_samples
+        self.backend = backend
 
     def resolve_sample_count(self, problem: RdbscProblem) -> int:
         """The number of samples this solver would draw for ``problem``."""
@@ -52,10 +71,16 @@ class SamplingSolver(Solver):
     def solve(self, problem: RdbscProblem, rng: RngLike = None) -> SolverResult:
         generator = make_rng(rng)
         k = self.resolve_sample_count(problem)
+        table: Optional[CandidateTable] = (
+            CandidateTable.from_problem(problem) if self.backend == "numpy" else None
+        )
         samples: List[Assignment] = []
         scores: List[Tuple[float, float]] = []
         for _ in range(k):
-            assignment = draw_random_assignment(problem, generator)
+            if table is not None:
+                assignment = draw_random_assignment_batch(table, generator)
+            else:
+                assignment = draw_random_assignment(problem, generator)
             value = evaluate_assignment(problem, assignment)
             samples.append(assignment)
             scores.append((value.min_reliability, value.total_std))

@@ -4,6 +4,11 @@ An instance is the bipartite graph of Figure 4: task nodes, worker nodes,
 and an edge wherever a worker can validly serve a task.  All solvers consume
 this object; the grid index (``repro.index``) can build the same edge set
 faster, so :class:`RdbscProblem` accepts precomputed pairs.
+
+The ``O(m * n)`` edge scan runs on one of two backends: ``"python"`` (the
+scalar reference loop over :class:`repro.core.validity.ValidityRule`) or
+``"numpy"`` (the broadcast kernel of :mod:`repro.fastpath`, which produces
+a bit-identical edge set batch-wise).
 """
 
 from __future__ import annotations
@@ -46,9 +51,14 @@ class RdbscProblem:
         precomputed_pairs: optional valid pairs from an external retriever
             (e.g. :class:`repro.index.grid.RdbscGrid`); skips the O(m*n)
             scan when given.
+        backend: ``"python"`` (scalar scan) or ``"numpy"`` (batch kernel)
+            for building the valid-pair graph; irrelevant when
+            ``precomputed_pairs`` is supplied.  Both produce the same
+            edges and arrivals.
 
     Raises:
-        ValueError: on duplicate task or worker identifiers.
+        ValueError: on duplicate task or worker identifiers, or an unknown
+            backend.
     """
 
     def __init__(
@@ -57,7 +67,11 @@ class RdbscProblem:
         workers: Sequence[MovingWorker],
         validity: Optional[ValidityRule] = None,
         precomputed_pairs: Optional[Iterable[ValidPair]] = None,
+        backend: str = "python",
     ) -> None:
+        if backend not in ("python", "numpy"):
+            raise ValueError(f"unknown backend {backend!r}")
+        self.backend = backend
         self.validity = validity if validity is not None else ValidityRule()
         self.tasks: Tuple[SpatialTask, ...] = tuple(tasks)
         self.workers: Tuple[MovingWorker, ...] = tuple(workers)
@@ -70,6 +84,14 @@ class RdbscProblem:
         if len(self.workers_by_id) != len(self.workers):
             raise ValueError("duplicate worker_id in workers")
 
+        self._reset_graph()
+        if precomputed_pairs is None:
+            self.build_pairs(backend)
+        else:
+            self._ingest_pairs(precomputed_pairs)
+            self._canonicalise_candidates()
+
+    def _reset_graph(self) -> None:
         self._arrivals: Dict[Tuple[int, int], float] = {}
         self._profiles: Dict[Tuple[int, int], object] = {}
         self._worker_candidates: Dict[int, List[int]] = {
@@ -78,10 +100,8 @@ class RdbscProblem:
         self._task_candidates: Dict[int, List[int]] = {
             t.task_id: [] for t in self.tasks
         }
-        if precomputed_pairs is None:
-            self._build_pairs_brute_force()
-        else:
-            self._ingest_pairs(precomputed_pairs)
+
+    def _canonicalise_candidates(self) -> None:
         # Canonical candidate order: solver behaviour (especially seeded
         # sampling) must depend on the instance, not on whether its edges
         # arrived from a brute-force scan or a grid-index retrieval.
@@ -90,12 +110,30 @@ class RdbscProblem:
         for candidates in self._task_candidates.values():
             candidates.sort()
 
-    def _build_pairs_brute_force(self) -> None:
-        for worker in self.workers:
-            for task in self.tasks:
-                arrival = self.validity.effective_arrival(worker, task)
-                if arrival is not None:
-                    self._add_pair(task.task_id, worker.worker_id, arrival)
+    def build_pairs(self, backend: str = "python") -> None:
+        """(Re)populate the valid-pair graph with the selected backend.
+
+        Called by the constructor when no precomputed pairs are supplied;
+        ``"python"`` is the scalar reference scan, ``"numpy"`` delegates
+        to :func:`repro.fastpath.kernels.batch_valid_pairs` (identical
+        edge set, batch-evaluated).  Any previously held edges and cached
+        profiles are discarded first, so calling it again is idempotent.
+        """
+        if backend not in ("python", "numpy"):
+            raise ValueError(f"unknown backend {backend!r}")
+        self._reset_graph()
+        if backend == "numpy":
+            from repro.fastpath.kernels import batch_valid_pairs
+
+            for pair in batch_valid_pairs(self.tasks, self.workers, self.validity):
+                self._add_pair(pair.task_id, pair.worker_id, pair.arrival)
+        else:
+            for worker in self.workers:
+                for task in self.tasks:
+                    arrival = self.validity.effective_arrival(worker, task)
+                    if arrival is not None:
+                        self._add_pair(task.task_id, worker.worker_id, arrival)
+        self._canonicalise_candidates()
 
     def _ingest_pairs(self, pairs: Iterable[ValidPair]) -> None:
         for pair in pairs:
@@ -223,7 +261,9 @@ class RdbscProblem:
             for (task_id, worker_id), arrival in self._arrivals.items()
             if task_id in task_set and worker_id in worker_set
         ]
-        return RdbscProblem(tasks, workers, self.validity, precomputed_pairs=pairs)
+        return RdbscProblem(
+            tasks, workers, self.validity, precomputed_pairs=pairs, backend=self.backend
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debug convenience
         return (

@@ -20,6 +20,7 @@ from repro.datagen.beijing import (
 from repro.datagen.config import ExperimentConfig
 from repro.datagen.synthetic import (
     average_degree,
+    generate_arrays,
     generate_problem,
     generate_tasks,
     generate_workers,
@@ -31,6 +32,7 @@ __all__ = [
     "ExperimentConfig",
     "Trajectory",
     "average_degree",
+    "generate_arrays",
     "generate_poi_field",
     "generate_problem",
     "generate_real_substitute_problem",

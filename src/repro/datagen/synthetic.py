@@ -120,12 +120,46 @@ def generate_problem(
     config: ExperimentConfig,
     seed: RngLike = None,
     validity: Optional[ValidityRule] = None,
+    backend: str = "python",
 ) -> RdbscProblem:
-    """A full synthetic RDB-SC instance (tasks + workers + valid pairs)."""
+    """A full synthetic RDB-SC instance (tasks + workers + valid pairs).
+
+    ``backend`` selects the valid-pair scan implementation — the scalar
+    reference (``"python"``) or the :mod:`repro.fastpath` batch kernel
+    (``"numpy"``); the generated entities and the resulting edge set are
+    identical either way.
+    """
     generator = make_rng(seed)
     tasks = generate_tasks(config, generator)
     workers = generate_workers(config, generator)
-    return RdbscProblem(tasks, workers, validity)
+    return RdbscProblem(tasks, workers, validity, backend=backend)
+
+
+def generate_arrays(
+    config: ExperimentConfig,
+    seed: RngLike = None,
+):
+    """Generate an instance directly in packed array form.
+
+    Returns ``(tasks, workers, task_arrays, worker_arrays)``: the object
+    lists plus their :class:`repro.fastpath.arrays.TaskArrays` /
+    :class:`repro.fastpath.arrays.WorkerArrays` views, for callers that
+    feed the batch kernels (or an accelerator) without building a full
+    :class:`RdbscProblem`.  Entity generation consumes the RNG exactly as
+    :func:`generate_problem` does, so the same seed yields the same
+    instance in either representation.
+    """
+    from repro.fastpath.arrays import TaskArrays, WorkerArrays
+
+    generator = make_rng(seed)
+    tasks = generate_tasks(config, generator)
+    workers = generate_workers(config, generator)
+    return (
+        tasks,
+        workers,
+        TaskArrays.from_tasks(tasks),
+        WorkerArrays.from_workers(workers),
+    )
 
 
 def average_degree(problem: RdbscProblem) -> float:

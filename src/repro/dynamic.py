@@ -73,6 +73,10 @@ class CrowdsourcingSession:
             for your expected reach, or keep the default mid-grain cell.
         validity: pair-validity policy.
         rng: seed/generator forwarded to the solver for reproducibility.
+        backend: ``"python"`` or ``"numpy"``; selects how the grid index
+            probes candidate cell pairs during ``reassign`` retrieval (and
+            is forwarded when rebuilding the sub-instance).  Both backends
+            yield the same pairs and the same assignments.
     """
 
     def __init__(
@@ -81,10 +85,14 @@ class CrowdsourcingSession:
         eta: float = 0.125,
         validity: Optional[ValidityRule] = None,
         rng: RngLike = None,
+        backend: str = "python",
     ) -> None:
+        if backend not in ("python", "numpy"):
+            raise ValueError(f"unknown backend {backend!r}")
         self.solver = solver if solver is not None else SamplingSolver(num_samples=40)
         self.validity = validity if validity is not None else ValidityRule()
-        self.grid = RdbscGrid(eta, self.validity)
+        self.backend = backend
+        self.grid = RdbscGrid(eta, self.validity, backend=backend)
         self.rng = rng
         self.stats = SessionStats()
         self._tasks: Dict[int, SpatialTask] = {}
@@ -182,6 +190,7 @@ class CrowdsourcingSession:
             list(self._workers.values()),
             self.validity,
             precomputed_pairs=pairs,
+            backend=self.backend,
         )
 
     # ------------------------------------------------------------------ #

@@ -1,0 +1,43 @@
+"""Array-backed batch kernels — the NumPy fast path.
+
+Every hot loop of the reproduction has a scalar reference implementation
+in :mod:`repro.core` / :mod:`repro.algorithms`; this package provides
+broadcast equivalents over packed arrays:
+
+``arrays``
+    :class:`WorkerArrays` / :class:`TaskArrays` — structure-of-arrays
+    views of the object model.
+``kernels``
+    :func:`batch_effective_arrival` (the full validity matrix),
+    :func:`batch_valid_pairs` (bit-identical ``ValidPair`` retrieval),
+    :func:`batch_delta_min_r` and :func:`lemma43_prune_order` (greedy
+    scoring and Section 4.3 pruning).
+
+Consumers select the fast path through ``backend="numpy"`` flags on
+:class:`repro.core.problem.RdbscProblem`,
+:class:`repro.index.grid.RdbscGrid`,
+:class:`repro.algorithms.greedy.GreedySolver`,
+:class:`repro.algorithms.sampling.SamplingSolver` and
+:class:`repro.dynamic.CrowdsourcingSession`; the differential suite in
+``tests/test_fastpath_equivalence.py`` pins both backends to identical
+results.
+"""
+
+from repro.fastpath.arrays import TaskArrays, WorkerArrays
+from repro.fastpath.kernels import (
+    batch_any_valid,
+    batch_delta_min_r,
+    batch_effective_arrival,
+    batch_valid_pairs,
+    lemma43_prune_order,
+)
+
+__all__ = [
+    "TaskArrays",
+    "WorkerArrays",
+    "batch_any_valid",
+    "batch_delta_min_r",
+    "batch_effective_arrival",
+    "batch_valid_pairs",
+    "lemma43_prune_order",
+]

@@ -1,0 +1,144 @@
+"""Structure-of-arrays packing of workers and tasks.
+
+The scalar object model (:class:`repro.core.worker.MovingWorker`,
+:class:`repro.core.task.SpatialTask`) is the source of truth; these
+containers are flat ``float64``/``int64`` views of the same data, laid out
+so the batch kernels in :mod:`repro.fastpath.kernels` can evaluate every
+(task, worker) combination with NumPy broadcasting instead of a Python
+double loop.
+
+Derived per-worker quantities that involve transcendental functions — the
+Eq. 8 log-confidence weights — are copied from the objects' own scalar
+properties rather than recomputed with NumPy ufuncs, so array-backed code
+sees bit-identical values to the scalar path (``np.log`` and ``math.log``
+may differ in the last ulp).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.core.task import SpatialTask
+from repro.core.worker import MovingWorker
+
+
+@dataclass(frozen=True)
+class WorkerArrays:
+    """Column-wise view of a worker set.
+
+    Attributes:
+        ids: worker identifiers, aligned with every other column.
+        xs / ys: current positions.
+        velocities: scalar speeds ``v_j``.
+        cone_los / cone_widths: direction cones as (start, CCW width).
+        confidences: success probabilities ``p_j``.
+        depart_times: clock times the workers start moving.
+        log_weights: the Eq. 8 weights ``-ln(1 - p_j)`` (``inf`` at
+            ``p_j == 1``), copied from
+            :attr:`repro.core.worker.MovingWorker.log_confidence_weight`.
+        index_of: worker id -> column position.
+    """
+
+    ids: np.ndarray
+    xs: np.ndarray
+    ys: np.ndarray
+    velocities: np.ndarray
+    cone_los: np.ndarray
+    cone_widths: np.ndarray
+    confidences: np.ndarray
+    depart_times: np.ndarray
+    log_weights: np.ndarray
+    index_of: Dict[int, int] = field(repr=False)
+
+    def __len__(self) -> int:
+        return int(self.ids.shape[0])
+
+    @classmethod
+    def from_workers(cls, workers: Sequence[MovingWorker]) -> "WorkerArrays":
+        """Pack a worker sequence, preserving order."""
+        n = len(workers)
+        ids = np.empty(n, dtype=np.int64)
+        xs = np.empty(n)
+        ys = np.empty(n)
+        velocities = np.empty(n)
+        cone_los = np.empty(n)
+        cone_widths = np.empty(n)
+        confidences = np.empty(n)
+        depart_times = np.empty(n)
+        log_weights = np.empty(n)
+        for j, worker in enumerate(workers):
+            ids[j] = worker.worker_id
+            xs[j] = worker.location.x
+            ys[j] = worker.location.y
+            velocities[j] = worker.velocity
+            cone_los[j] = worker.cone.lo
+            cone_widths[j] = worker.cone.width
+            confidences[j] = worker.confidence
+            depart_times[j] = worker.depart_time
+            log_weights[j] = worker.log_confidence_weight
+        return cls(
+            ids=ids,
+            xs=xs,
+            ys=ys,
+            velocities=velocities,
+            cone_los=cone_los,
+            cone_widths=cone_widths,
+            confidences=confidences,
+            depart_times=depart_times,
+            log_weights=log_weights,
+            index_of={int(w): j for j, w in enumerate(ids)},
+        )
+
+
+@dataclass(frozen=True)
+class TaskArrays:
+    """Column-wise view of a task set.
+
+    Attributes:
+        ids: task identifiers, aligned with every other column.
+        xs / ys: task locations.
+        starts / ends: valid periods ``[s_i, e_i]``.
+        betas: requester spatial/temporal weights.
+        index_of: task id -> row position.
+    """
+
+    ids: np.ndarray
+    xs: np.ndarray
+    ys: np.ndarray
+    starts: np.ndarray
+    ends: np.ndarray
+    betas: np.ndarray
+    index_of: Dict[int, int] = field(repr=False)
+
+    def __len__(self) -> int:
+        return int(self.ids.shape[0])
+
+    @classmethod
+    def from_tasks(cls, tasks: Sequence[SpatialTask]) -> "TaskArrays":
+        """Pack a task sequence, preserving order."""
+        m = len(tasks)
+        ids = np.empty(m, dtype=np.int64)
+        xs = np.empty(m)
+        ys = np.empty(m)
+        starts = np.empty(m)
+        ends = np.empty(m)
+        betas = np.empty(m)
+        for i, task in enumerate(tasks):
+            ids[i] = task.task_id
+            xs[i] = task.location.x
+            ys[i] = task.location.y
+            starts[i] = task.start
+            ends[i] = task.end
+            betas[i] = task.beta
+        return cls(
+            ids=ids,
+            xs=xs,
+            ys=ys,
+            starts=starts,
+            ends=ends,
+            betas=betas,
+            index_of={int(t): i for i, t in enumerate(ids)},
+        )

@@ -60,6 +60,13 @@ class RdbscGrid:
             entering a ``tcell_list``, keeping lists tight; when false the
             lists are supersets built from pruning alone (cheaper updates,
             more retrieval probes).
+        backend: ``"python"`` probes surviving (worker cell, task cell)
+            combinations with the scalar validity rule pair by pair;
+            ``"numpy"`` batches each worker cell's probes through the
+            :mod:`repro.fastpath` kernel (same pair set; ``pair_checks``
+            counts whole batches instead of stopping at the first hit
+            during exact confirmation, and retrieved pairs come out
+            task-major within a batch).
     """
 
     def __init__(
@@ -67,12 +74,16 @@ class RdbscGrid:
         eta: float,
         validity: Optional[ValidityRule] = None,
         exact_confirm: bool = True,
+        backend: str = "python",
     ) -> None:
         if not 0.0 < eta <= 1.0:
             raise ValueError(f"eta must be in (0, 1], got {eta}")
+        if backend not in ("python", "numpy"):
+            raise ValueError(f"unknown backend {backend!r}")
         self.eta = eta
         self.validity = validity if validity is not None else ValidityRule()
         self.exact_confirm = exact_confirm
+        self.backend = backend
         self.n_cols = max(1, math.ceil(1.0 / eta))
         self._cells: Dict[int, GridCell] = {}
         self._task_cell: Dict[int, int] = {}
@@ -237,7 +248,23 @@ class RdbscGrid:
         return self._confirm_exact(worker_cell, task_cell)
 
     def _confirm_exact(self, worker_cell: GridCell, task_cell: GridCell) -> bool:
-        """Exact confirmation: does any valid (worker, task) pair exist?"""
+        """Exact confirmation: does any valid (worker, task) pair exist?
+
+        The numpy backend filters the whole cell-pair product in one
+        batch, then confirms candidates with the scalar rule (so its
+        verdict matches the python backend exactly); it accounts for
+        every probe in ``pair_checks`` instead of short-circuiting.
+        """
+        if self.backend == "numpy":
+            from repro.fastpath.kernels import batch_any_valid
+
+            workers = list(worker_cell.workers.values())
+            tasks = list(task_cell.tasks.values())
+            self.stats["pair_checks"] += len(workers) * len(tasks)
+            if batch_any_valid(tasks, workers, self.validity):
+                self.stats["cells_confirmed"] += 1
+                return True
+            return False
         for worker in worker_cell.workers.values():
             for task in task_cell.tasks.values():
                 self.stats["pair_checks"] += 1
@@ -278,10 +305,30 @@ class RdbscGrid:
         return built
 
     def valid_pairs(self) -> List[ValidPair]:
-        """Index-assisted valid-pair retrieval (Figure 17(b) with index)."""
+        """Index-assisted valid-pair retrieval (Figure 17(b) with index).
+
+        With ``backend="numpy"`` each worker cell probes every task on its
+        ``tcell_list`` in a single batched kernel call instead of a scalar
+        double loop; the retrieved pair set is identical.
+        """
         pairs: List[ValidPair] = []
         for worker_cell in list(self._cells.values()):
             if not worker_cell.workers:
+                continue
+            if self.backend == "numpy":
+                from repro.fastpath.kernels import batch_valid_pairs
+
+                tasks = [
+                    task
+                    for target_id in self.tcell_list(worker_cell)
+                    if (target := self._cells.get(target_id)) is not None
+                    for task in target.tasks.values()
+                ]
+                if not tasks:
+                    continue
+                workers = list(worker_cell.workers.values())
+                self.stats["pair_checks"] += len(workers) * len(tasks)
+                pairs.extend(batch_valid_pairs(tasks, workers, self.validity))
                 continue
             for target_id in self.tcell_list(worker_cell):
                 target = self._cells.get(target_id)
@@ -309,9 +356,10 @@ class RdbscGrid:
         eta: float,
         validity: Optional[ValidityRule] = None,
         exact_confirm: bool = True,
+        backend: str = "python",
     ) -> "RdbscGrid":
         """Build an index over a static snapshot of tasks and workers."""
-        grid = cls(eta, validity, exact_confirm)
+        grid = cls(eta, validity, exact_confirm, backend)
         for task in tasks:
             grid.insert_task(task)
         for worker in workers:

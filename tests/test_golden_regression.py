@@ -1,0 +1,131 @@
+"""Golden regression: every solver must keep reproducing a pinned instance.
+
+``tests/fixtures/golden_small.json`` records, for one small deterministic
+instance, each solver's exact ``(min_rel, E[STD])`` objective.  The test
+rebuilds the instance from its generator seed and re-solves; any drift in
+the generators, the validity rule, the objective evaluation or a solver's
+decision sequence shows up as a mismatch here — refactors (like the numpy
+fast path) must leave every number alone.
+
+Regenerate deliberately after a *intended* behaviour change with::
+
+    PYTHONPATH=src python tests/test_golden_regression.py --regenerate
+"""
+
+import json
+import math
+from pathlib import Path
+
+import pytest
+
+from repro.algorithms import (
+    DivideConquerSolver,
+    GreedySolver,
+    MaxTaskSolver,
+    RandomSolver,
+    SamplingSolver,
+)
+from repro.datagen import ExperimentConfig, generate_problem
+
+FIXTURE = Path(__file__).parent / "fixtures" / "golden_small.json"
+
+#: The pinned instance: scaled Table 2 defaults, small enough for every
+#: solver (including D&C) to finish in milliseconds.
+GOLDEN_TASKS = 8
+GOLDEN_WORKERS = 16
+GOLDEN_INSTANCE_SEED = 2026
+GOLDEN_SOLVER_SEED = 7
+
+
+def golden_problem(backend: str = "python"):
+    config = ExperimentConfig.scaled_defaults(
+        num_tasks=GOLDEN_TASKS, num_workers=GOLDEN_WORKERS
+    )
+    return generate_problem(config, GOLDEN_INSTANCE_SEED, backend=backend)
+
+
+def golden_solvers():
+    """Fresh solver instances, keyed as in the fixture."""
+    return {
+        "GREEDY": GreedySolver(),
+        "GREEDY-numpy": GreedySolver(backend="numpy"),
+        "SAMPLING": SamplingSolver(num_samples=64),
+        "SAMPLING-numpy": SamplingSolver(num_samples=64, backend="numpy"),
+        "D&C": DivideConquerSolver(
+            gamma=4, base_solver=SamplingSolver(num_samples=64)
+        ),
+        "MAX-TASK": MaxTaskSolver(),
+        "RANDOM": RandomSolver(),
+    }
+
+
+def solve_all(backend: str = "python"):
+    problem = golden_problem(backend)
+    out = {}
+    for name, solver in golden_solvers().items():
+        result = solver.solve(problem, rng=GOLDEN_SOLVER_SEED)
+        out[name] = {
+            "min_rel": result.objective.min_reliability,
+            "estd": result.objective.total_std,
+        }
+    return out
+
+
+@pytest.fixture(scope="module")
+def fixture_data():
+    with FIXTURE.open() as handle:
+        return json.load(handle)
+
+
+def test_fixture_describes_this_instance(fixture_data):
+    meta = fixture_data["instance"]
+    assert meta["num_tasks"] == GOLDEN_TASKS
+    assert meta["num_workers"] == GOLDEN_WORKERS
+    assert meta["seed"] == GOLDEN_INSTANCE_SEED
+    problem = golden_problem()
+    assert problem.num_pairs == meta["num_pairs"]
+
+
+@pytest.mark.parametrize("backend", ["python", "numpy"])
+def test_solvers_reproduce_golden_objectives(fixture_data, backend):
+    expected = fixture_data["solvers"]
+    actual = solve_all(backend)
+    assert sorted(actual) == sorted(expected)
+    for name, values in expected.items():
+        got = actual[name]
+        assert math.isclose(got["min_rel"], values["min_rel"], rel_tol=1e-9, abs_tol=1e-12), (
+            name,
+            got,
+            values,
+        )
+        assert math.isclose(got["estd"], values["estd"], rel_tol=1e-9, abs_tol=1e-12), (
+            name,
+            got,
+            values,
+        )
+
+
+def regenerate() -> None:
+    problem = golden_problem()
+    payload = {
+        "instance": {
+            "num_tasks": GOLDEN_TASKS,
+            "num_workers": GOLDEN_WORKERS,
+            "seed": GOLDEN_INSTANCE_SEED,
+            "solver_seed": GOLDEN_SOLVER_SEED,
+            "num_pairs": problem.num_pairs,
+        },
+        "solvers": solve_all(),
+    }
+    FIXTURE.parent.mkdir(parents=True, exist_ok=True)
+    FIXTURE.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {FIXTURE}")
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regenerate" in sys.argv:
+        regenerate()
+    else:
+        print(__doc__)

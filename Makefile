@@ -2,7 +2,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test benchsmoke bench-fastpath bench golden
+.PHONY: test benchsmoke bench-fastpath bench-incremental bench golden
 
 # Tier-1 verification (the command CI runs).
 test:
@@ -15,6 +15,10 @@ benchsmoke:
 # Python-vs-numpy backend timings; writes BENCH_fastpath.json.
 bench-fastpath:
 	$(PYTHON) -m pytest -q benchmarks/bench_fastpath.py
+
+# Incremental-engine epochs vs full rebuilds; writes BENCH_incremental.json.
+bench-incremental:
+	$(PYTHON) -m pytest -q benchmarks/bench_incremental.py
 
 # Full figure-regeneration benchmark suite (slow).
 bench:

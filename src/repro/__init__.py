@@ -7,10 +7,14 @@ The package implements the paper's full stack:
   spatial/temporal diversity objectives (:mod:`repro.core`),
 * the GREEDY, SAMPLING, divide-and-conquer and G-TRUTH solvers
   (:mod:`repro.algorithms`),
-* the cost-model-based grid index for dynamic maintenance
+* the cost-model-based grid index for dynamic maintenance, with a
+  persistent valid-pair cache for incremental retrieval
   (:mod:`repro.index`),
+* the event-driven incremental assignment engine powering the session
+  and the platform simulator (:mod:`repro.engine`),
 * NumPy batch kernels behind the ``backend="numpy"`` flags of the
-  problem, index, solvers and session (:mod:`repro.fastpath`),
+  problem, index, solvers and session, plus slot-stable packed arrays
+  for per-event updates (:mod:`repro.fastpath`),
 * Table-2 synthetic workload generators and substitutes for the paper's
   real datasets (:mod:`repro.datagen`),
 * a gMission-style platform simulator with the incremental updating
@@ -51,11 +55,13 @@ from repro.core import (
 )
 from repro.datagen import ExperimentConfig, generate_problem
 from repro.dynamic import CrowdsourcingSession
+from repro.engine import AssignmentEngine
 
 __version__ = "1.0.0"
 
 __all__ = [
     "Assignment",
+    "AssignmentEngine",
     "CrowdsourcingSession",
     "DivideConquerSolver",
     "ExhaustiveSolver",

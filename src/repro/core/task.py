@@ -54,6 +54,18 @@ class SpatialTask:
         """Whether an arrival at ``arrival`` satisfies the time constraint."""
         return self.is_open_at(arrival)
 
+    def expired_at(self, now: float) -> bool:
+        """Whether the valid period has closed strictly before ``now``.
+
+        The deadline is inclusive, matching
+        :meth:`repro.core.validity.ValidityRule.effective_arrival`: an
+        arrival exactly at ``e_i`` is valid, so a task whose deadline equals
+        ``now`` is *not* yet expired.  Every expiry decision — session
+        pruning, engine epochs, the platform simulator's open-task filter —
+        must route through this predicate so the boundary cannot drift.
+        """
+        return now > self.end
+
     def with_period(self, start: float, end: float) -> "SpatialTask":
         """A copy of this task with a different valid period."""
         return SpatialTask(self.task_id, self.location, start, end, self.beta)

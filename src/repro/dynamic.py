@@ -3,16 +3,22 @@
 The paper's Section 7.2 maintains workers and tasks in the grid index as
 they "freely register or leave the crowdsourcing system", and Figure 10
 periodically re-assigns whoever is available.  :class:`CrowdsourcingSession`
-packages that operating loop as a library API (the platform simulator is a
-*driver* of this pattern with travel/answer dynamics; the session is the
-pattern itself):
+packages that operating loop as a library API; since PR 2 it is a thin
+façade over :class:`repro.engine.engine.AssignmentEngine`, which keeps the
+grid index's persistent valid-pair cache and the slot-stable packed arrays
+current *per churn event* — so a ``reassign`` after a small delta re-probes
+only the dirty cell pairs instead of re-scanning all ``O(m * n)``
+combinations:
 
-* ``add_task`` / ``remove_task`` / ``add_worker`` / ``remove_worker`` keep
-  the grid index current (O(1)-ish per Section 7.2),
-* ``expire_tasks(now)`` retires tasks whose window closed,
-* ``reassign(now)`` builds the current sub-instance *through the index*
+* ``add_task`` / ``remove_task`` / ``add_worker`` / ``remove_worker`` /
+  ``update_worker`` keep index + arrays current (O(1)-ish per Section 7.2;
+  a same-cell ``update_worker`` is a genuine O(1) in-place swap),
+* ``expire_tasks(now)`` retires tasks whose window closed (inclusive
+  deadline — see :meth:`repro.core.task.SpatialTask.expired_at`),
+* ``reassign(now)`` builds the current sub-instance *through the engine*
   and runs the configured solver, remembering the live assignment,
-* ``stats`` counts maintenance and assignment work for capacity planning.
+* ``stats`` counts maintenance and assignment work for capacity planning
+  (``session.engine.metrics`` has the finer-grained epoch records).
 
 Typical use::
 
@@ -25,18 +31,17 @@ Typical use::
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.algorithms.base import RngLike, Solver
-from repro.algorithms.sampling import SamplingSolver
 from repro.core.assignment import Assignment
-from repro.core.objectives import ObjectiveValue, evaluate_assignment
+from repro.core.objectives import ObjectiveValue
 from repro.core.problem import RdbscProblem
 from repro.core.task import SpatialTask
 from repro.core.validity import ValidityRule
 from repro.core.worker import MovingWorker
+from repro.engine.engine import AssignmentEngine
 from repro.index.grid import RdbscGrid
 
 
@@ -49,6 +54,7 @@ class SessionStats:
     tasks_expired: int = 0
     workers_added: int = 0
     workers_removed: int = 0
+    workers_updated: int = 0
     reassignments: int = 0
     pairs_retrieved: int = 0
 
@@ -65,7 +71,7 @@ class ReassignmentOutcome:
 
 
 class CrowdsourcingSession:
-    """A live RDB-SC system: index-maintained state + periodic solving.
+    """A live RDB-SC system: engine-maintained state + periodic solving.
 
     Args:
         solver: the assignment algorithm run on each ``reassign``.
@@ -73,10 +79,10 @@ class CrowdsourcingSession:
             for your expected reach, or keep the default mid-grain cell.
         validity: pair-validity policy.
         rng: seed/generator forwarded to the solver for reproducibility.
-        backend: ``"python"`` or ``"numpy"``; selects how the grid index
-            probes candidate cell pairs during ``reassign`` retrieval (and
-            is forwarded when rebuilding the sub-instance).  Both backends
-            yield the same pairs and the same assignments.
+        backend: ``"python"`` or ``"numpy"``; selects how the engine's grid
+            index probes dirty candidate cell pairs during ``reassign``
+            retrieval (and is forwarded when rebuilding the sub-instance).
+            Both backends yield the same pairs and the same assignments.
     """
 
     def __init__(
@@ -87,17 +93,48 @@ class CrowdsourcingSession:
         rng: RngLike = None,
         backend: str = "python",
     ) -> None:
-        if backend not in ("python", "numpy"):
-            raise ValueError(f"unknown backend {backend!r}")
-        self.solver = solver if solver is not None else SamplingSolver(num_samples=40)
-        self.validity = validity if validity is not None else ValidityRule()
-        self.backend = backend
-        self.grid = RdbscGrid(eta, self.validity, backend=backend)
-        self.rng = rng
+        self.engine = AssignmentEngine(
+            solver=solver, eta=eta, validity=validity, rng=rng, backend=backend
+        )
         self.stats = SessionStats()
-        self._tasks: Dict[int, SpatialTask] = {}
-        self._workers: Dict[int, MovingWorker] = {}
-        self._assignment = Assignment()
+
+    # -- attribute pass-throughs (the engine owns the state) ------------ #
+
+    @property
+    def solver(self) -> Solver:
+        return self.engine.solver
+
+    @solver.setter
+    def solver(self, solver: Solver) -> None:
+        self.engine.solver = solver
+
+    @property
+    def validity(self) -> ValidityRule:
+        return self.engine.validity
+
+    @property
+    def backend(self) -> str:
+        return self.engine.backend
+
+    @property
+    def rng(self) -> RngLike:
+        return self.engine.rng
+
+    @rng.setter
+    def rng(self, rng: RngLike) -> None:
+        self.engine.rng = rng
+
+    @property
+    def grid(self) -> RdbscGrid:
+        return self.engine.grid
+
+    @property
+    def _tasks(self) -> Dict[int, SpatialTask]:
+        return self.engine.tasks
+
+    @property
+    def _workers(self) -> Dict[int, MovingWorker]:
+        return self.engine.workers
 
     # ------------------------------------------------------------------ #
     # Churn (Section 7.2)
@@ -109,28 +146,25 @@ class CrowdsourcingSession:
         Raises:
             ValueError: on duplicate task ids.
         """
-        if task.task_id in self._tasks:
-            raise ValueError(f"task {task.task_id} already in session")
-        self._tasks[task.task_id] = task
-        self.grid.insert_task(task)
+        self.engine.add_task(task)
         self.stats.tasks_added += 1
 
     def remove_task(self, task_id: int) -> SpatialTask:
         """Withdraw a task (completed or cancelled); frees its workers."""
-        task = self._tasks.pop(task_id)
-        self.grid.remove_task(task_id)
-        for worker_id in list(self._assignment.workers_for(task_id)):
-            self._assignment.unassign(worker_id)
+        task = self.engine.withdraw_task(task_id)
         self.stats.tasks_removed += 1
         return task
 
     def expire_tasks(self, now: float) -> List[int]:
-        """Retire every task whose valid period has closed."""
-        expired = [t.task_id for t in self._tasks.values() if t.end < now]
-        for task_id in expired:
-            self.remove_task(task_id)
-            self.stats.tasks_removed -= 1  # counted as expiry instead
-            self.stats.tasks_expired += 1
+        """Retire every task whose valid period has closed.
+
+        The deadline is inclusive: a task expiring exactly at ``now`` is
+        still live (an arrival at ``e_i`` is valid), so it is *not*
+        retired — the same boundary the validity rule, the grid's pruning
+        and the platform simulator apply.
+        """
+        expired = self.engine.expire_tasks(now)
+        self.stats.tasks_expired += len(expired)
         return expired
 
     def add_worker(self, worker: MovingWorker) -> None:
@@ -139,27 +173,27 @@ class CrowdsourcingSession:
         Raises:
             ValueError: on duplicate worker ids.
         """
-        if worker.worker_id in self._workers:
-            raise ValueError(f"worker {worker.worker_id} already in session")
-        self._workers[worker.worker_id] = worker
-        self.grid.insert_worker(worker)
+        self.engine.add_worker(worker)
         self.stats.workers_added += 1
 
     def remove_worker(self, worker_id: int) -> MovingWorker:
         """Deregister a worker (left the system)."""
-        worker = self._workers.pop(worker_id)
-        self.grid.remove_worker(worker_id)
-        if self._assignment.is_assigned(worker_id):
-            self._assignment.unassign(worker_id)
+        worker = self.engine.remove_worker(worker_id)
         self.stats.workers_removed += 1
         return worker
 
     def update_worker(self, worker: MovingWorker) -> None:
-        """Refresh a worker's position/heading/confidence in place."""
-        self.remove_worker(worker.worker_id)
-        self.add_worker(worker)
-        self.stats.workers_added -= 1
-        self.stats.workers_removed -= 1
+        """Refresh a worker's position/heading/confidence in place.
+
+        A worker that stays inside its current grid cell costs O(1) — the
+        cell record, packed slot row and object dict are overwritten in
+        place; only a cross-cell move pays remove + insert.
+
+        Raises:
+            KeyError: if the worker is not registered.
+        """
+        self.engine.update_worker(worker)
+        self.stats.workers_updated += 1
 
     # ------------------------------------------------------------------ #
     # State access
@@ -167,31 +201,25 @@ class CrowdsourcingSession:
 
     @property
     def num_tasks(self) -> int:
-        return len(self._tasks)
+        return self.engine.num_tasks
 
     @property
     def num_workers(self) -> int:
-        return len(self._workers)
+        return self.engine.num_workers
 
     def assignment_of(self, worker_id: int) -> Optional[int]:
         """The task a worker is currently assigned to, if any."""
-        return self._assignment.task_of(worker_id)
+        return self.engine.assignment_of(worker_id)
 
     def workers_on(self, task_id: int):
         """Ids of workers currently assigned to a task."""
-        return self._assignment.workers_for(task_id)
+        return self.engine.workers_on(task_id)
 
     def current_problem(self) -> RdbscProblem:
-        """The current sub-instance, with pairs retrieved via the index."""
-        pairs = self.grid.valid_pairs()
-        self.stats.pairs_retrieved += len(pairs)
-        return RdbscProblem(
-            list(self._tasks.values()),
-            list(self._workers.values()),
-            self.validity,
-            precomputed_pairs=pairs,
-            backend=self.backend,
-        )
+        """The current sub-instance, with pairs retrieved via the engine."""
+        problem = self.engine.current_problem()
+        self.stats.pairs_retrieved += problem.num_pairs
+        return problem
 
     # ------------------------------------------------------------------ #
     # Assignment
@@ -203,26 +231,21 @@ class CrowdsourcingSession:
         The stored live assignment is replaced wholesale — the paper's
         incremental strategy of honouring in-flight work is the platform
         simulator's job (it pins committed contributions as virtual
-        workers); a bare session re-plans everything still pending.
+        workers via the engine); a bare session re-plans everything still
+        pending.
         """
-        self.expire_tasks(now)
-        problem = self.current_problem()
-        result = self.solver.solve(problem, rng=self.rng)
-        self._assignment = result.assignment
+        result = self.engine.epoch(now)
+        self.stats.tasks_expired += len(result.expired)
         self.stats.reassignments += 1
+        self.stats.pairs_retrieved += result.num_pairs
         return ReassignmentOutcome(
             objective=result.objective,
-            assignment=result.assignment.copy(),
-            num_tasks=problem.num_tasks,
-            num_workers=problem.num_workers,
-            num_pairs=problem.num_pairs,
+            assignment=result.assignment,
+            num_tasks=result.num_tasks,
+            num_workers=result.num_workers,
+            num_pairs=result.num_pairs,
         )
 
     def evaluate_current(self) -> ObjectiveValue:
         """Objective value of the live assignment against current state."""
-        problem = self.current_problem()
-        live = Assignment()
-        for task_id, worker_id in self._assignment.pairs():
-            if problem.is_valid_pair(task_id, worker_id):
-                live.assign(task_id, worker_id)
-        return evaluate_assignment(problem, live)
+        return self.engine.evaluate_current()

@@ -1,0 +1,59 @@
+"""The event-driven incremental assignment engine (Section 7.2, scaled).
+
+The paper's long-lived operating mode — churn absorbed continuously, a
+solver re-run every ``t_interval`` — demands amortised-O(delta) epochs,
+not O(m * n) rebuilds.  This package is that machinery:
+
+``events``
+    The typed churn/epoch event vocabulary.
+``scheduler``
+    Stable time-ordered event queue plus the periodic epoch clock.
+``engine``
+    :class:`AssignmentEngine` — keeps the grid index's persistent pair
+    cache and the slot-stable packed slabs current per event, solves per
+    epoch, and pins committed contributions as virtual workers.
+``metrics``
+    Per-epoch records and lifetime counters (cache hit rate, epoch cost).
+
+:class:`repro.dynamic.CrowdsourcingSession` (the library façade) and
+:class:`repro.platform_sim.simulator.PlatformSimulator` (the Figure 18
+driver) both run on this engine.
+"""
+
+from repro.engine.engine import (
+    AssignmentEngine,
+    EngineSnapshot,
+    EpochResult,
+    virtual_worker,
+)
+from repro.engine.events import (
+    EpochTick,
+    Event,
+    ExpireTasks,
+    TaskArrive,
+    TaskWithdraw,
+    WorkerArrive,
+    WorkerLeave,
+    WorkerUpdate,
+)
+from repro.engine.metrics import EngineMetrics, EpochRecord
+from repro.engine.scheduler import EventQueue, epoch_ticks
+
+__all__ = [
+    "AssignmentEngine",
+    "EngineMetrics",
+    "EngineSnapshot",
+    "EpochRecord",
+    "EpochResult",
+    "EpochTick",
+    "Event",
+    "EventQueue",
+    "ExpireTasks",
+    "TaskArrive",
+    "TaskWithdraw",
+    "WorkerArrive",
+    "WorkerLeave",
+    "WorkerUpdate",
+    "epoch_ticks",
+    "virtual_worker",
+]

@@ -1,0 +1,463 @@
+"""The event-driven incremental assignment engine.
+
+:class:`AssignmentEngine` is the delta-aware heart of the long-lived
+operating mode (Section 7.2 / Figure 10): it consumes typed churn events
+(:mod:`repro.engine.events`), keeps three representations of the live
+state current *per event* instead of per epoch —
+
+* the scalar object dicts (source of truth, insertion-ordered),
+* the grid index with its persistent valid-pair cache
+  (:class:`repro.index.grid.RdbscGrid`), and
+* the slot-stable packed slabs
+  (:class:`repro.fastpath.arrays.WorkerSlots` / ``TaskSlots``)
+
+— and, at each epoch tick, retrieves the valid pairs incrementally
+(re-probing only cache entries dirtied since the previous epoch), builds
+the :class:`repro.core.problem.RdbscProblem` sub-instance and runs the
+configured solver.  A retrieval after a small delta therefore costs
+O(delta), not O(m * n); the results are bit-identical to a from-scratch
+rebuild (``tests/test_engine_churn.py`` pins this on both backends).
+
+Platform concerns plug in through ``epoch`` keywords: committed
+contributions are pinned as degree-one *virtual workers* (Figure 10's
+``A`` / ``S_c``), and ``forbidden`` pairs (a user is never pushed the
+same question twice) are filtered from the edge set.
+:class:`repro.dynamic.CrowdsourcingSession` and
+:class:`repro.platform_sim.simulator.PlatformSimulator` are both thin
+drivers of this class.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.algorithms.base import RngLike, Solver
+from repro.algorithms.sampling import SamplingSolver
+from repro.core.assignment import Assignment
+from repro.core.diversity import WorkerProfile
+from repro.core.objectives import ObjectiveValue, evaluate_assignment
+from repro.core.problem import RdbscProblem, ValidPair
+from repro.core.task import SpatialTask
+from repro.core.validity import ValidityRule
+from repro.core.worker import MovingWorker
+from repro.engine import events as ev
+from repro.engine.metrics import EngineMetrics, EpochRecord
+from repro.fastpath.arrays import TaskSlots, WorkerSlots
+from repro.geometry.angles import AngleInterval
+from repro.geometry.points import Point
+from repro.index.grid import RdbscGrid
+
+#: Offset (unit-square units) used to place a virtual worker along its
+#: committed approach angle so that its profile reproduces that angle.
+VIRTUAL_OFFSET = 1e-6
+
+
+def virtual_worker(
+    task: SpatialTask, profile: WorkerProfile, virtual_id: int
+) -> Tuple[MovingWorker, ValidPair]:
+    """A pinned degree-one worker representing one committed contribution.
+
+    The worker sits a hair's breadth from the task along the committed
+    approach angle, is stationary, and carries the committed confidence
+    and arrival — so solvers account for the contribution's reliability
+    and diversity exactly, without any solver-side special casing.
+    """
+    location = Point(
+        task.location.x + VIRTUAL_OFFSET * math.cos(profile.angle),
+        task.location.y + VIRTUAL_OFFSET * math.sin(profile.angle),
+    )
+    worker = MovingWorker(
+        worker_id=virtual_id,
+        location=location,
+        velocity=0.0,
+        cone=AngleInterval.full_circle(),
+        confidence=profile.confidence,
+        depart_time=profile.arrival,
+    )
+    arrival = min(max(profile.arrival, task.start), task.end)
+    return worker, ValidPair(task.task_id, virtual_id, arrival)
+
+
+@dataclass(frozen=True)
+class EpochResult:
+    """Outcome of one engine epoch.
+
+    Attributes:
+        now: the epoch's clock time.
+        objective: the solver's (min reliability, total E[STD]) value.
+        assignment: the full solved assignment (virtual workers included,
+            when contributions were pinned).
+        dispatch: ``{real worker id -> task id}`` — the assignment with
+            any pinned virtual workers filtered out.
+        num_tasks / num_workers / num_pairs: size of the solved
+            sub-instance.
+        expired: task ids retired by this epoch's expiry sweep.
+    """
+
+    now: float
+    objective: ObjectiveValue
+    assignment: Assignment
+    dispatch: Dict[int, int]
+    num_tasks: int
+    num_workers: int
+    num_pairs: int
+    expired: Tuple[int, ...]
+
+
+class AssignmentEngine:
+    """Event-driven incremental RDB-SC assignment.
+
+    Args:
+        solver: the algorithm run at each epoch tick.
+        eta: grid cell side (see :func:`repro.index.cost_model.optimal_eta`).
+        validity: pair-validity policy shared by index and problem builds.
+        rng: seed/generator forwarded to the solver for reproducibility.
+        backend: ``"python"`` or ``"numpy"`` — how dirty cell pairs are
+            probed (and, without the index, how retrieval runs).
+        use_index: with the grid index (default) retrieval goes through
+            the persistent per-cell-pair cache; without it, the numpy
+            backend broadcasts over the slot slabs (dead slots masked) and
+            the python backend is the brute-force reference scan.
+        reanchor_on_epoch: when true, every epoch first re-anchors each
+            live worker to depart *now* from its current location (the
+            platform's semantics — an idle worker starts moving when
+            dispatched, not when it registered).  Re-anchoring flows
+            through the same in-place update path as external updates.
+    """
+
+    def __init__(
+        self,
+        solver: Optional[Solver] = None,
+        eta: float = 0.125,
+        validity: Optional[ValidityRule] = None,
+        rng: RngLike = None,
+        backend: str = "python",
+        use_index: bool = True,
+        reanchor_on_epoch: bool = False,
+    ) -> None:
+        if backend not in ("python", "numpy"):
+            raise ValueError(f"unknown backend {backend!r}")
+        self.solver = solver if solver is not None else SamplingSolver(num_samples=40)
+        self.validity = validity if validity is not None else ValidityRule()
+        self.backend = backend
+        self.use_index = use_index
+        self.reanchor_on_epoch = reanchor_on_epoch
+        self.rng = rng
+        self.grid = RdbscGrid(eta, self.validity, backend=backend)
+        self.worker_slots = WorkerSlots()
+        self.task_slots = TaskSlots()
+        self.metrics = EngineMetrics()
+        self._tasks: Dict[int, SpatialTask] = {}
+        self._workers: Dict[int, MovingWorker] = {}
+        self._assignment = Assignment()
+
+    # ------------------------------------------------------------------ #
+    # State access
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_tasks(self) -> int:
+        return len(self._tasks)
+
+    @property
+    def num_workers(self) -> int:
+        return len(self._workers)
+
+    @property
+    def tasks(self) -> Dict[int, SpatialTask]:
+        """Live tasks by id (insertion-ordered; treat as read-only)."""
+        return self._tasks
+
+    @property
+    def workers(self) -> Dict[int, MovingWorker]:
+        """Live workers by id (insertion-ordered; treat as read-only)."""
+        return self._workers
+
+    @property
+    def assignment(self) -> Assignment:
+        """The live assignment from the most recent epoch."""
+        return self._assignment
+
+    def assignment_of(self, worker_id: int) -> Optional[int]:
+        return self._assignment.task_of(worker_id)
+
+    def workers_on(self, task_id: int):
+        return self._assignment.workers_for(task_id)
+
+    # ------------------------------------------------------------------ #
+    # Churn (each method keeps dicts + grid + slabs in lock-step)
+    # ------------------------------------------------------------------ #
+
+    def add_task(self, task: SpatialTask) -> None:
+        """Register a task (ValueError on duplicate id)."""
+        if task.task_id in self._tasks:
+            raise ValueError(f"task {task.task_id} already registered")
+        self._tasks[task.task_id] = task
+        self.grid.insert_task(task)
+        self.task_slots.add(task)
+        self.metrics.count_event("task_arrive")
+
+    def withdraw_task(self, task_id: int) -> SpatialTask:
+        """Remove a task (completed/cancelled); frees its workers."""
+        task = self._tasks.pop(task_id)
+        self.grid.remove_task(task_id)
+        self.task_slots.remove(task_id)
+        for worker_id in list(self._assignment.workers_for(task_id)):
+            self._assignment.unassign(worker_id)
+        self.metrics.count_event("task_withdraw")
+        return task
+
+    def expire_tasks(self, now: float) -> List[int]:
+        """Retire every task whose valid period closed strictly before now.
+
+        The boundary is inclusive (a task with ``end == now`` is still
+        live), matching :meth:`repro.core.task.SpatialTask.expired_at` and
+        therefore the validity rule's arrival check.
+        """
+        expired = [t.task_id for t in self._tasks.values() if t.expired_at(now)]
+        for task_id in expired:
+            self.withdraw_task(task_id)
+            self.metrics.events["task_withdraw"] -= 1
+            self.metrics.count_event("task_expire")
+        return expired
+
+    def add_worker(self, worker: MovingWorker) -> None:
+        """Register a worker (ValueError on duplicate id)."""
+        if worker.worker_id in self._workers:
+            raise ValueError(f"worker {worker.worker_id} already registered")
+        self._workers[worker.worker_id] = worker
+        self.grid.insert_worker(worker)
+        self.worker_slots.add(worker)
+        self.metrics.count_event("worker_arrive")
+
+    def remove_worker(self, worker_id: int) -> MovingWorker:
+        """Deregister a worker (left the system)."""
+        worker = self._workers.pop(worker_id)
+        self.grid.remove_worker(worker_id)
+        self.worker_slots.remove(worker_id)
+        if self._assignment.is_assigned(worker_id):
+            self._assignment.unassign(worker_id)
+        self.metrics.count_event("worker_leave")
+        return worker
+
+    def update_worker(self, worker: MovingWorker) -> None:
+        """Refresh a registered worker in place (KeyError if unknown).
+
+        A worker that stays in its grid cell costs O(1): the object dict,
+        the cell record and the packed slot row are each overwritten in
+        place; only a cross-cell move pays the remove + insert path.
+        """
+        if worker.worker_id not in self._workers:
+            raise KeyError(f"worker {worker.worker_id} not registered")
+        self._workers[worker.worker_id] = worker
+        self.grid.update_worker(worker)
+        self.worker_slots.update(worker)
+        self.metrics.count_event("worker_update")
+
+    # ------------------------------------------------------------------ #
+    # Event consumption
+    # ------------------------------------------------------------------ #
+
+    def apply(self, event: ev.Event) -> Optional[EpochResult]:
+        """Apply one typed event; epoch ticks return their result."""
+        if isinstance(event, ev.TaskArrive):
+            self.add_task(event.task)
+        elif isinstance(event, ev.TaskWithdraw):
+            self.withdraw_task(event.task_id)
+        elif isinstance(event, ev.WorkerArrive):
+            self.add_worker(event.worker)
+        elif isinstance(event, ev.WorkerLeave):
+            self.remove_worker(event.worker_id)
+        elif isinstance(event, ev.WorkerUpdate):
+            self.update_worker(event.worker)
+        elif isinstance(event, ev.ExpireTasks):
+            self.expire_tasks(event.time)
+        elif isinstance(event, ev.EpochTick):
+            return self.epoch(event.time)
+        else:
+            raise TypeError(f"unknown event type {type(event).__name__}")
+        return None
+
+    def process(self, queue_or_events) -> List[EpochResult]:
+        """Drain an :class:`~repro.engine.scheduler.EventQueue` (or any
+        pre-ordered event iterable); returns the epoch results in order."""
+        events: Iterable[ev.Event]
+        drain = getattr(queue_or_events, "drain", None)
+        events = drain() if drain is not None else queue_or_events
+        results: List[EpochResult] = []
+        for event in events:
+            outcome = self.apply(event)
+            if outcome is not None:
+                results.append(outcome)
+        return results
+
+    # ------------------------------------------------------------------ #
+    # Retrieval + epochs
+    # ------------------------------------------------------------------ #
+
+    def current_pairs(self) -> List[ValidPair]:
+        """The live valid-pair set, retrieved incrementally.
+
+        Index mode serves unchanged (worker cell, task cell) entries from
+        the grid's persistent cache and re-probes only dirty ones; the
+        no-index numpy mode broadcasts over the slot slabs with dead slots
+        masked; the no-index python mode is the reference scan.
+        """
+        if self.use_index:
+            return self.grid.valid_pairs()
+        if self.backend == "numpy":
+            from repro.fastpath.kernels import slots_valid_pairs
+
+            return slots_valid_pairs(self.task_slots, self.worker_slots, self.validity)
+        from repro.index.grid import retrieve_pairs_without_index
+
+        return retrieve_pairs_without_index(
+            list(self._tasks.values()), list(self._workers.values()), self.validity
+        )
+
+    def current_problem(self) -> RdbscProblem:
+        """The current sub-instance (no pinning, no filtering)."""
+        return RdbscProblem(
+            list(self._tasks.values()),
+            list(self._workers.values()),
+            self.validity,
+            precomputed_pairs=self.current_pairs(),
+            backend=self.backend,
+        )
+
+    def build_problem(
+        self,
+        pinned: Optional[Dict[int, List[WorkerProfile]]] = None,
+        forbidden: Optional[Set[Tuple[int, int]]] = None,
+    ) -> Tuple[RdbscProblem, Set[int]]:
+        """The epoch sub-instance, with platform concerns folded in.
+
+        Returns the problem plus the set of generated virtual worker ids
+        (empty without pinning) so callers can separate real dispatch from
+        solver bookkeeping.
+        """
+        pairs = self.current_pairs()
+        if forbidden:
+            pairs = [
+                p for p in pairs if (p.worker_id, p.task_id) not in forbidden
+            ]
+        tasks = list(self._tasks.values())
+        workers = list(self._workers.values())
+        virtual_ids: Set[int] = set()
+        if pinned:
+            next_virtual = -1
+            for task_id in sorted(pinned.keys()):
+                task = self._tasks.get(task_id)
+                if task is None:
+                    continue  # contribution to an already-expired task
+                for profile in pinned[task_id]:
+                    while next_virtual in self._workers:  # avoid id clashes
+                        next_virtual -= 1
+                    worker, pair = virtual_worker(task, profile, next_virtual)
+                    workers.append(worker)
+                    pairs.append(pair)
+                    virtual_ids.add(next_virtual)
+                    next_virtual -= 1
+        problem = RdbscProblem(
+            tasks,
+            workers,
+            self.validity,
+            precomputed_pairs=pairs,
+            backend=self.backend,
+        )
+        return problem, virtual_ids
+
+    def epoch(
+        self,
+        now: float = 0.0,
+        pinned: Optional[Dict[int, List[WorkerProfile]]] = None,
+        forbidden: Optional[Set[Tuple[int, int]]] = None,
+    ) -> EpochResult:
+        """One re-planning instant: expire, retrieve, solve, remember.
+
+        The stored live assignment is replaced wholesale; committed work
+        that must be honoured across epochs is expressed via ``pinned``
+        (the platform simulator does), not by partial re-solves.
+        """
+        started = time.perf_counter()
+        if self.reanchor_on_epoch:
+            for worker in list(self._workers.values()):
+                if worker.depart_time != now:
+                    self.update_worker(worker.moved_to(worker.location, now))
+        expired = self.expire_tasks(now)
+        hits_before = self.grid.stats["pair_cache_hits"]
+        misses_before = self.grid.stats["pair_cache_misses"]
+        problem, virtual_ids = self.build_problem(pinned, forbidden)
+        solve_started = time.perf_counter()
+        result = self.solver.solve(problem, rng=self.rng)
+        solve_seconds = time.perf_counter() - solve_started
+        dispatch: Dict[int, int] = {}
+        live = Assignment()
+        for task_id, worker_id in result.assignment.pairs():
+            if worker_id not in virtual_ids:
+                dispatch[worker_id] = task_id
+                live.assign(task_id, worker_id)
+        self._assignment = live
+        record = EpochRecord(
+            now=now,
+            num_tasks=problem.num_tasks,
+            num_workers=problem.num_workers,
+            num_pairs=problem.num_pairs,
+            expired=len(expired),
+            cache_hits=self.grid.stats["pair_cache_hits"] - hits_before,
+            cache_misses=self.grid.stats["pair_cache_misses"] - misses_before,
+            objective=result.objective,
+            seconds=time.perf_counter() - started,
+        )
+        self.metrics.record_epoch(record, solve_seconds)
+        return EpochResult(
+            now=now,
+            objective=result.objective,
+            assignment=result.assignment.copy(),
+            dispatch=dispatch,
+            num_tasks=problem.num_tasks,
+            num_workers=problem.num_workers,
+            num_pairs=problem.num_pairs,
+            expired=tuple(expired),
+        )
+
+    def evaluate_current(self) -> ObjectiveValue:
+        """Objective of the live assignment against the current state."""
+        problem = self.current_problem()
+        live = Assignment()
+        for task_id, worker_id in self._assignment.pairs():
+            if problem.is_valid_pair(task_id, worker_id):
+                live.assign(task_id, worker_id)
+        return evaluate_assignment(problem, live)
+
+    # ------------------------------------------------------------------ #
+    # Snapshots
+    # ------------------------------------------------------------------ #
+
+    def snapshot(self) -> "EngineSnapshot":
+        """An immutable copy of the live state (for reporting / debugging)."""
+        return EngineSnapshot(
+            tasks=tuple(self._tasks.values()),
+            workers=tuple(self._workers.values()),
+            assignment=self._assignment.copy(),
+        )
+
+
+@dataclass(frozen=True)
+class EngineSnapshot:
+    """Point-in-time view of an engine's live state."""
+
+    tasks: Tuple[SpatialTask, ...]
+    workers: Tuple[MovingWorker, ...]
+    assignment: Assignment
+
+    @property
+    def num_tasks(self) -> int:
+        return len(self.tasks)
+
+    @property
+    def num_workers(self) -> int:
+        return len(self.workers)

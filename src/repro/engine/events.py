@@ -1,0 +1,84 @@
+"""Typed events consumed by the incremental assignment engine.
+
+The long-lived RDB-SC system of Section 7.2 is a stream of small state
+changes — workers and tasks "freely register or leave" — punctuated by
+periodic re-planning instants (Figure 10's ``t_interval``).  This module
+gives each kind of change a first-class event type so producers (workload
+replays, the platform simulator, live services) and the consumer
+(:class:`repro.engine.engine.AssignmentEngine`) agree on one vocabulary:
+
+* :class:`TaskArrive` / :class:`TaskWithdraw` — task churn,
+* :class:`WorkerArrive` / :class:`WorkerLeave` / :class:`WorkerUpdate` —
+  worker churn (update covers position/heading/confidence refreshes),
+* :class:`ExpireTasks` — retire every task whose valid period has closed,
+* :class:`EpochTick` — run the configured solver over the current state.
+
+Events carry their clock time; the scheduler orders them by time with
+churn-before-epoch tie-breaking (state changes at an instant are visible
+to a re-plan at the same instant), FIFO within a kind.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.task import SpatialTask
+from repro.core.worker import MovingWorker
+
+
+@dataclass(frozen=True)
+class Event:
+    """Base event: something happening at clock time ``time``."""
+
+    time: float
+
+    #: Tie-break rank at equal times: churn (0) before epoch ticks (1), so a
+    #: re-plan sees every state change timestamped at its own instant.
+    priority = 0
+
+
+@dataclass(frozen=True)
+class TaskArrive(Event):
+    """A requester posts a task."""
+
+    task: SpatialTask
+
+
+@dataclass(frozen=True)
+class TaskWithdraw(Event):
+    """A task is cancelled or completed before its deadline."""
+
+    task_id: int
+
+
+@dataclass(frozen=True)
+class WorkerArrive(Event):
+    """A worker registers with the system."""
+
+    worker: MovingWorker
+
+
+@dataclass(frozen=True)
+class WorkerLeave(Event):
+    """A worker leaves the system."""
+
+    worker_id: int
+
+
+@dataclass(frozen=True)
+class WorkerUpdate(Event):
+    """A registered worker refreshes position / heading / confidence."""
+
+    worker: MovingWorker
+
+
+@dataclass(frozen=True)
+class ExpireTasks(Event):
+    """Retire every task whose valid period closed strictly before ``time``."""
+
+
+@dataclass(frozen=True)
+class EpochTick(Event):
+    """Re-plan: run the engine's solver over the current live state."""
+
+    priority = 1

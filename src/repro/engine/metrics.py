@@ -1,0 +1,78 @@
+"""Observability for the incremental assignment engine.
+
+The engine's value proposition is amortised-O(delta) epochs, so the
+metrics focus on exactly that: how much churn arrived between epochs, how
+much of each retrieval was served from the persistent pair cache versus
+re-probed, and what each epoch cost.  ``EngineMetrics`` aggregates over
+the engine's lifetime; one :class:`EpochRecord` is appended per epoch for
+capacity-planning views (the incremental benchmark consumes these).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.core.objectives import ObjectiveValue
+
+
+@dataclass(frozen=True)
+class EpochRecord:
+    """One epoch's shape and cost.
+
+    Attributes:
+        now: the epoch's clock time.
+        num_tasks / num_workers / num_pairs: size of the solved
+            sub-instance (live entities and valid pairs).
+        expired: tasks retired by this epoch's expiry sweep.
+        cache_hits / cache_misses: pair-cache entries served / re-probed
+            during this epoch's retrieval (index mode; zero otherwise).
+        objective: the solver's (min reliability, total E[STD]) outcome.
+        seconds: wall-clock cost of the whole epoch (expiry + retrieval +
+            problem build + solve).
+    """
+
+    now: float
+    num_tasks: int
+    num_workers: int
+    num_pairs: int
+    expired: int
+    cache_hits: int
+    cache_misses: int
+    objective: ObjectiveValue
+    seconds: float
+
+
+@dataclass
+class EngineMetrics:
+    """Lifetime counters plus the per-epoch history."""
+
+    events: Dict[str, int] = field(default_factory=dict)
+    epochs: int = 0
+    tasks_expired: int = 0
+    pairs_retrieved: int = 0
+    solve_seconds: float = 0.0
+    epoch_seconds: float = 0.0
+    history: List[EpochRecord] = field(default_factory=list)
+
+    def count_event(self, kind: str) -> None:
+        self.events[kind] = self.events.get(kind, 0) + 1
+
+    def record_epoch(self, record: EpochRecord, solve_seconds: float) -> None:
+        self.epochs += 1
+        self.tasks_expired += record.expired
+        self.pairs_retrieved += record.num_pairs
+        self.solve_seconds += solve_seconds
+        self.epoch_seconds += record.seconds
+        self.history.append(record)
+
+    @property
+    def events_processed(self) -> int:
+        return sum(self.events.values())
+
+    def cache_hit_rate(self) -> float:
+        """Fraction of pair-cache lookups served without re-probing."""
+        hits = sum(r.cache_hits for r in self.history)
+        misses = sum(r.cache_misses for r in self.history)
+        total = hits + misses
+        return hits / total if total else 0.0

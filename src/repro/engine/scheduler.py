@@ -1,0 +1,98 @@
+"""Deterministic event ordering and epoch generation.
+
+:class:`EventQueue` is a stable priority queue over
+:mod:`repro.engine.events`: events pop in ``(time, priority, arrival
+order)`` order, so state changes at an instant always precede an epoch
+tick at the same instant, and equal-time churn keeps its submission order
+(determinism matters — seeded solver runs must not depend on heap
+internals).
+
+:func:`epoch_ticks` materialises the Figure 10 re-planning clock as plain
+:class:`~repro.engine.events.EpochTick` events so drivers can merge it
+with their churn stream and feed everything through one queue.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable, Iterator, List, Optional
+
+from repro.engine.events import EpochTick, Event
+
+#: Tolerance for including an epoch tick that lands exactly on the horizon
+#: (floating-point accumulation of ``k * interval`` must not drop it).
+_HORIZON_EPS = 1e-9
+
+
+class EventQueue:
+    """A stable min-heap of engine events.
+
+    ``push`` may be interleaved with ``pop`` — producers can schedule
+    follow-up events (a worker's departure, a task's expiry) while the
+    stream drains.
+    """
+
+    def __init__(self, events: Optional[Iterable[Event]] = None) -> None:
+        self._heap: List = []
+        self._seq = 0
+        if events is not None:
+            for event in events:
+                self.push(event)
+
+    def push(self, event: Event) -> None:
+        """Schedule an event; equal-time events keep submission order."""
+        heapq.heappush(self._heap, (event.time, event.priority, self._seq, event))
+        self._seq += 1
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    @property
+    def next_time(self) -> Optional[float]:
+        """Clock time of the earliest pending event (None when empty)."""
+        return self._heap[0][0] if self._heap else None
+
+    def pop(self) -> Event:
+        """Remove and return the earliest pending event.
+
+        Raises:
+            IndexError: when the queue is empty.
+        """
+        return heapq.heappop(self._heap)[3]
+
+    def pop_until(self, now: float) -> Iterator[Event]:
+        """Drain every event with ``time <= now``, in order."""
+        while self._heap and self._heap[0][0] <= now:
+            yield self.pop()
+
+    def drain(self) -> Iterator[Event]:
+        """Drain the whole queue in order."""
+        while self._heap:
+            yield self.pop()
+
+
+def epoch_ticks(
+    interval: float, horizon: float, start: float = 0.0
+) -> List[EpochTick]:
+    """The periodic re-planning clock: ticks at ``start + k * interval``.
+
+    Ticks are generated while ``time <= horizon`` (inclusive, with an
+    epsilon so ``k * interval`` rounding cannot drop the final tick — the
+    platform simulator's loop condition behaves the same way).
+
+    Raises:
+        ValueError: for a non-positive interval.
+    """
+    if interval <= 0.0:
+        raise ValueError("interval must be positive")
+    ticks: List[EpochTick] = []
+    k = 0
+    while True:
+        time = start + k * interval
+        if time > horizon + _HORIZON_EPS:
+            return ticks
+        ticks.append(EpochTick(time=time))
+        k += 1

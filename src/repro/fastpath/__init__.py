@@ -23,21 +23,25 @@ Consumers select the fast path through ``backend="numpy"`` flags on
 results.
 """
 
-from repro.fastpath.arrays import TaskArrays, WorkerArrays
+from repro.fastpath.arrays import TaskArrays, TaskSlots, WorkerArrays, WorkerSlots
 from repro.fastpath.kernels import (
     batch_any_valid,
     batch_delta_min_r,
     batch_effective_arrival,
     batch_valid_pairs,
     lemma43_prune_order,
+    slots_valid_pairs,
 )
 
 __all__ = [
     "TaskArrays",
+    "TaskSlots",
     "WorkerArrays",
+    "WorkerSlots",
     "batch_any_valid",
     "batch_delta_min_r",
     "batch_effective_arrival",
     "batch_valid_pairs",
     "lemma43_prune_order",
+    "slots_valid_pairs",
 ]

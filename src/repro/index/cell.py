@@ -104,6 +104,17 @@ class GridCell:
         self._aggregates_stale = True
         return worker
 
+    def replace_worker(self, worker: MovingWorker) -> MovingWorker:
+        """Swap a resident worker's record in place (same id, same cell).
+
+        O(1): the dict slot is reused, aggregates are merely marked stale.
+        Used by same-cell position/heading/confidence refreshes.
+        """
+        old = self.workers[worker.worker_id]
+        self.workers[worker.worker_id] = worker
+        self._aggregates_stale = True
+        return old
+
     @property
     def is_empty(self) -> bool:
         return not self.tasks and not self.workers

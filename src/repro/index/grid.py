@@ -92,12 +92,21 @@ class RdbscGrid:
         # removals can re-check exactly the lists that mention their cell.
         self._tcell: Dict[int, Set[int]] = {}
         self._rtcell: Dict[int, Set[int]] = {}
-        #: Counters for the Figure 17 instrumentation.
+        # Persistent valid-pair cache, keyed by (worker cell, task cell).
+        # An entry holds the exact ValidPair list one retrieval probe of
+        # that cell pair would produce; churn drops only the affected
+        # entries (dirty tracking by deletion), so valid_pairs() re-probes
+        # dirty entries and streams the rest straight from the cache.
+        self._pair_cache: Dict[Tuple[int, int], List[ValidPair]] = {}
+        #: Counters for the Figure 17 instrumentation; the pair-cache pair
+        #: records the incremental engine's hit rate.
         self.stats: Dict[str, int] = {
             "cells_pruned_time": 0,
             "cells_pruned_angle": 0,
             "cells_confirmed": 0,
             "pair_checks": 0,
+            "pair_cache_hits": 0,
+            "pair_cache_misses": 0,
         }
 
     # ------------------------------------------------------------------ #
@@ -141,21 +150,59 @@ class RdbscGrid:
     # ------------------------------------------------------------------ #
 
     def insert_worker(self, worker: MovingWorker) -> None:
-        """O(1) placement plus invalidation of the home cell's tcell_list."""
+        """O(1) placement plus an incremental tcell_list extension.
+
+        A new resident can only *extend* its cell's reachability, so a
+        cached tcell_list is kept and widened with a cheap single-worker
+        reachability sweep (no pair probes) instead of being rebuilt; the
+        cell's cached pair entries are dropped (the new worker may add
+        pairs to any of them).
+        """
         if worker.worker_id in self._worker_cell:
             raise ValueError(f"worker {worker.worker_id} already indexed")
         cell = self.cell_at(worker.location)
         cell.add_worker(worker)
         self._worker_cell[worker.worker_id] = cell.cell_id
-        self._invalidate_tcell(cell.cell_id)
+        self._dirty_worker_cell(cell.cell_id)
+        self._extend_tcell_for_worker(cell.cell_id, worker)
 
     def remove_worker(self, worker_id: int) -> MovingWorker:
-        """Remove a worker; the home cell's tcell_list is recomputed lazily."""
+        """Remove a worker; the home cell's tcell_list is kept as a superset.
+
+        Removal can only shrink reachability, so the cached list stays
+        *safe* (possibly over-complete — retrieval probes are exact, so a
+        stale member merely yields an empty probe).  Only the cell's
+        cached pair entries are dropped: the removed worker's pairs must
+        vanish from the next retrieval.
+        """
         cell_id = self._worker_cell.pop(worker_id)
         worker = self._cells[cell_id].remove_worker(worker_id)
-        self._invalidate_tcell(cell_id)
+        self._dirty_worker_cell(cell_id)
         self._drop_if_empty(cell_id)
         return worker
+
+    def update_worker(self, worker: MovingWorker) -> MovingWorker:
+        """Refresh an indexed worker's record; returns the previous record.
+
+        When the worker stays in its current grid cell this is an O(1)
+        in-place swap (the cell's aggregates go stale, its cached pair
+        entries are dropped, and the list is widened for the new record's
+        reach); a cross-cell move falls back to remove + insert.
+
+        Raises:
+            KeyError: if the worker is not indexed.
+        """
+        cell_id = self._worker_cell[worker.worker_id]
+        cell = self._cells[cell_id]
+        row, col = self._coords_of(worker.location)
+        if self._cell_id(row, col) == cell_id:
+            old = cell.replace_worker(worker)
+            self._dirty_worker_cell(cell_id)
+            self._extend_tcell_for_worker(cell_id, worker)
+            return old
+        old = self.remove_worker(worker.worker_id)
+        self.insert_worker(worker)
+        return old
 
     def insert_task(self, task: SpatialTask) -> None:
         """Place a task and extend existing tcell_lists incrementally.
@@ -171,20 +218,28 @@ class RdbscGrid:
         self._task_cell[task.task_id] = cell.cell_id
         for worker_cell_id in list(self._tcell.keys()):
             if cell.cell_id in self._tcell[worker_cell_id]:
+                # Already listed (possibly from before the cell emptied and
+                # was re-materialised): re-anchor the reverse reference so
+                # later task churn keeps dirtying this entry.
+                self._rtcell.setdefault(cell.cell_id, set()).add(worker_cell_id)
                 continue
             if self._cell_reachable(self._cells[worker_cell_id], cell):
                 self._tcell[worker_cell_id].add(cell.cell_id)
                 self._rtcell.setdefault(cell.cell_id, set()).add(worker_cell_id)
+        self._dirty_task_cell(cell.cell_id)
 
     def remove_task(self, task_id: int) -> SpatialTask:
-        """Remove a task and re-check lists that referenced its cell."""
+        """Remove a task; lists referencing its cell are kept as supersets.
+
+        Removal can only shrink reachability, so no list is re-checked —
+        a member that lost its last reachable task merely yields an empty
+        (and cached) probe on the next retrieval.  The referencing pair
+        entries are dropped so the removed task's pairs vanish.
+        """
         cell_id = self._task_cell.pop(task_id)
         cell = self._cells[cell_id]
         task = cell.remove_task(task_id)
-        for worker_cell_id in list(self._rtcell.get(cell_id, ())):
-            if not self._cell_reachable(self._cells[worker_cell_id], cell):
-                self._tcell[worker_cell_id].discard(cell_id)
-                self._rtcell[cell_id].discard(worker_cell_id)
+        self._dirty_task_cell(cell_id)
         self._drop_if_empty(cell_id)
         return task
 
@@ -195,14 +250,83 @@ class RdbscGrid:
             self._invalidate_tcell(cell_id)
             for worker_cell_id in self._rtcell.pop(cell_id, set()):
                 self._tcell.get(worker_cell_id, set()).discard(cell_id)
+                self._pair_cache.pop((worker_cell_id, cell_id), None)
 
     def _invalidate_tcell(self, cell_id: int) -> None:
+        """Worker-side dirtying: drop the cell's list and its pair entries."""
         stale = self._tcell.pop(cell_id, None)
         if stale:
             for target in stale:
                 refs = self._rtcell.get(target)
                 if refs is not None:
                     refs.discard(cell_id)
+                self._pair_cache.pop((cell_id, target), None)
+
+    def _dirty_task_cell(self, cell_id: int) -> None:
+        """Task-side dirtying: drop every pair entry targeting ``cell_id``."""
+        for worker_cell_id in self._rtcell.get(cell_id, ()):
+            self._pair_cache.pop((worker_cell_id, cell_id), None)
+
+    def _dirty_worker_cell(self, cell_id: int) -> None:
+        """Worker-side dirtying: drop the cell's own pair entries.
+
+        The tcell_list itself is kept — worker churn is handled by keeping
+        lists as safe supersets (removals) and extending them with
+        single-worker sweeps (insertions), never by a full rebuild.
+        """
+        for target in self._tcell.get(cell_id, ()):
+            self._pair_cache.pop((cell_id, target), None)
+
+    def _extend_tcell_for_worker(self, cell_id: int, worker: MovingWorker) -> None:
+        """Widen a cached tcell_list with one new resident's own reach.
+
+        Cells already listed stay (the old residents' reach is unchanged);
+        cells off the list join when the *new worker alone* might serve a
+        task there — a superset of the exact condition, kept honest by the
+        exact retrieval probes.  No-op without a cached list (it will be
+        built tight, lazily, on the next retrieval).
+        """
+        cached = self._tcell.get(cell_id)
+        if cached is None:
+            return
+        for candidate in self._cells.values():
+            if not candidate.tasks or candidate.cell_id in cached:
+                continue
+            if self._worker_reaches_cell(worker, candidate):
+                cached.add(candidate.cell_id)
+                self._rtcell.setdefault(candidate.cell_id, set()).add(cell_id)
+
+    def _worker_reaches_cell(self, worker: MovingWorker, task_cell: GridCell) -> bool:
+        """Conservative single-worker version of :meth:`_cell_reachable`.
+
+        Same time and direction pruning, applied to one worker's own
+        speed, departure and cone against the cell's aggregate deadline —
+        with no exact confirmation, so a ``True`` is a may-reach verdict.
+        """
+        x, y = worker.location.x, worker.location.y
+        dx = max(
+            task_cell.origin.x - x, x - (task_cell.origin.x + task_cell.side), 0.0
+        )
+        dy = max(
+            task_cell.origin.y - y, y - (task_cell.origin.y + task_cell.side), 0.0
+        )
+        d_min = math.hypot(dx, dy)
+        if worker.velocity <= 0.0 and d_min > 0.0:
+            return False
+        t_min = d_min / worker.velocity if worker.velocity > 0.0 else 0.0
+        if worker.depart_time + t_min > task_cell.e_max:
+            self.stats["cells_pruned_time"] += 1
+            return False
+        if d_min > 0.0 and not worker.cone.is_full():
+            bearings = [
+                bearing(worker.location, corner)
+                for corner in task_cell.corners()
+                if corner != worker.location
+            ]
+            if bearings and not worker.cone.overlaps(enclosing_interval(bearings)):
+                self.stats["cells_pruned_angle"] += 1
+                return False
+        return True
 
     # ------------------------------------------------------------------ #
     # Cell-level pruning (Section 7.1)
@@ -278,7 +402,14 @@ class RdbscGrid:
     # ------------------------------------------------------------------ #
 
     def tcell_list(self, worker_cell: GridCell) -> Set[int]:
-        """Reachable task-cell ids for a worker cell (cached)."""
+        """Reachable task-cell ids for a worker cell (cached).
+
+        Fresh builds are tight (cell-level pruning plus optional exact
+        confirmation); under churn the cached list is maintained as a
+        *safe superset* — removals never shrink it, worker arrivals widen
+        it with a single-worker sweep — so retrieval (whose per-entry
+        probes are exact) stays correct while maintenance stays O(delta).
+        """
         cached = self._tcell.get(worker_cell.cell_id)
         if cached is not None:
             return cached
@@ -307,42 +438,56 @@ class RdbscGrid:
     def valid_pairs(self) -> List[ValidPair]:
         """Index-assisted valid-pair retrieval (Figure 17(b) with index).
 
-        With ``backend="numpy"`` each worker cell probes every task on its
-        ``tcell_list`` in a single batched kernel call instead of a scalar
-        double loop; the retrieved pair set is identical.
+        Retrieval is incremental across calls: each (worker cell, task
+        cell) entry of a ``tcell_list`` is probed at most once and cached;
+        churn (insert/remove/update of tasks and workers) drops exactly the
+        affected entries, so a retrieval after a small delta re-probes only
+        the dirty entries and streams the rest from the cache.  The
+        returned pair set is identical to a from-scratch retrieval on a
+        freshly built grid — in both backends.
+
+        With ``backend="numpy"`` each dirty entry is probed by one batched
+        kernel call instead of a scalar double loop; pairs are identical
+        (the kernel confirms candidates through the scalar rule).
         """
         pairs: List[ValidPair] = []
         for worker_cell in list(self._cells.values()):
             if not worker_cell.workers:
                 continue
-            if self.backend == "numpy":
-                from repro.fastpath.kernels import batch_valid_pairs
-
-                tasks = [
-                    task
-                    for target_id in self.tcell_list(worker_cell)
-                    if (target := self._cells.get(target_id)) is not None
-                    for task in target.tasks.values()
-                ]
-                if not tasks:
+            for target_id in sorted(self.tcell_list(worker_cell)):
+                cached = self._pair_cache.get((worker_cell.cell_id, target_id))
+                if cached is not None:
+                    self.stats["pair_cache_hits"] += 1
+                    pairs.extend(cached)
                     continue
-                workers = list(worker_cell.workers.values())
-                self.stats["pair_checks"] += len(workers) * len(tasks)
-                pairs.extend(batch_valid_pairs(tasks, workers, self.validity))
-                continue
-            for target_id in self.tcell_list(worker_cell):
                 target = self._cells.get(target_id)
                 if target is None:
                     continue
-                for worker in worker_cell.workers.values():
-                    for task in target.tasks.values():
-                        self.stats["pair_checks"] += 1
-                        arrival = self.validity.effective_arrival(worker, task)
-                        if arrival is not None:
-                            pairs.append(
-                                ValidPair(task.task_id, worker.worker_id, arrival)
-                            )
+                entry = self._probe_pairs(worker_cell, target)
+                self._pair_cache[(worker_cell.cell_id, target_id)] = entry
+                self.stats["pair_cache_misses"] += 1
+                pairs.extend(entry)
         return pairs
+
+    def _probe_pairs(self, worker_cell: GridCell, target: GridCell) -> List[ValidPair]:
+        """Exact valid pairs between one worker cell and one task cell."""
+        if self.backend == "numpy":
+            from repro.fastpath.kernels import batch_valid_pairs
+
+            tasks = list(target.tasks.values())
+            workers = list(worker_cell.workers.values())
+            if not tasks:
+                return []
+            self.stats["pair_checks"] += len(workers) * len(tasks)
+            return batch_valid_pairs(tasks, workers, self.validity)
+        entry: List[ValidPair] = []
+        for worker in worker_cell.workers.values():
+            for task in target.tasks.values():
+                self.stats["pair_checks"] += 1
+                arrival = self.validity.effective_arrival(worker, task)
+                if arrival is not None:
+                    entry.append(ValidPair(task.task_id, worker.worker_id, arrival))
+        return entry
 
     # ------------------------------------------------------------------ #
     # Bulk loading

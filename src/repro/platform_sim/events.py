@@ -97,5 +97,10 @@ class TaskRecord:
         return any(a.success for a in self.answers)
 
     def open_at(self, now: float) -> bool:
-        """Open means not yet expired (workers may still be en route)."""
-        return now <= self.task.end
+        """Open means not yet expired (workers may still be en route).
+
+        Routed through :meth:`repro.core.task.SpatialTask.expired_at` so
+        the deadline boundary (inclusive: ``end == now`` is still open)
+        cannot drift from the session's and engine's expiry sweeps.
+        """
+        return not self.task.expired_at(now)

@@ -6,14 +6,21 @@ reliability and diversity of a task must account for the answers already
 received and the workers already en route (``A`` and ``S_c`` in Figure 10's
 line 6).  We realise that by pinning each committed contribution into the
 sub-instance as a *virtual worker*: a worker whose only valid pair is its
-own task, with the committed approach angle, arrival time and confidence.
-Solvers then optimise the marginal value of the genuinely free workers on
-top of what each task already has — no solver changes needed.
+own task, with the committed approach angle, arrival time and confidence
+(see :func:`repro.engine.engine.virtual_worker`).  Solvers then optimise
+the marginal value of the genuinely free workers on top of what each task
+already has — no solver changes needed.
+
+This module is the *one-shot functional form* of that step, for callers
+holding plain task/worker lists.  The clocked simulator no longer builds
+its sub-instances here: it feeds churn events to an
+:class:`repro.engine.engine.AssignmentEngine`, whose ``epoch(now, pinned,
+forbidden)`` realises the same pinning on top of incrementally maintained
+state.
 """
 
 from __future__ import annotations
 
-import math
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.algorithms.base import RngLike, Solver
@@ -22,32 +29,7 @@ from repro.core.problem import RdbscProblem, ValidPair
 from repro.core.task import SpatialTask
 from repro.core.validity import ValidityRule
 from repro.core.worker import MovingWorker
-from repro.geometry.angles import AngleInterval
-from repro.geometry.points import Point
-
-#: Offset (unit-square units) used to place a virtual worker along its
-#: committed approach angle so that its profile reproduces that angle.
-_VIRTUAL_OFFSET = 1e-6
-
-
-def _virtual_worker(
-    task: SpatialTask, profile: WorkerProfile, virtual_id: int
-) -> Tuple[MovingWorker, ValidPair]:
-    """A pinned worker representing one committed contribution."""
-    location = Point(
-        task.location.x + _VIRTUAL_OFFSET * math.cos(profile.angle),
-        task.location.y + _VIRTUAL_OFFSET * math.sin(profile.angle),
-    )
-    worker = MovingWorker(
-        worker_id=virtual_id,
-        location=location,
-        velocity=0.0,
-        cone=AngleInterval.full_circle(),
-        confidence=profile.confidence,
-        depart_time=profile.arrival,
-    )
-    arrival = min(max(profile.arrival, task.start), task.end)
-    return worker, ValidPair(task.task_id, virtual_id, arrival)
+from repro.engine.engine import virtual_worker
 
 
 def build_update_problem(
@@ -89,7 +71,7 @@ def build_update_problem(
         if task is None:
             continue  # contribution to an already-expired task
         for profile in committed[task_id]:
-            worker, pair = _virtual_worker(task, profile, next_virtual)
+            worker, pair = virtual_worker(task, profile, next_virtual)
             workers.append(worker)
             pairs.append(pair)
             next_virtual -= 1

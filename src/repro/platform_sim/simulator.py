@@ -6,9 +6,16 @@ reliabilities, tasks with 15-minute windows spawning at the sites, and the
 Figure 10 incremental updating strategy re-planning every ``t_interval``
 minutes with a pluggable RDB-SC solver.
 
-Between update instants nothing re-plans: travelling workers finish their
-trips, attempt their task on arrival (succeeding with probability equal to
-their confidence), and wait at the site until the next update makes them
+The simulator owns only the *physics*: trips, answer attempts (succeeding
+with probability equal to the worker's true confidence), reputation
+updates, and the Figure 18 metrics log.  All assignment state lives in an
+:class:`repro.engine.engine.AssignmentEngine`: task spawns and worker
+(re)arrivals are emitted as typed engine events through one time-ordered
+:class:`repro.engine.scheduler.EventQueue`, and every re-planning instant
+is an engine epoch with the committed contributions pinned in (``A`` /
+``S_c`` of Figure 10's line 6) and already-issued (worker, task) pairs
+forbidden.  Between update instants nothing re-plans: travelling workers
+finish their trips and wait at the site until the next epoch makes them
 available again.  The Figure 18 metrics — minimum reliability and total
 expected STD over tasks that received workers — are computed from the
 dispatched workers' profiles, matching the assignment-based metrics used in
@@ -19,7 +26,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.algorithms.base import RngLike, Solver, make_rng
 from repro.core.diversity import WorkerProfile, approach_angle
@@ -28,10 +35,13 @@ from repro.core.expected import expected_std
 from repro.core.task import SpatialTask
 from repro.core.validity import ValidityRule
 from repro.core.worker import MovingWorker
+from repro.engine.engine import AssignmentEngine
+from repro.engine.events import EpochTick, TaskArrive, WorkerArrive
+from repro.engine.metrics import EngineMetrics
+from repro.engine.scheduler import EventQueue, epoch_ticks
 from repro.geometry.angles import AngleInterval
 from repro.geometry.points import Point
-from repro.platform_sim.events import Answer, TaskRecord, WorkerRuntime, WorkerStatus
-from repro.platform_sim.incremental import incremental_update
+from repro.platform_sim.events import Answer, TaskRecord
 from repro.platform_sim.ratings import bootstrap_reliabilities
 
 
@@ -114,6 +124,9 @@ class PlatformRunResult:
     tasks_answered: int
     dispatches: int
     answers: List[Answer] = field(default_factory=list)
+    #: The engine's lifetime counters and per-epoch records for the run
+    #: (event counts, pair-cache hit rate, epoch costs).
+    engine_metrics: Optional[EngineMetrics] = None
 
     @property
     def success_rate(self) -> float:
@@ -124,10 +137,22 @@ class PlatformRunResult:
 
 
 class PlatformSimulator:
-    """Runs one deployment under a given solver and update interval."""
+    """Runs one deployment under a given solver and update interval.
 
-    def __init__(self, config: Optional[PlatformConfig] = None) -> None:
+    Args:
+        config: deployment parameters.
+        backend: forwarded to the :class:`AssignmentEngine` that owns the
+            assignment state — ``"python"`` or ``"numpy"`` dirty-pair
+            probing; identical dispatches either way.
+    """
+
+    def __init__(
+        self,
+        config: Optional[PlatformConfig] = None,
+        backend: str = "python",
+    ) -> None:
         self.config = config if config is not None else PlatformConfig()
+        self.backend = backend
         #: Early arrivals wait at the site until the window opens, as human
         #: workers on the real platform do.
         self.validity = ValidityRule(allow_waiting=True)
@@ -160,130 +185,140 @@ class PlatformSimulator:
         tasks.sort(key=lambda t: (t.start, t.task_id))
         return tasks
 
-    def _initial_workers(self, rng) -> List[WorkerRuntime]:
+    def _initial_workers(self, rng) -> List[MovingWorker]:
         config = self.config
         speed = config.worker_speed()
         reliabilities = bootstrap_reliabilities(config.n_workers, rng)
-        runtimes: List[WorkerRuntime] = []
+        workers: List[MovingWorker] = []
         for worker_id in range(config.n_workers):
             location = Point(
                 0.5 + float(rng.uniform(-2.0, 2.0)) * config.site_radius,
                 0.5 + float(rng.uniform(-2.0, 2.0)) * config.site_radius,
             )
-            runtimes.append(
-                WorkerRuntime(
-                    MovingWorker(
-                        worker_id=worker_id,
-                        location=location,
-                        velocity=speed,
-                        cone=AngleInterval.full_circle(),
-                        confidence=reliabilities[worker_id],
-                        depart_time=0.0,
-                    )
+            workers.append(
+                MovingWorker(
+                    worker_id=worker_id,
+                    location=location,
+                    velocity=speed,
+                    cone=AngleInterval.full_circle(),
+                    confidence=reliabilities[worker_id],
+                    depart_time=0.0,
                 )
             )
-        return runtimes
+        return workers
 
     # ------------------------------------------------------------------ #
 
     def run(self, solver: Solver, rng: RngLike = None) -> PlatformRunResult:
-        """Simulate one deployment with the given solver."""
+        """Simulate one deployment with the given solver.
+
+        The whole run flows through one :class:`EventQueue`: the spawn
+        schedule and the epoch clock are pushed up front, worker
+        re-arrivals are pushed as trips complete, and the engine applies
+        them in time order.  Re-planning is ``engine.epoch(now, pinned,
+        forbidden)`` — the simulator holds no assignment state of its own.
+        """
         generator = make_rng(rng)
         config = self.config
-        schedule = self._spawn_schedule()
-        next_spawn = 0
+        engine = AssignmentEngine(
+            solver=solver,
+            validity=self.validity,
+            rng=generator,
+            backend=self.backend,
+            reanchor_on_epoch=True,
+        )
+        queue = EventQueue()
+        for task in self._spawn_schedule():
+            queue.push(TaskArrive(time=task.start, task=task))
+        ticks = epoch_ticks(config.t_interval, config.sim_minutes)
+        for tick in ticks:
+            queue.push(tick)
+        horizon = ticks[-1].time
+
         records: Dict[int, TaskRecord] = {}
-        runtimes = self._initial_workers(generator)
         answers: List[Answer] = []
         dispatches = 0
-        # A user is never pushed the same question twice.
-        issued: set = set()
+        #: A user is never pushed the same question twice.
+        issued: Set[Tuple[int, int]] = set()
+        #: In-flight trips: worker id -> (task id, planned arrival, the
+        #: dispatched worker record).  Success draws use the *true*
+        #: (bootstrap) confidence even when planning runs on learned ones.
+        in_flight: Dict[int, Tuple[int, float, MovingWorker]] = {}
+        true_confidence: Dict[int, float] = {}
+
         tracker = None
         if config.learn_reputations:
             from repro.platform_sim.reputation import ReputationTracker
 
             tracker = ReputationTracker()
-            tracker.seed_workers(rt.worker for rt in runtimes)
 
-        now = 0.0
-        while now <= config.sim_minutes + 1e-9:
-            # 1. Complete trips that finished by now.
-            for runtime in runtimes:
-                if (
-                    runtime.status is WorkerStatus.TRAVELLING
-                    and runtime.arrival_time is not None
-                    and runtime.arrival_time <= now
-                ):
-                    record = records[runtime.destination_task_id]
-                    arrival = runtime.arrival_time
-                    origin = runtime.origin or runtime.worker.location
-                    attempt_time = max(arrival, record.task.start)
-                    success = bool(
-                        generator.uniform() < runtime.worker.confidence
-                    ) and attempt_time <= record.task.end
-                    answer = Answer(
-                        worker_id=runtime.worker.worker_id,
-                        task_id=record.task.task_id,
-                        angle=approach_angle(record.task, runtime.worker),
-                        time=attempt_time,
-                        success=success,
-                    )
-                    record.answers.append(answer)
-                    answers.append(answer)
-                    if tracker is not None:
-                        tracker.observe(runtime.worker.worker_id, success)
-                    runtime.complete_trip(
-                        record.task.location, arrival + config.answer_minutes
-                    )
+        initial = self._initial_workers(generator)
+        for worker in initial:
+            true_confidence[worker.worker_id] = worker.confidence
+            engine.add_worker(worker)
+        if tracker is not None:
+            tracker.seed_workers(initial)
 
-            # 2. Spawn tasks due by now.
-            while next_spawn < len(schedule) and schedule[next_spawn].start <= now:
-                task = schedule[next_spawn]
-                records[task.task_id] = TaskRecord(task)
-                next_spawn += 1
-
-            # 3. Plan: open tasks, available workers, committed contributions.
-            open_tasks = [
-                rec.task for rec in records.values() if rec.open_at(now)
-            ]
-            available = [
-                rt for rt in runtimes if rt.status is WorkerStatus.AVAILABLE
-            ]
-            committed: Dict[int, List[WorkerProfile]] = {}
-            for rec in records.values():
-                if not rec.open_at(now):
-                    continue
-                profiles = list(rec.dispatched_profiles)
-                if profiles:
-                    committed[rec.task.task_id] = profiles
-
-            planning_workers = [rt.worker for rt in available]
-            if tracker is not None:
-                planning_workers = [
-                    tracker.refreshed_worker(worker) for worker in planning_workers
-                ]
-            dispatch = incremental_update(
-                open_tasks,
-                planning_workers,
-                committed,
-                solver,
-                now,
-                self.validity,
-                generator,
-                forbidden_pairs=issued,
-            )
-
-            # 4. Dispatch the chosen workers.
-            by_id = {rt.worker.worker_id: rt for rt in available}
-            for worker_id, task_id in sorted(dispatch.items()):
-                runtime = by_id[worker_id]
+        while queue and queue.next_time <= horizon + 1e-9:
+            event = queue.pop()
+            if isinstance(event, TaskArrive):
+                records[event.task.task_id] = TaskRecord(event.task)
+                engine.apply(event)
+                continue
+            if isinstance(event, WorkerArrive):
+                # A trip completing: attempt the answer, then hand the
+                # worker back to the engine at the task's site.
+                worker = event.worker
+                task_id, arrival, dispatched = in_flight.pop(worker.worker_id)
                 record = records[task_id]
-                worker_now = runtime.worker.moved_to(runtime.worker.location, now)
+                attempt_time = max(arrival, record.task.start)
+                success = bool(
+                    generator.uniform() < true_confidence[worker.worker_id]
+                ) and attempt_time <= record.task.end
+                answer = Answer(
+                    worker_id=worker.worker_id,
+                    task_id=task_id,
+                    angle=approach_angle(record.task, dispatched),
+                    time=attempt_time,
+                    success=success,
+                )
+                record.answers.append(answer)
+                answers.append(answer)
+                if tracker is not None:
+                    tracker.observe(worker.worker_id, success)
+                engine.apply(event)
+                continue
+            if not isinstance(event, EpochTick):  # pragma: no cover
+                raise TypeError(f"unexpected event {type(event).__name__}")
+
+            now = event.time
+            # Planning confidences: refresh learned reputations in place
+            # (an O(1) same-cell update per changed worker).
+            if tracker is not None:
+                for worker in list(engine.workers.values()):
+                    refreshed = tracker.refreshed_worker(worker)
+                    if refreshed.confidence != worker.confidence:
+                        engine.update_worker(refreshed)
+
+            # Committed contributions still relevant: the engine pins them
+            # as degree-one virtual workers (and drops entries whose task
+            # has expired out of its live set).
+            pinned: Dict[int, List[WorkerProfile]] = {
+                rec.task.task_id: list(rec.dispatched_profiles)
+                for rec in records.values()
+                if rec.dispatched_profiles
+            }
+            result = engine.epoch(now, pinned=pinned, forbidden=issued)
+
+            # Dispatch the chosen workers: they leave the engine until
+            # their trip completes.
+            for worker_id, task_id in sorted(result.dispatch.items()):
+                record = records[task_id]
+                worker_now = engine.workers[worker_id]
                 arrival = self.validity.effective_arrival(worker_now, record.task)
                 if arrival is None:
                     continue  # defensive: solver honoured precomputed pairs
-                runtime.worker = worker_now
-                runtime.dispatch(task_id, arrival)
+                engine.remove_worker(worker_id)
                 issued.add((worker_id, task_id))
                 record.dispatched_worker_ids.append(worker_id)
                 record.dispatched_profiles.append(
@@ -291,14 +326,22 @@ class PlatformSimulator:
                         worker_id,
                         approach_angle(record.task, worker_now),
                         arrival,
-                        worker_now.confidence,
+                        true_confidence[worker_id],
                     )
                 )
                 dispatches += 1
+                in_flight[worker_id] = (task_id, arrival, worker_now)
+                queue.push(
+                    WorkerArrive(
+                        time=arrival,
+                        worker=worker_now.moved_to(
+                            record.task.location,
+                            arrival + config.answer_minutes,
+                        ),
+                    )
+                )
 
-            now += config.t_interval
-
-        return self._final_metrics(records, answers, dispatches)
+        return self._final_metrics(records, answers, dispatches, engine.metrics)
 
     # ------------------------------------------------------------------ #
 
@@ -307,6 +350,7 @@ class PlatformSimulator:
         records: Dict[int, TaskRecord],
         answers: List[Answer],
         dispatches: int,
+        engine_metrics: Optional[EngineMetrics] = None,
     ) -> PlatformRunResult:
         min_r = math.inf
         total_std = 0.0
@@ -337,4 +381,5 @@ class PlatformSimulator:
             tasks_answered=sum(1 for r in records.values() if r.is_answered),
             dispatches=dispatches,
             answers=answers,
+            engine_metrics=engine_metrics,
         )

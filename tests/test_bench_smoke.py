@@ -93,6 +93,15 @@ SMOKE_RUNNERS = {
     "bench_fastpath": lambda m: m.run_fastpath_experiment(
         num_tasks=12, num_workers=60, repeats=1, write_json=False
     ),
+    "bench_incremental": lambda m: m.run_incremental_experiment(
+        num_tasks=10,
+        num_workers=40,
+        epochs=3,
+        churn_workers=4,
+        churn_tasks=2,
+        eta=0.125,
+        write_json=False,
+    ),
     "bench_fig11_expiration": spec_runner("fig11_expiration_real"),
     "bench_fig12_reliability": spec_runner("fig12_reliability_real"),
     "bench_fig13_tasks_uniform": spec_runner("fig13_tasks_uniform"),

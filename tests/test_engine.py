@@ -1,0 +1,228 @@
+"""Unit tests for the incremental assignment engine (events, scheduler,
+epochs, metrics) and the expiry-boundary contract it shares with the
+session, the grid and the platform simulator."""
+
+import math
+
+import pytest
+
+from repro.algorithms import GreedySolver
+from repro.core.diversity import WorkerProfile
+from repro.core.validity import ValidityRule
+from repro.engine import (
+    AssignmentEngine,
+    EpochTick,
+    EventQueue,
+    ExpireTasks,
+    TaskArrive,
+    TaskWithdraw,
+    WorkerArrive,
+    WorkerLeave,
+    WorkerUpdate,
+    epoch_ticks,
+)
+from repro.geometry.points import Point
+from repro.platform_sim.events import TaskRecord
+from tests.conftest import make_task, make_worker
+
+
+class TestEventQueue:
+    def test_time_order(self):
+        queue = EventQueue()
+        queue.push(TaskArrive(time=2.0, task=make_task(2)))
+        queue.push(TaskArrive(time=1.0, task=make_task(1)))
+        queue.push(TaskArrive(time=3.0, task=make_task(3)))
+        assert [e.time for e in queue.drain()] == [1.0, 2.0, 3.0]
+
+    def test_churn_before_epoch_at_equal_time(self):
+        queue = EventQueue()
+        queue.push(EpochTick(time=1.0))
+        queue.push(WorkerArrive(time=1.0, worker=make_worker(0)))
+        events = list(queue.drain())
+        assert isinstance(events[0], WorkerArrive)
+        assert isinstance(events[1], EpochTick)
+
+    def test_fifo_within_equal_time(self):
+        queue = EventQueue()
+        for task_id in range(5):
+            queue.push(TaskArrive(time=1.0, task=make_task(task_id)))
+        assert [e.task.task_id for e in queue.drain()] == list(range(5))
+
+    def test_pop_until_and_next_time(self):
+        queue = EventQueue([TaskArrive(time=t, task=make_task(int(t))) for t in (1.0, 2.0, 3.0)])
+        assert queue.next_time == 1.0
+        drained = list(queue.pop_until(2.0))
+        assert [e.time for e in drained] == [1.0, 2.0]
+        assert queue.next_time == 3.0
+        assert len(queue) == 1
+
+    def test_epoch_ticks(self):
+        ticks = epoch_ticks(0.5, 2.0)
+        assert [t.time for t in ticks] == [0.0, 0.5, 1.0, 1.5, 2.0]
+        with pytest.raises(ValueError):
+            epoch_ticks(0.0, 1.0)
+
+    def test_epoch_ticks_horizon_rounding(self):
+        # 0.1 accumulates floating-point error; the final tick must survive.
+        ticks = epoch_ticks(0.1, 0.3)
+        assert len(ticks) == 4
+
+
+class TestEventApplication:
+    def test_each_event_kind(self):
+        engine = AssignmentEngine(solver=GreedySolver())
+        engine.apply(TaskArrive(time=0.0, task=make_task(0, end=5.0)))
+        engine.apply(TaskArrive(time=0.0, task=make_task(1, end=0.5)))
+        engine.apply(WorkerArrive(time=0.0, worker=make_worker(0, x=0.4, y=0.5)))
+        assert engine.num_tasks == 2 and engine.num_workers == 1
+        engine.apply(WorkerUpdate(time=0.5, worker=make_worker(0, x=0.45, y=0.5)))
+        assert engine.workers[0].location.x == pytest.approx(0.45)
+        engine.apply(ExpireTasks(time=1.0))
+        assert engine.num_tasks == 1  # task 1 (end 0.5) expired
+        engine.apply(TaskWithdraw(time=1.0, task_id=0))
+        engine.apply(WorkerLeave(time=1.0, worker_id=0))
+        assert engine.num_tasks == 0 and engine.num_workers == 0
+        counts = engine.metrics.events
+        assert counts["task_arrive"] == 2
+        assert counts["task_expire"] == 1
+        assert counts["task_withdraw"] == 1
+        assert counts["worker_update"] == 1
+        assert counts["worker_leave"] == 1
+
+    def test_unknown_event_rejected(self):
+        engine = AssignmentEngine()
+        with pytest.raises(TypeError):
+            engine.apply(object())
+
+    def test_process_returns_epoch_results(self):
+        engine = AssignmentEngine(solver=GreedySolver())
+        queue = EventQueue()
+        queue.push(TaskArrive(time=0.0, task=make_task(0, x=0.5, y=0.5)))
+        queue.push(WorkerArrive(time=0.0, worker=make_worker(0, x=0.4, y=0.5, velocity=0.5)))
+        queue.push(EpochTick(time=0.0))
+        queue.push(EpochTick(time=1.0))
+        results = engine.process(queue)
+        assert len(results) == 2
+        assert results[0].dispatch == {0: 0}
+        assert engine.assignment_of(0) == 0
+
+
+class TestEpoch:
+    def test_pinned_contributions_become_virtual_workers(self):
+        engine = AssignmentEngine(solver=GreedySolver())
+        engine.add_task(make_task(0, x=0.45, y=0.5))
+        engine.add_task(make_task(1, x=0.55, y=0.5))
+        engine.add_worker(make_worker(0, x=0.4, y=0.5, velocity=0.2))
+        pinned = {0: [WorkerProfile(-99, 1.0, 2.0, 0.7)]}
+        result = engine.epoch(0.0, pinned=pinned)
+        # Virtual workers are solver bookkeeping: never dispatched, never
+        # stored in the live assignment.
+        assert all(worker_id >= 0 for worker_id in result.dispatch)
+        assert result.num_workers == 2  # one real + one virtual
+        assert not engine.assignment.is_assigned(-1)
+
+    def test_pinned_expired_task_dropped(self):
+        engine = AssignmentEngine(solver=GreedySolver())
+        engine.add_task(make_task(0, x=0.5, y=0.5, end=10.0))
+        engine.add_worker(make_worker(0, x=0.4, y=0.5, velocity=0.5))
+        pinned = {42: [WorkerProfile(-1, 0.5, 1.0, 0.9)]}  # unknown task
+        result = engine.epoch(0.0, pinned=pinned)
+        assert result.num_workers == 1
+
+    def test_forbidden_pairs_never_dispatched(self):
+        engine = AssignmentEngine(solver=GreedySolver())
+        engine.add_task(make_task(0, x=0.5, y=0.5))
+        engine.add_worker(make_worker(0, x=0.4, y=0.5, velocity=0.5))
+        result = engine.epoch(0.0, forbidden={(0, 0)})
+        assert result.dispatch == {}
+
+    def test_reanchor_on_epoch(self):
+        engine = AssignmentEngine(solver=GreedySolver(), reanchor_on_epoch=True)
+        engine.add_worker(make_worker(0, x=0.4, y=0.5, depart_time=0.0))
+        engine.add_task(make_task(0, x=0.5, y=0.5, start=0.0, end=10.0))
+        engine.epoch(3.0)
+        assert engine.workers[0].depart_time == 3.0
+
+    def test_epoch_metrics_history(self):
+        engine = AssignmentEngine(solver=GreedySolver())
+        engine.add_task(make_task(0, x=0.5, y=0.5))
+        engine.add_worker(make_worker(0, x=0.4, y=0.5, velocity=0.5))
+        engine.epoch(0.0)
+        engine.epoch(0.0)
+        assert engine.metrics.epochs == 2
+        assert len(engine.metrics.history) == 2
+        # Second epoch with zero churn: everything served from the cache.
+        assert engine.metrics.history[1].cache_misses == 0
+        assert engine.metrics.history[1].cache_hits > 0
+        assert engine.metrics.cache_hit_rate() > 0.0
+
+    def test_snapshot(self):
+        engine = AssignmentEngine(solver=GreedySolver())
+        engine.add_task(make_task(0, x=0.5, y=0.5))
+        engine.add_worker(make_worker(0, x=0.4, y=0.5, velocity=0.5))
+        engine.epoch(0.0)
+        snap = engine.snapshot()
+        assert snap.num_tasks == 1 and snap.num_workers == 1
+        assert snap.assignment.task_of(0) == 0
+        engine.withdraw_task(0)
+        # The snapshot is detached from further churn.
+        assert snap.num_tasks == 1
+
+    def test_no_index_backends_agree(self):
+        tasks = [make_task(i, x=0.3 + 0.1 * i, y=0.5) for i in range(4)]
+        workers = [make_worker(j, x=0.2 + 0.15 * j, y=0.45, velocity=0.4) for j in range(5)]
+        pair_sets = []
+        for backend in ("python", "numpy"):
+            engine = AssignmentEngine(
+                solver=GreedySolver(), backend=backend, use_index=False
+            )
+            for task in tasks:
+                engine.add_task(task)
+            for worker in workers:
+                engine.add_worker(worker)
+            pair_sets.append(sorted(
+                (p.task_id, p.worker_id, p.arrival) for p in engine.current_pairs()
+            ))
+        assert pair_sets[0] == pair_sets[1]
+
+
+class TestExpiryBoundary:
+    """A task expiring exactly at ``now`` is *not* yet expired — the
+    deadline is inclusive everywhere (validity, session, engine, grid
+    pruning, simulator), pinned here."""
+
+    def test_task_predicate(self):
+        task = make_task(0, start=0.0, end=5.0)
+        assert not task.expired_at(5.0)
+        assert task.expired_at(math.nextafter(5.0, math.inf))
+
+    def test_validity_accepts_arrival_at_deadline(self):
+        # Worker arrives exactly at the deadline: distance 0.5, speed 0.1.
+        task = make_task(0, x=0.5, y=0.5, start=0.0, end=5.0)
+        worker = make_worker(0, x=0.0, y=0.5, velocity=0.1)
+        assert ValidityRule().effective_arrival(worker, task) == pytest.approx(5.0)
+
+    def test_engine_keeps_task_expiring_at_now(self):
+        engine = AssignmentEngine(solver=GreedySolver())
+        engine.add_task(make_task(0, start=0.0, end=5.0))
+        engine.add_task(make_task(1, start=0.0, end=4.0))
+        assert engine.expire_tasks(5.0) == [1]
+        assert engine.num_tasks == 1
+        # The surviving task is still assignable by a worker arriving at
+        # exactly its deadline.
+        engine.add_worker(make_worker(0, x=0.0, y=0.5, velocity=0.1))
+        result = engine.epoch(5.0)
+        assert result.dispatch == {0: 0}
+
+    def test_session_matches_engine(self):
+        from repro.dynamic import CrowdsourcingSession
+
+        session = CrowdsourcingSession(solver=GreedySolver())
+        session.add_task(make_task(0, start=0.0, end=5.0))
+        assert session.expire_tasks(5.0) == []
+        assert session.expire_tasks(5.0 + 1e-12) == [0]
+
+    def test_simulator_record_matches(self):
+        record = TaskRecord(make_task(0, start=0.0, end=5.0))
+        assert record.open_at(5.0)
+        assert not record.open_at(math.nextafter(5.0, math.inf))

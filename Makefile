@@ -2,7 +2,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test benchsmoke bench-fastpath bench-incremental bench golden
+.PHONY: test benchsmoke bench-fastpath bench-incremental bench-warmstart docs-lint bench golden
 
 # Tier-1 verification (the command CI runs).
 test:
@@ -19,6 +19,14 @@ bench-fastpath:
 # Incremental-engine epochs vs full rebuilds; writes BENCH_incremental.json.
 bench-incremental:
 	$(PYTHON) -m pytest -q benchmarks/bench_incremental.py
+
+# Warm-start plan repair vs full solves; writes BENCH_warmstart.json.
+bench-warmstart:
+	$(PYTHON) -m pytest -q benchmarks/bench_warmstart.py
+
+# Docstring lint over the engine-era packages (CI runs this).
+docs-lint:
+	$(PYTHON) tools/docs_lint.py src/repro/engine src/repro/solvers
 
 # Full figure-regeneration benchmark suite (slow).
 bench:

@@ -57,14 +57,53 @@ class GreedySolver(Solver):
 
     def solve(self, problem: RdbscProblem, rng: RngLike = None) -> SolverResult:
         evaluator = IncrementalEvaluator(problem)
-        self._log_weights: Optional[Dict[int, float]] = (
-            {w.worker_id: w.log_confidence_weight for w in problem.workers}
-            if self.backend == "numpy"
-            else None
-        )
         unassigned = sorted(
             w.worker_id for w in problem.workers if problem.degree(w.worker_id) > 0
         )
+        stats = self.run_rounds(problem, evaluator, unassigned)
+        return SolverResult(
+            assignment=evaluator.assignment,
+            objective=evaluator.value(),
+            stats=stats,
+        )
+
+    def run_rounds(
+        self,
+        problem: RdbscProblem,
+        evaluator: IncrementalEvaluator,
+        unassigned: List[int],
+        log_weights: Optional[Dict[int, float]] = None,
+    ) -> Dict[str, float]:
+        """Run greedy rounds until ``unassigned`` drains (or no pairs remain).
+
+        The core of :meth:`solve`, factored out so callers can start from a
+        *partially filled* evaluator — the warm-start solver
+        (:class:`repro.solvers.incremental.WarmStartGreedySolver`) seeds the
+        evaluator with the repaired previous plan and passes only the dirty
+        workers here.  ``unassigned`` is consumed in place; each round
+        commits one (task, worker) pair into ``evaluator``.
+
+        Args:
+            problem: the instance being solved.
+            evaluator: incremental objective state; may already hold
+                assignments (they are treated exactly like committed rounds).
+            unassigned: worker ids still to place, each with degree > 0.
+            log_weights: optional ``{worker_id: -ln(1 - p_j)}`` map for the
+                numpy backend (e.g. gathered from packed slot slabs); built
+                on the fly from the worker objects when omitted.
+
+        Returns:
+            The solver stats dict (rounds, exact evaluations, pruned count).
+        """
+        if self.backend == "numpy":
+            if log_weights is None:
+                log_weights = {
+                    worker_id: problem.workers_by_id[worker_id].log_confidence_weight
+                    for worker_id in unassigned
+                }
+            self._log_weights: Optional[Dict[int, float]] = log_weights
+        else:
+            self._log_weights = None
         # Per-(task, worker) caches, invalidated per task on assignment;
         # pair profiles are memoised by the problem itself.  Bounds and
         # exact deltas both depend only on the task's current worker set,
@@ -103,15 +142,11 @@ class GreedySolver(Solver):
             bounds_cache.pop(task_id, None)
             rounds += 1
 
-        return SolverResult(
-            assignment=evaluator.assignment,
-            objective=evaluator.value(),
-            stats={
-                "rounds": float(rounds),
-                "exact_delta_evaluations": float(exact_evaluations),
-                "pruned_candidates": float(pruned),
-            },
-        )
+        return {
+            "rounds": float(rounds),
+            "exact_delta_evaluations": float(exact_evaluations),
+            "pruned_candidates": float(pruned),
+        }
 
     # ------------------------------------------------------------------ #
 

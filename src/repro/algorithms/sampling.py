@@ -71,12 +71,36 @@ class SamplingSolver(Solver):
     def solve(self, problem: RdbscProblem, rng: RngLike = None) -> SolverResult:
         generator = make_rng(rng)
         k = self.resolve_sample_count(problem)
+        samples, scores = self.draw_scored_samples(problem, generator, k)
+        if not samples:
+            return self._finish(problem, Assignment(), {"samples": 0.0})
+        best = best_index_by_dominance(scores)
+        return self._finish(problem, samples[best], {"samples": float(k)})
+
+    def draw_scored_samples(
+        self,
+        problem: RdbscProblem,
+        generator,
+        count: int,
+    ) -> Tuple[List[Assignment], List[Tuple[float, float]]]:
+        """Draw and score ``count`` samples from the Section 5.1 population.
+
+        The drawing loop of :meth:`solve`, factored out so warm-start
+        callers (:class:`repro.solvers.incremental.WarmStartSamplingSolver`)
+        consume the *same* RNG stream as a full solve: for equal generator
+        state, sample ``i`` here is bit-identical to sample ``i`` of
+        :meth:`solve` on either backend.
+
+        Returns:
+            ``(samples, scores)`` where ``scores[i]`` is sample ``i``'s
+            (min reliability, total E[STD]) pair.
+        """
         table: Optional[CandidateTable] = (
             CandidateTable.from_problem(problem) if self.backend == "numpy" else None
         )
         samples: List[Assignment] = []
         scores: List[Tuple[float, float]] = []
-        for _ in range(k):
+        for _ in range(count):
             if table is not None:
                 assignment = draw_random_assignment_batch(table, generator)
             else:
@@ -84,7 +108,4 @@ class SamplingSolver(Solver):
             value = evaluate_assignment(problem, assignment)
             samples.append(assignment)
             scores.append((value.min_reliability, value.total_std))
-        if not samples:
-            return self._finish(problem, Assignment(), {"samples": 0.0})
-        best = best_index_by_dominance(scores)
-        return self._finish(problem, samples[best], {"samples": float(k)})
+        return samples, scores

@@ -83,6 +83,12 @@ class CrowdsourcingSession:
             index probes dirty candidate cell pairs during ``reassign``
             retrieval (and is forwarded when rebuilding the sub-instance).
             Both backends yield the same pairs and the same assignments.
+        solve_mode: ``"full"`` re-solves each ``reassign`` from scratch;
+            ``"warm"`` lets quiet intervals repair the previous plan
+            through :mod:`repro.solvers.incremental` (GREEDY/SAMPLING
+            only; other solvers always solve in full).
+        warm_churn_threshold: churn fraction above which a warm-mode
+            ``reassign`` falls back to a full solve.
     """
 
     def __init__(
@@ -92,9 +98,17 @@ class CrowdsourcingSession:
         validity: Optional[ValidityRule] = None,
         rng: RngLike = None,
         backend: str = "python",
+        solve_mode: str = "full",
+        warm_churn_threshold: float = 0.25,
     ) -> None:
         self.engine = AssignmentEngine(
-            solver=solver, eta=eta, validity=validity, rng=rng, backend=backend
+            solver=solver,
+            eta=eta,
+            validity=validity,
+            rng=rng,
+            backend=backend,
+            solve_mode=solve_mode,
+            warm_churn_threshold=warm_churn_threshold,
         )
         self.stats = SessionStats()
 

@@ -11,9 +11,13 @@ not O(m * n) rebuilds.  This package is that machinery:
 ``engine``
     :class:`AssignmentEngine` — keeps the grid index's persistent pair
     cache and the slot-stable packed slabs current per event, solves per
-    epoch, and pins committed contributions as virtual workers.
+    epoch (cold, or by repairing the previous plan via
+    :mod:`repro.solvers.incremental` when ``solve_mode="warm"`` and the
+    inter-epoch churn is small), and pins committed contributions as
+    virtual workers.
 ``metrics``
-    Per-epoch records and lifetime counters (cache hit rate, epoch cost).
+    Per-epoch records and lifetime counters (cache hit rate, epoch cost,
+    warm/full solve split).
 
 :class:`repro.dynamic.CrowdsourcingSession` (the library façade) and
 :class:`repro.platform_sim.simulator.PlatformSimulator` (the Figure 18

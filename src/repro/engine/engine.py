@@ -18,6 +18,17 @@ configured solver.  A retrieval after a small delta therefore costs
 O(delta), not O(m * n); the results are bit-identical to a from-scratch
 rebuild (``tests/test_engine_churn.py`` pins this on both backends).
 
+Solving itself is delta-aware too: with ``solve_mode="warm"`` the engine
+tracks the churn between consecutive epochs in an
+:class:`repro.solvers.incremental.EpochDelta` and, when the churn
+fraction stays at or under ``warm_churn_threshold``, repairs the previous
+epoch's plan through the warm-start solvers
+(:mod:`repro.solvers.incremental`) instead of re-solving from scratch —
+dropping entries on dead or invalidated pairs and re-scoring only workers
+whose candidate sets changed.  Epochs past the threshold (and the first
+epoch, and any solver without a warm variant) fall back to a full solve;
+each :class:`~repro.engine.metrics.EpochRecord` notes which path ran.
+
 Platform concerns plug in through ``epoch`` keywords: committed
 contributions are pinned as degree-one *virtual workers* (Figure 10's
 ``A`` / ``S_c``), and ``forbidden`` pairs (a user is never pushed the
@@ -46,6 +57,13 @@ from repro.core.worker import MovingWorker
 from repro.engine import events as ev
 from repro.engine.metrics import EngineMetrics, EpochRecord
 from repro.fastpath.arrays import TaskSlots, WorkerSlots
+from repro.solvers.incremental import (
+    EpochDelta,
+    PreviousPlan,
+    WarmStartGreedySolver,
+    candidate_signatures,
+    warm_variant,
+)
 from repro.geometry.angles import AngleInterval
 from repro.geometry.points import Point
 from repro.index.grid import RdbscGrid
@@ -95,6 +113,8 @@ class EpochResult:
         num_tasks / num_workers / num_pairs: size of the solved
             sub-instance.
         expired: task ids retired by this epoch's expiry sweep.
+        mode: ``"full"`` when the solver ran cold, ``"warm"`` when the
+            previous epoch's plan was repaired instead.
     """
 
     now: float
@@ -105,6 +125,7 @@ class EpochResult:
     num_workers: int
     num_pairs: int
     expired: Tuple[int, ...]
+    mode: str = "full"
 
 
 class AssignmentEngine:
@@ -126,6 +147,20 @@ class AssignmentEngine:
             platform's semantics — an idle worker starts moving when
             dispatched, not when it registered).  Re-anchoring flows
             through the same in-place update path as external updates.
+            With a waiting-enabled validity rule the sweep is delta-cheap:
+            a stale worker with no valid pairs is skipped, because pushing
+            its departure later can only shrink its (already empty) reach
+            — so only workers whose pairs could actually change pay the
+            update (and dirty their cell's pair-cache entries).
+        solve_mode: ``"full"`` re-solves every epoch from scratch (the
+            paper-faithful default); ``"warm"`` repairs the previous
+            epoch's plan via :mod:`repro.solvers.incremental` whenever the
+            inter-epoch churn fraction is at most ``warm_churn_threshold``
+            and the solver has a warm variant, falling back to a full
+            solve otherwise.
+        warm_churn_threshold: largest churn fraction (distinct churned
+            entities over the previous epoch's live population) still
+            repaired in warm mode; epochs strictly above it solve in full.
     """
 
     def __init__(
@@ -137,14 +172,22 @@ class AssignmentEngine:
         backend: str = "python",
         use_index: bool = True,
         reanchor_on_epoch: bool = False,
+        solve_mode: str = "full",
+        warm_churn_threshold: float = 0.25,
     ) -> None:
         if backend not in ("python", "numpy"):
             raise ValueError(f"unknown backend {backend!r}")
+        if solve_mode not in ("full", "warm"):
+            raise ValueError(f"unknown solve_mode {solve_mode!r}")
+        if warm_churn_threshold < 0.0:
+            raise ValueError("warm_churn_threshold must be non-negative")
         self.solver = solver if solver is not None else SamplingSolver(num_samples=40)
         self.validity = validity if validity is not None else ValidityRule()
         self.backend = backend
         self.use_index = use_index
         self.reanchor_on_epoch = reanchor_on_epoch
+        self.solve_mode = solve_mode
+        self.warm_churn_threshold = warm_churn_threshold
         self.rng = rng
         self.grid = RdbscGrid(eta, self.validity, backend=backend)
         self.worker_slots = WorkerSlots()
@@ -153,6 +196,12 @@ class AssignmentEngine:
         self._tasks: Dict[int, SpatialTask] = {}
         self._workers: Dict[int, MovingWorker] = {}
         self._assignment = Assignment()
+        self._delta = EpochDelta()
+        self._plan: Optional[PreviousPlan] = None
+        # Cache of warm_variant(self.solver), keyed by solver identity so a
+        # swapped-in solver re-resolves and a stateful warm wrapper
+        # persists across epochs.
+        self._warm_cache: Tuple[Optional[Solver], Optional[object]] = (None, None)
 
     # ------------------------------------------------------------------ #
     # State access
@@ -160,10 +209,12 @@ class AssignmentEngine:
 
     @property
     def num_tasks(self) -> int:
+        """Number of live (registered, unexpired) tasks."""
         return len(self._tasks)
 
     @property
     def num_workers(self) -> int:
+        """Number of live registered workers."""
         return len(self._workers)
 
     @property
@@ -182,9 +233,11 @@ class AssignmentEngine:
         return self._assignment
 
     def assignment_of(self, worker_id: int) -> Optional[int]:
+        """The task the worker holds in the live assignment, if any."""
         return self._assignment.task_of(worker_id)
 
     def workers_on(self, task_id: int):
+        """Ids of the workers the live assignment gives a task."""
         return self._assignment.workers_for(task_id)
 
     # ------------------------------------------------------------------ #
@@ -198,6 +251,7 @@ class AssignmentEngine:
         self._tasks[task.task_id] = task
         self.grid.insert_task(task)
         self.task_slots.add(task)
+        self._delta.tasks_arrived.add(task.task_id)
         self.metrics.count_event("task_arrive")
 
     def withdraw_task(self, task_id: int) -> SpatialTask:
@@ -207,6 +261,7 @@ class AssignmentEngine:
         self.task_slots.remove(task_id)
         for worker_id in list(self._assignment.workers_for(task_id)):
             self._assignment.unassign(worker_id)
+        self._delta.tasks_removed.add(task_id)
         self.metrics.count_event("task_withdraw")
         return task
 
@@ -231,6 +286,7 @@ class AssignmentEngine:
         self._workers[worker.worker_id] = worker
         self.grid.insert_worker(worker)
         self.worker_slots.add(worker)
+        self._delta.workers_arrived.add(worker.worker_id)
         self.metrics.count_event("worker_arrive")
 
     def remove_worker(self, worker_id: int) -> MovingWorker:
@@ -240,6 +296,7 @@ class AssignmentEngine:
         self.worker_slots.remove(worker_id)
         if self._assignment.is_assigned(worker_id):
             self._assignment.unassign(worker_id)
+        self._delta.workers_left.add(worker_id)
         self.metrics.count_event("worker_leave")
         return worker
 
@@ -255,6 +312,7 @@ class AssignmentEngine:
         self._workers[worker.worker_id] = worker
         self.grid.update_worker(worker)
         self.worker_slots.update(worker)
+        self._delta.workers_updated.add(worker.worker_id)
         self.metrics.count_event("worker_update")
 
     # ------------------------------------------------------------------ #
@@ -370,6 +428,88 @@ class AssignmentEngine:
         )
         return problem, virtual_ids
 
+    def _reanchor_workers(self, now: float) -> None:
+        """Re-anchor live workers to depart *now*, skipping provable no-ops.
+
+        A worker whose departure already equals ``now`` is untouched.  With
+        a waiting-enabled validity rule (the platform's), a worker with an
+        *earlier* stale departure and **no valid pairs** is also skipped:
+        a later departure only pushes arrivals later, so its empty reach
+        stays empty and no solver-visible state can differ — while the
+        skip saves an update that would dirty its whole cell's pair-cache
+        entries.  Strict-arrival validity gets no skip (a later departure
+        can turn a too-early arrival valid), and a worker anchored in the
+        *future* is always pulled back to ``now``.
+        """
+        stale = [w for w in self._workers.values() if w.depart_time != now]
+        if not stale:
+            return
+        can_skip = self.validity.allow_waiting
+        with_pairs: Set[int] = (
+            {pair.worker_id for pair in self.current_pairs()} if can_skip else set()
+        )
+        for worker in stale:
+            if (
+                can_skip
+                and worker.depart_time < now
+                and worker.worker_id not in with_pairs
+            ):
+                self.metrics.reanchors_skipped += 1
+                continue
+            self.update_worker(worker.moved_to(worker.location, now))
+
+    def _warm_solver(self):
+        """The cached warm variant of the current solver (None if none).
+
+        Cached by solver identity: swapping ``self.solver`` re-resolves,
+        while a stable solver keeps one wrapper across epochs (so a
+        stateful warm wrapper is not silently re-created per epoch).
+        """
+        cached_solver, cached_variant = self._warm_cache
+        if cached_solver is not self.solver:
+            cached_variant = warm_variant(self.solver)
+            self._warm_cache = (self.solver, cached_variant)
+        return cached_variant
+
+    def _choose_mode(self) -> str:
+        """Warm repair or full solve for the upcoming epoch.
+
+        Warm requires: warm mode enabled, a solver with a warm variant, a
+        previous plan to repair, and the inter-epoch churn fraction at or
+        below ``warm_churn_threshold`` (`tests/test_warmstart.py` pins the
+        boundary: a delta exactly at the cutoff repairs, one entity above
+        it solves in full).
+        """
+        if self.solve_mode != "warm" or self._plan is None:
+            return "full"
+        if self._warm_solver() is None:
+            return "full"
+        fraction = self._delta.churn_fraction(self._plan.population)
+        return "warm" if fraction <= self.warm_churn_threshold else "full"
+
+    def _warm_log_weights(
+        self, problem: RdbscProblem, virtual_ids: Set[int]
+    ) -> Optional[Dict[int, float]]:
+        """Eq. 8 weight map for a warm greedy solve (numpy backend only).
+
+        Real workers are gathered straight off the slot slab in one
+        vectorised read (:func:`repro.fastpath.kernels.slots_log_weights`);
+        per-epoch virtual workers are not slab-resident and fall back to
+        their scalar property.
+        """
+        if self.backend != "numpy":
+            return None
+        from repro.fastpath.kernels import slots_log_weights
+
+        weights = slots_log_weights(
+            self.worker_slots, [w.worker_id for w in problem.workers]
+        )
+        for virtual_id in virtual_ids:
+            weights[virtual_id] = problem.workers_by_id[
+                virtual_id
+            ].log_confidence_weight
+        return weights
+
     def epoch(
         self,
         now: float = 0.0,
@@ -380,19 +520,48 @@ class AssignmentEngine:
 
         The stored live assignment is replaced wholesale; committed work
         that must be honoured across epochs is expressed via ``pinned``
-        (the platform simulator does), not by partial re-solves.
+        (the platform simulator does), not by partial re-solves.  In
+        ``solve_mode="warm"``, sufficiently quiet intervals are solved by
+        repairing the previous epoch's plan instead (see
+        :mod:`repro.solvers.incremental`); ``EpochResult.mode`` and the
+        recorded :class:`~repro.engine.metrics.EpochRecord` say which path
+        ran.
         """
         started = time.perf_counter()
-        if self.reanchor_on_epoch:
-            for worker in list(self._workers.values()):
-                if worker.depart_time != now:
-                    self.update_worker(worker.moved_to(worker.location, now))
-        expired = self.expire_tasks(now)
         hits_before = self.grid.stats["pair_cache_hits"]
         misses_before = self.grid.stats["pair_cache_misses"]
+        expired = self.expire_tasks(now)
+        if self.reanchor_on_epoch:
+            self._reanchor_workers(now)
+        mode = self._choose_mode()
         problem, virtual_ids = self.build_problem(pinned, forbidden)
+        warm = self._warm_solver() if self.solve_mode == "warm" else None
         solve_started = time.perf_counter()
-        result = self.solver.solve(problem, rng=self.rng)
+        # One signature pass per warm-capable epoch, inside the solve timer
+        # (it is genuine warm-mode work): shared between the warm solver's
+        # dirty diff and the plan stored for the next epoch.
+        signatures = (
+            candidate_signatures(problem, frozenset(virtual_ids))
+            if warm is not None
+            else None
+        )
+        if mode == "warm":
+            assert warm is not None and self._plan is not None
+            log_weights = (
+                self._warm_log_weights(problem, virtual_ids)
+                if isinstance(warm, WarmStartGreedySolver)
+                else None
+            )
+            result = warm.warm_solve(
+                problem,
+                self._plan,
+                forced_dirty=frozenset(self._delta.touched_workers()),
+                rng=self.rng,
+                log_weights=log_weights,
+                signatures=signatures,
+            )
+        else:
+            result = self.solver.solve(problem, rng=self.rng)
         solve_seconds = time.perf_counter() - solve_started
         dispatch: Dict[int, int] = {}
         live = Assignment()
@@ -401,6 +570,16 @@ class AssignmentEngine:
                 dispatch[worker_id] = task_id
                 live.assign(task_id, worker_id)
         self._assignment = live
+        if warm is not None:
+            assert signatures is not None
+            self._plan = PreviousPlan(
+                assignment=live.copy(),
+                signatures=signatures,
+                population=problem.num_tasks
+                + problem.num_workers
+                - len(virtual_ids),
+            )
+        self._delta.clear()
         record = EpochRecord(
             now=now,
             num_tasks=problem.num_tasks,
@@ -411,6 +590,7 @@ class AssignmentEngine:
             cache_misses=self.grid.stats["pair_cache_misses"] - misses_before,
             objective=result.objective,
             seconds=time.perf_counter() - started,
+            mode=mode,
         )
         self.metrics.record_epoch(record, solve_seconds)
         return EpochResult(
@@ -422,6 +602,7 @@ class AssignmentEngine:
             num_workers=problem.num_workers,
             num_pairs=problem.num_pairs,
             expired=tuple(expired),
+            mode=mode,
         )
 
     def evaluate_current(self) -> ObjectiveValue:
@@ -456,8 +637,10 @@ class EngineSnapshot:
 
     @property
     def num_tasks(self) -> int:
+        """Number of tasks captured in the snapshot."""
         return len(self.tasks)
 
     @property
     def num_workers(self) -> int:
+        """Number of workers captured in the snapshot."""
         return len(self.workers)

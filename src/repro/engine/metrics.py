@@ -30,6 +30,9 @@ class EpochRecord:
         objective: the solver's (min reliability, total E[STD]) outcome.
         seconds: wall-clock cost of the whole epoch (expiry + retrieval +
             problem build + solve).
+        mode: ``"full"`` for a cold solve, ``"warm"`` when the epoch
+            repaired the previous plan (see
+            :mod:`repro.solvers.incremental`).
     """
 
     now: float
@@ -41,6 +44,7 @@ class EpochRecord:
     cache_misses: int
     objective: ObjectiveValue
     seconds: float
+    mode: str = "full"
 
 
 @dataclass
@@ -49,6 +53,12 @@ class EngineMetrics:
 
     events: Dict[str, int] = field(default_factory=dict)
     epochs: int = 0
+    #: Epochs solved cold / by warm repair (see ``EpochRecord.mode``).
+    full_solves: int = 0
+    warm_solves: int = 0
+    #: Re-anchor sweeps skipped because the worker's empty reach could not
+    #: change (the delta-cheap ``reanchor_on_epoch`` path).
+    reanchors_skipped: int = 0
     tasks_expired: int = 0
     pairs_retrieved: int = 0
     solve_seconds: float = 0.0
@@ -56,10 +66,16 @@ class EngineMetrics:
     history: List[EpochRecord] = field(default_factory=list)
 
     def count_event(self, kind: str) -> None:
+        """Increment the lifetime counter for one event kind."""
         self.events[kind] = self.events.get(kind, 0) + 1
 
     def record_epoch(self, record: EpochRecord, solve_seconds: float) -> None:
+        """Append one epoch's record and fold it into the lifetime totals."""
         self.epochs += 1
+        if record.mode == "warm":
+            self.warm_solves += 1
+        else:
+            self.full_solves += 1
         self.tasks_expired += record.expired
         self.pairs_retrieved += record.num_pairs
         self.solve_seconds += solve_seconds
@@ -68,6 +84,7 @@ class EngineMetrics:
 
     @property
     def events_processed(self) -> int:
+        """Total churn events applied over the engine's lifetime."""
         return sum(self.events.values())
 
     def cache_hit_rate(self) -> float:

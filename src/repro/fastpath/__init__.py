@@ -30,6 +30,7 @@ from repro.fastpath.kernels import (
     batch_effective_arrival,
     batch_valid_pairs,
     lemma43_prune_order,
+    slots_log_weights,
     slots_valid_pairs,
 )
 
@@ -43,5 +44,6 @@ __all__ = [
     "batch_effective_arrival",
     "batch_valid_pairs",
     "lemma43_prune_order",
+    "slots_log_weights",
     "slots_valid_pairs",
 ]

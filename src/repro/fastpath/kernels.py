@@ -25,7 +25,7 @@ larger) invalid majority is skipped.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -359,3 +359,26 @@ def lemma43_prune_order(
     )
     threat = np.maximum(prev_max[group_id], others_best)
     return order[threat <= ub]
+
+
+def slots_log_weights(worker_slots, worker_ids: Sequence[int]) -> Dict[int, float]:
+    """Gather Eq. 8 log-confidence weights for live workers from the slab.
+
+    The warm-start greedy path re-scores only the dirty workers, so the
+    engine hands the round loop a weight map covering exactly those ids —
+    gathered here as one fancy-indexed read of the slot slab's
+    ``log_weights`` column (written in place per churn event, so the
+    values are bit-identical to the workers' own scalar properties)
+    instead of touching the worker objects.  Ids without a live slot
+    (e.g. per-epoch virtual workers, which are never slab-resident) are
+    skipped; the caller fills them from the scalar path.
+    """
+    slot_of = worker_slots.slot_of
+    ids = [worker_id for worker_id in worker_ids if worker_id in slot_of]
+    if not ids:
+        return {}
+    slots = np.fromiter(
+        (slot_of[worker_id] for worker_id in ids), dtype=np.intp, count=len(ids)
+    )
+    weights = worker_slots.log_weights[slots]
+    return dict(zip(ids, weights.tolist()))

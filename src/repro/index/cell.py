@@ -85,21 +85,25 @@ class GridCell:
     # ------------------------------------------------------------------ #
 
     def add_task(self, task: SpatialTask) -> None:
+        """Place a task in the cell, widening the deadline aggregates."""
         self.tasks[task.task_id] = task
         self._e_max = max(self._e_max, task.end)
         self._s_min = min(self._s_min, task.start)
 
     def remove_task(self, task_id: int) -> SpatialTask:
+        """Remove a resident task; aggregates go lazily stale."""
         task = self.tasks.pop(task_id)
         self._aggregates_stale = True
         return task
 
     def add_worker(self, worker: MovingWorker) -> None:
+        """Place a worker in the cell, widening speed/cone aggregates."""
         self.workers[worker.worker_id] = worker
         self._v_max = max(self._v_max, worker.velocity)
         self._cone_union = _widen(self._cone_union, worker.cone)
 
     def remove_worker(self, worker_id: int) -> MovingWorker:
+        """Remove a resident worker; aggregates go lazily stale."""
         worker = self.workers.pop(worker_id)
         self._aggregates_stale = True
         return worker
@@ -117,6 +121,7 @@ class GridCell:
 
     @property
     def is_empty(self) -> bool:
+        """Whether the cell holds no tasks and no workers."""
         return not self.tasks and not self.workers
 
     # ------------------------------------------------------------------ #

@@ -30,6 +30,10 @@ from repro.geometry.angles import bearing, enclosing_interval
 from repro.geometry.points import Point
 from repro.index.cell import GridCell
 
+#: Smallest cached ``tcell_list`` considered for compaction — rebuilding
+#: shorter lists costs more than the handful of dead probes they can hold.
+COMPACT_MIN_MEMBERS = 4
+
 
 def retrieve_pairs_without_index(
     tasks: Sequence[SpatialTask],
@@ -67,6 +71,12 @@ class RdbscGrid:
             counts whole batches instead of stopping at the first hit
             during exact confirmation, and retrieved pairs come out
             task-major within a batch).
+        compact_stale_ratio: superset ``tcell_list`` maintenance never
+            shrinks a cached list, so week-long churn accumulates members
+            that only ever yield dead probes; when the fraction of such
+            members reaches this ratio (and the list has at least
+            ``COMPACT_MIN_MEMBERS`` members) the list is rebuilt tight at
+            the next retrieval.  ``None`` disables compaction.
     """
 
     def __init__(
@@ -75,15 +85,22 @@ class RdbscGrid:
         validity: Optional[ValidityRule] = None,
         exact_confirm: bool = True,
         backend: str = "python",
+        compact_stale_ratio: Optional[float] = 0.5,
     ) -> None:
         if not 0.0 < eta <= 1.0:
             raise ValueError(f"eta must be in (0, 1], got {eta}")
         if backend not in ("python", "numpy"):
             raise ValueError(f"unknown backend {backend!r}")
+        if compact_stale_ratio is not None and not 0.0 < compact_stale_ratio <= 1.0:
+            raise ValueError(
+                f"compact_stale_ratio must be in (0, 1] or None, "
+                f"got {compact_stale_ratio}"
+            )
         self.eta = eta
         self.validity = validity if validity is not None else ValidityRule()
         self.exact_confirm = exact_confirm
         self.backend = backend
+        self.compact_stale_ratio = compact_stale_ratio
         self.n_cols = max(1, math.ceil(1.0 / eta))
         self._cells: Dict[int, GridCell] = {}
         self._task_cell: Dict[int, int] = {}
@@ -107,6 +124,8 @@ class RdbscGrid:
             "pair_checks": 0,
             "pair_cache_hits": 0,
             "pair_cache_misses": 0,
+            "tcell_compactions": 0,
+            "tcell_members_dropped": 0,
         }
 
     # ------------------------------------------------------------------ #
@@ -143,6 +162,7 @@ class RdbscGrid:
 
     @property
     def num_cells(self) -> int:
+        """Count of currently materialised (non-empty) cells."""
         return len(self._cells)
 
     # ------------------------------------------------------------------ #
@@ -435,6 +455,59 @@ class RdbscGrid:
                 built += 1
         return built
 
+    def _stale_members(self, cell_id: int, members: Set[int]) -> int:
+        """How many of a cached list's members a tight rebuild would drop.
+
+        A member is stale when its target cell no longer exists or holds
+        no tasks any more — superset maintenance keeps both around
+        forever.  A member whose cached probe came back empty counts only
+        under ``exact_confirm``: that is what a tight rebuild confirms
+        away; without exact confirmation the rebuild would re-admit the
+        member (it has tasks and passes cell pruning), so counting it
+        would make compaction fire on every retrieval and never shrink
+        anything.
+        """
+        stale = 0
+        for target_id in members:
+            target = self._cells.get(target_id)
+            if target is None or not target.tasks:
+                stale += 1
+            elif (
+                self.exact_confirm
+                and self._pair_cache.get((cell_id, target_id)) == []
+            ):
+                stale += 1
+        return stale
+
+    def _maybe_compact_tcell(self, worker_cell: GridCell) -> Set[int]:
+        """Rebuild a worker cell's superset list tight when it goes stale.
+
+        Called per retrieval with the cached list; when the stale-member
+        ratio reaches ``compact_stale_ratio`` the list is rebuilt from the
+        cell-level pruning (exactly like a fresh lazy build), reverse
+        references and cached pair entries of dropped members are
+        discarded, and kept members retain their cached probes.  Returns
+        the (possibly rebuilt) list to iterate.
+        """
+        members = self.tcell_list(worker_cell)
+        ratio = self.compact_stale_ratio
+        if ratio is None or len(members) < COMPACT_MIN_MEMBERS:
+            return members
+        cell_id = worker_cell.cell_id
+        stale = self._stale_members(cell_id, members)
+        if stale < ratio * len(members):
+            return members
+        del self._tcell[cell_id]
+        rebuilt = self.tcell_list(worker_cell)
+        for target_id in members - rebuilt:
+            refs = self._rtcell.get(target_id)
+            if refs is not None:
+                refs.discard(cell_id)
+            self._pair_cache.pop((cell_id, target_id), None)
+        self.stats["tcell_compactions"] += 1
+        self.stats["tcell_members_dropped"] += len(members) - len(rebuilt)
+        return rebuilt
+
     def valid_pairs(self) -> List[ValidPair]:
         """Index-assisted valid-pair retrieval (Figure 17(b) with index).
 
@@ -444,7 +517,10 @@ class RdbscGrid:
         affected entries, so a retrieval after a small delta re-probes only
         the dirty entries and streams the rest from the cache.  The
         returned pair set is identical to a from-scratch retrieval on a
-        freshly built grid — in both backends.
+        freshly built grid — in both backends.  Superset lists whose
+        stale-member ratio crossed ``compact_stale_ratio`` are rebuilt
+        tight on the way (see :meth:`_maybe_compact_tcell`), so week-long
+        churn does not accumulate dead probes.
 
         With ``backend="numpy"`` each dirty entry is probed by one batched
         kernel call instead of a scalar double loop; pairs are identical
@@ -454,7 +530,7 @@ class RdbscGrid:
         for worker_cell in list(self._cells.values()):
             if not worker_cell.workers:
                 continue
-            for target_id in sorted(self.tcell_list(worker_cell)):
+            for target_id in sorted(self._maybe_compact_tcell(worker_cell)):
                 cached = self._pair_cache.get((worker_cell.cell_id, target_id))
                 if cached is not None:
                     self.stats["pair_cache_hits"] += 1

@@ -144,15 +144,27 @@ class PlatformSimulator:
         backend: forwarded to the :class:`AssignmentEngine` that owns the
             assignment state — ``"python"`` or ``"numpy"`` dirty-pair
             probing; identical dispatches either way.
+        solve_mode: forwarded to the engine — ``"warm"`` repairs the
+            previous epoch's plan during quiet update instants (see
+            :mod:`repro.solvers.incremental`); note that dispatches remove
+            workers from the engine and re-anchoring touches every worker
+            with live pairs, so deployments with few idle workers churn
+            fast and mostly fall back to full solves.
+        warm_churn_threshold: churn fraction above which a warm-mode
+            epoch falls back to a full solve.
     """
 
     def __init__(
         self,
         config: Optional[PlatformConfig] = None,
         backend: str = "python",
+        solve_mode: str = "full",
+        warm_churn_threshold: float = 0.25,
     ) -> None:
         self.config = config if config is not None else PlatformConfig()
         self.backend = backend
+        self.solve_mode = solve_mode
+        self.warm_churn_threshold = warm_churn_threshold
         #: Early arrivals wait at the site until the window opens, as human
         #: workers on the real platform do.
         self.validity = ValidityRule(allow_waiting=True)
@@ -226,6 +238,8 @@ class PlatformSimulator:
             rng=generator,
             backend=self.backend,
             reanchor_on_epoch=True,
+            solve_mode=self.solve_mode,
+            warm_churn_threshold=self.warm_churn_threshold,
         )
         queue = EventQueue()
         for task in self._spawn_schedule():

@@ -1,0 +1,43 @@
+"""Solver-side incrementality for the long-lived engine era.
+
+``repro.algorithms`` holds the paper-faithful *one-shot* solvers: each
+``solve`` call looks at a problem instance cold.  This package layers the
+operational counterpart on top — solvers that exploit what the previous
+epoch already computed:
+
+``incremental``
+    Warm-start variants of GREEDY and SAMPLING
+    (:class:`~repro.solvers.incremental.WarmStartGreedySolver`,
+    :class:`~repro.solvers.incremental.WarmStartSamplingSolver`): repair
+    the previous epoch's plan against the current valid-pair graph,
+    re-score only workers whose candidate sets changed, and fall back to a
+    full solve when the churn delta is too large for repair to pay off.
+
+The :class:`repro.engine.engine.AssignmentEngine` drives these through its
+``solve_mode="warm"`` epoch path; the classes also work standalone for
+callers that manage their own epochs.
+"""
+
+from repro.solvers.incremental import (
+    EpochDelta,
+    PreviousPlan,
+    WarmStartGreedySolver,
+    WarmStartSamplingSolver,
+    WarmStartSolver,
+    candidate_signatures,
+    dirty_workers,
+    repair_assignment,
+    warm_variant,
+)
+
+__all__ = [
+    "EpochDelta",
+    "PreviousPlan",
+    "WarmStartGreedySolver",
+    "WarmStartSamplingSolver",
+    "WarmStartSolver",
+    "candidate_signatures",
+    "dirty_workers",
+    "repair_assignment",
+    "warm_variant",
+]

@@ -1,6 +1,6 @@
 """Benchmark smoke suite: every ``benchmarks/bench_*.py`` must still run.
 
-The 22 figure/ablation benchmarks are pytest modules that are only
+The 25 figure/ablation benchmarks are pytest modules that are only
 executed by hand (``make benchsmoke`` / ``pytest benchmarks``), which
 historically lets them rot silently when an API they use changes.  This
 suite, selected with ``pytest -m benchsmoke``, does two things per bench
@@ -100,6 +100,17 @@ SMOKE_RUNNERS = {
         churn_workers=4,
         churn_tasks=2,
         eta=0.125,
+        write_json=False,
+    ),
+    "bench_warmstart": lambda m: m.run_warmstart_experiment(
+        num_tasks=10,
+        num_workers=40,
+        epochs=3,
+        churn_workers=2,
+        churn_tasks=1,
+        eta=0.125,
+        solvers=("greedy",),
+        backends=("python",),
         write_json=False,
     ),
     "bench_fig11_expiration": spec_runner("fig11_expiration_real"),

@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""Docstring lint for the engine-era packages (pydocstyle-equivalent).
+
+The container image has no ``pydocstyle``, so this is the dependency-free
+equivalent CI runs: an ``ast`` walk over the given directories enforcing
+the public-API documentation contract of ``repro.engine`` and
+``repro.solvers`` —
+
+* every module has a module docstring (D100),
+* every public class has a class docstring (D101),
+* every public function, method and property has a docstring (D102/D103),
+
+where *public* means the name has no leading underscore and is not a
+dunder (``__init__`` is exempt: constructor arguments are documented in
+the class docstring, as everywhere else in this repo), and an
+``@overload``/abstract stub with a docstring-bearing twin is not special
+cased because the codebase has none.  A function whose body is only
+``...``/``pass`` under ``if TYPE_CHECKING`` does not occur either.
+
+Usage::
+
+    python tools/docs_lint.py src/repro/engine src/repro/solvers
+
+Exits non-zero listing every violation as ``path:line: code name``.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+from typing import Iterator, List, Tuple
+
+Violation = Tuple[Path, int, str, str]
+
+
+def _is_public(name: str) -> bool:
+    if name.startswith("__") and name.endswith("__"):
+        return False
+    return not name.startswith("_")
+
+
+def _check_functions(
+    path: Path, parent: ast.AST, prefix: str
+) -> Iterator[Violation]:
+    for node in ast.iter_child_nodes(parent):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if not _is_public(node.name):
+                continue
+            # A property setter never needs its own docstring: the getter
+            # (which shares the name) carries the documentation.
+            if any(
+                isinstance(dec, ast.Attribute) and dec.attr == "setter"
+                for dec in node.decorator_list
+            ):
+                continue
+            if not ast.get_docstring(node):
+                code = "D102" if prefix else "D103"
+                yield (path, node.lineno, code, f"{prefix}{node.name}")
+        elif isinstance(node, ast.ClassDef):
+            if not _is_public(node.name):
+                continue
+            if not ast.get_docstring(node):
+                yield (path, node.lineno, "D101", node.name)
+            yield from _check_functions(path, node, f"{node.name}.")
+
+
+def lint_file(path: Path) -> List[Violation]:
+    """All docstring violations in one python file."""
+    tree = ast.parse(path.read_text(), filename=str(path))
+    violations: List[Violation] = []
+    if not ast.get_docstring(tree):
+        violations.append((path, 1, "D100", path.stem))
+    violations.extend(_check_functions(path, tree, ""))
+    return violations
+
+
+def lint_paths(paths: List[str]) -> List[Violation]:
+    """All violations under the given files or directory trees."""
+    violations: List[Violation] = []
+    for raw in paths:
+        root = Path(raw)
+        files = sorted(root.rglob("*.py")) if root.is_dir() else [root]
+        for file in files:
+            violations.extend(lint_file(file))
+    return violations
+
+
+def main(argv: List[str]) -> int:
+    """CLI entry point; returns the process exit code."""
+    targets = argv or ["src/repro/engine", "src/repro/solvers"]
+    violations = lint_paths(targets)
+    for path, line, code, name in violations:
+        print(f"{path}:{line}: {code} missing docstring: {name}")
+    if violations:
+        print(f"{len(violations)} docstring violation(s)")
+        return 1
+    print(f"docs lint clean: {', '.join(targets)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

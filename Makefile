@@ -2,7 +2,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test benchsmoke bench-fastpath bench-incremental bench-warmstart docs-lint bench golden
+.PHONY: test benchsmoke bench-fastpath bench-incremental bench-warmstart bench-sharding docs-lint bench golden
 
 # Tier-1 verification (the command CI runs).
 test:
@@ -24,9 +24,14 @@ bench-incremental:
 bench-warmstart:
 	$(PYTHON) -m pytest -q benchmarks/bench_warmstart.py
 
-# Docstring lint over the engine-era packages (CI runs this).
+# Sharded engine vs single-shard epochs; writes BENCH_sharding.json.
+bench-sharding:
+	$(PYTHON) -m pytest -q benchmarks/bench_sharding.py
+
+# Docstring lint: engine-era packages + benchmarks/ + examples/ (CI runs
+# this; the default target set lives in tools/docs_lint.py).
 docs-lint:
-	$(PYTHON) tools/docs_lint.py src/repro/engine src/repro/solvers
+	$(PYTHON) tools/docs_lint.py
 
 # Full figure-regeneration benchmark suite (slow).
 bench:

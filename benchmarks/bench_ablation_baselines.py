@@ -11,6 +11,7 @@ from repro.experiments.ablations import baseline_comparison, format_ablation
 
 
 def test_ablation_baselines(benchmark, show):
+    """Compare every solver against the RANDOM/MAX-TASK baselines."""
     rows = benchmark.pedantic(baseline_comparison, rounds=1, iterations=1)
     show(format_ablation(
         "Ablation — RDB-SC solvers vs MAX-TASK / RANDOM baselines",

@@ -9,6 +9,7 @@ from repro.experiments.ablations import format_ablation, gamma_ablation
 
 
 def test_ablation_gamma(benchmark, show):
+    """Sweep the D&C partition fan-out gamma and print the trade-off."""
     rows = benchmark.pedantic(gamma_ablation, rounds=1, iterations=1)
     show(format_ablation(
         "Ablation — D&C leaf threshold gamma", rows, extra_name="leaf solves",

@@ -15,6 +15,7 @@ from repro.datagen import ExperimentConfig, generate_problem
 
 
 def run_local_search_ablation(seeds=(1, 2, 3)):
+    """Score GREEDY/SAMPLING with and without the local-search refinement."""
     bases = [
         ("GREEDY", GreedySolver),
         ("SAMPLING", lambda: SamplingSolver(num_samples=40)),
@@ -49,6 +50,7 @@ def run_local_search_ablation(seeds=(1, 2, 3)):
 
 
 def test_ablation_local_search(benchmark, show):
+    """Local search must never worsen either objective."""
     rows = benchmark.pedantic(run_local_search_ablation, rounds=1, iterations=1)
 
     lines = [

@@ -10,6 +10,7 @@ from repro.experiments.ablations import format_ablation, pruning_ablation
 
 
 def test_ablation_pruning(benchmark, show):
+    """Lemma 4.3 pruning must cut exact evaluations without changing results."""
     rows = benchmark.pedantic(pruning_ablation, rounds=1, iterations=1)
     show(format_ablation(
         "Ablation — GREEDY bound pruning (Lemma 4.3)", rows,

@@ -9,6 +9,7 @@ from repro.experiments.ablations import format_ablation, sampling_budget_ablatio
 
 
 def test_ablation_sampling_budget(benchmark, show):
+    """Sweep the SAMPLING budget and print the quality/cost curve."""
     rows = benchmark.pedantic(sampling_budget_ablation, rounds=1, iterations=1)
     show(format_ablation(
         "Ablation — SAMPLING budget K", rows, extra_name="samples",

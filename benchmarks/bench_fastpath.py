@@ -160,6 +160,7 @@ def run_fastpath_experiment(
 
 
 def test_fastpath_speedup(benchmark, show):
+    """Record the numpy-vs-python retrieval speedup into BENCH_fastpath.json."""
     rows = benchmark.pedantic(run_fastpath_experiment, rounds=1, iterations=1)
 
     lines = [

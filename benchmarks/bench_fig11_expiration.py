@@ -11,6 +11,7 @@ from repro.experiments.reporting import format_figure
 
 
 def test_fig11_expiration_real(benchmark, show):
+    """Regenerate Figure 11: objectives vs task expiration time."""
     experiment = fig11_expiration_real()
     result = benchmark.pedantic(
         run_experiment, args=(experiment,), kwargs={"seeds": (1,)}, rounds=1, iterations=1

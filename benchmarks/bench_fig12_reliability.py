@@ -11,6 +11,7 @@ from repro.experiments.reporting import format_figure
 
 
 def test_fig12_reliability_real(benchmark, show):
+    """Regenerate Figure 12: objectives vs worker reliability."""
     experiment = fig12_reliability_real()
     result = benchmark.pedantic(
         run_experiment,

@@ -12,6 +12,7 @@ from repro.experiments.reporting import format_figure
 
 
 def test_fig13_tasks_uniform(benchmark, show):
+    """Regenerate Figure 13: objectives vs task count (uniform)."""
     experiment = fig13_tasks_uniform()
     result = benchmark.pedantic(
         run_experiment, args=(experiment,), kwargs={"seeds": (1,)}, rounds=1, iterations=1

@@ -12,6 +12,7 @@ from repro.experiments.reporting import format_figure
 
 
 def test_fig14_workers_uniform(benchmark, show):
+    """Regenerate Figure 14: objectives vs worker count (uniform)."""
     experiment = fig14_workers_uniform()
     result = benchmark.pedantic(
         run_experiment, args=(experiment,), kwargs={"seeds": (1,)}, rounds=1, iterations=1

@@ -11,6 +11,7 @@ from repro.experiments.reporting import format_figure
 
 
 def test_fig15_angles_uniform(benchmark, show):
+    """Regenerate Figure 15: objectives vs direction-cone width (uniform)."""
     experiment = fig15_angles_uniform()
     result = benchmark.pedantic(
         run_experiment, args=(experiment,), kwargs={"seeds": (1,)}, rounds=1, iterations=1

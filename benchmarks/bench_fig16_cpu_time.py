@@ -12,6 +12,7 @@ from repro.experiments.reporting import format_series
 
 
 def test_fig16_cpu_time(benchmark, show):
+    """Regenerate Figure 16: CPU time vs instance size."""
     vs_m, vs_n = fig16_cpu_time()
 
     def run_both():

@@ -9,6 +9,7 @@ from repro.experiments.figures import run_index_experiment
 
 
 def test_fig17_index(benchmark, show):
+    """Regenerate Figure 17: grid-index construction and retrieval cost."""
     rows = benchmark.pedantic(run_index_experiment, rounds=1, iterations=1)
 
     lines = [

@@ -10,6 +10,7 @@ from repro.experiments.figures import run_platform_experiment
 
 
 def test_fig18_platform(benchmark, show):
+    """Regenerate Figure 18: platform metrics vs the update interval."""
     rows = benchmark.pedantic(
         run_platform_experiment,
         kwargs={"t_intervals": (1.0, 2.0, 3.0, 4.0), "sim_minutes": 30.0},

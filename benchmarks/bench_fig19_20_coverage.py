@@ -12,6 +12,7 @@ from repro.experiments.figures import run_coverage_showcase
 
 
 def test_fig19_20_coverage(benchmark, show):
+    """Regenerate Figures 19/20: spatial/temporal coverage showcase."""
     reports = benchmark.pedantic(run_coverage_showcase, rounds=1, iterations=1)
 
     lines = [

@@ -11,6 +11,7 @@ from repro.experiments.reporting import format_figure
 
 
 def test_fig22_beta_real(benchmark, show):
+    """Regenerate Figure 22: objectives vs the beta diversity weight."""
     experiment = fig22_beta_real()
     result = benchmark.pedantic(
         run_experiment, args=(experiment,), kwargs={"seeds": (1,)}, rounds=1, iterations=1

@@ -11,6 +11,7 @@ from repro.experiments.reporting import format_figure
 
 
 def test_fig23_tasks_skewed(benchmark, show):
+    """Regenerate Figure 23: objectives vs task count (skewed)."""
     experiment = fig23_tasks_skewed()
     result = benchmark.pedantic(
         run_experiment, args=(experiment,), kwargs={"seeds": (1,)}, rounds=1, iterations=1

@@ -10,6 +10,7 @@ from repro.experiments.reporting import format_figure
 
 
 def test_fig24_workers_skewed(benchmark, show):
+    """Regenerate Figure 24: objectives vs worker count (skewed)."""
     experiment = fig24_workers_skewed()
     result = benchmark.pedantic(
         run_experiment, args=(experiment,), kwargs={"seeds": (1,)}, rounds=1, iterations=1

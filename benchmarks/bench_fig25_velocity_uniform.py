@@ -11,6 +11,7 @@ from repro.experiments.reporting import format_figure
 
 
 def test_fig25_velocity_uniform(benchmark, show):
+    """Regenerate Figure 25: objectives vs worker velocity (uniform)."""
     experiment = fig25_velocity_uniform()
     result = benchmark.pedantic(
         run_experiment, args=(experiment,), kwargs={"seeds": (1,)}, rounds=1, iterations=1

@@ -10,6 +10,7 @@ from repro.experiments.reporting import format_figure
 
 
 def test_fig26_velocity_skewed(benchmark, show):
+    """Regenerate Figure 26: objectives vs worker velocity (skewed)."""
     experiment = fig26_velocity_skewed()
     result = benchmark.pedantic(
         run_experiment, args=(experiment,), kwargs={"seeds": (1,)}, rounds=1, iterations=1

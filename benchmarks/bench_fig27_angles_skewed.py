@@ -11,6 +11,7 @@ from repro.experiments.reporting import format_figure
 
 
 def test_fig27_angles_skewed(benchmark, show):
+    """Regenerate Figure 27: objectives vs direction-cone width (skewed)."""
     experiment = fig27_angles_skewed()
     result = benchmark.pedantic(
         run_experiment, args=(experiment,), kwargs={"seeds": (1,)}, rounds=1, iterations=1

@@ -232,6 +232,7 @@ def run_incremental_experiment(
 
 
 def test_incremental_speedup(benchmark, show):
+    """Record the incremental-epoch speedup into BENCH_incremental.json."""
     rows = benchmark.pedantic(run_incremental_experiment, rounds=1, iterations=1)
 
     lines = [

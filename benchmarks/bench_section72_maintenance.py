@@ -15,6 +15,7 @@ from repro.index.grid import RdbscGrid
 
 
 def run_maintenance_experiment(n_ops: int = 150, seed: int = 3):
+    """Time a random stream of Section 7.2 index maintenance operations."""
     config = ExperimentConfig(
         num_tasks=400,
         num_workers=800,
@@ -65,6 +66,7 @@ def run_maintenance_experiment(n_ops: int = 150, seed: int = 3):
 
 
 def test_section72_maintenance(benchmark, show):
+    """Index maintenance must stay cheap relative to a full rebuild."""
     rows, rebuild_seconds, grid, problem = benchmark.pedantic(
         run_maintenance_experiment, rounds=1, iterations=1
     )

@@ -18,6 +18,7 @@ from repro.datagen.config import (
 
 
 def test_table2_defaults_and_generation(benchmark, show):
+    """Check the Table 2 defaults generate instances of the paper's shape."""
     paper = ExperimentConfig.paper_defaults()
     assert paper.num_tasks == 10_000
     assert paper.num_workers == 10_000

@@ -225,6 +225,7 @@ def run_warmstart_experiment(
 
 
 def test_warmstart_speedup(benchmark, show):
+    """Record the warm-start solve speedup into BENCH_warmstart.json."""
     rows = benchmark.pedantic(run_warmstart_experiment, rounds=1, iterations=1)
 
     lines = [

@@ -22,6 +22,7 @@ from repro.index.grid import RdbscGrid, retrieve_pairs_without_index
 
 
 def time_retrieval(tasks, workers, eta):
+    """Wall-clock one valid-pair retrieval at the given cell size."""
     grid = RdbscGrid.bulk_load(tasks, workers, eta)
     grid.build_all_tcell_lists()
     start = time.perf_counter()
@@ -30,6 +31,7 @@ def time_retrieval(tasks, workers, eta):
 
 
 def main() -> None:
+    """Compare cost-model eta suggestions against measured retrieval times."""
     config = ExperimentConfig(
         num_tasks=300,
         num_workers=600,

@@ -28,6 +28,7 @@ from repro.geometry.points import Point
 
 
 def build_scene(n_workers: int = 30, seed: int = 4):
+    """One landmark task plus photographers approaching from varied angles."""
     rng = np.random.default_rng(seed)
     landmark = SpatialTask(
         task_id=0,
@@ -66,6 +67,7 @@ def build_scene(n_workers: int = 30, seed: int = 4):
 
 
 def main() -> None:
+    """Solve the landmark scene and report the chosen photographers."""
     landmark, rivals, workers = build_scene()
     problem = RdbscProblem([landmark, *rivals], workers)
     print(f"{problem.num_pairs} of {len(workers)} tourists can reach the "

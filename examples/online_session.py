@@ -13,6 +13,7 @@ from repro.viz import render_instance, series_with_sparkline
 
 
 def main() -> None:
+    """Run a Poisson-churn session with periodic re-assignment."""
     config = StreamConfig(
         horizon=6.0,        # hours
         task_rate=8.0,      # tasks arriving per hour

@@ -25,6 +25,7 @@ from repro.index.grid import RdbscGrid
 
 
 def build_district(n_lots: int = 25, n_patrollers: int = 50, seed: int = 11):
+    """Parking lots and patrol workers for the patrol scenario."""
     rng = np.random.default_rng(seed)
     # Parking lots cluster around two commercial centres.
     centres = [(0.3, 0.35), (0.7, 0.65)]
@@ -61,6 +62,7 @@ def build_district(n_lots: int = 25, n_patrollers: int = 50, seed: int = 11):
 
 
 def main() -> None:
+    """Plan directionally/temporally diverse parking-lot patrols."""
     tasks, workers = build_district()
 
     # --- Index-driven pair retrieval (Section 7 + Appendix I) ----------

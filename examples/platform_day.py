@@ -13,6 +13,7 @@ from repro.platform_sim import PlatformConfig, PlatformSimulator, answer_accurac
 
 
 def main() -> None:
+    """Simulate one deployment day and print the Figure 18 metrics."""
     print("Simulated deployment: 10 workers, 5 sites, 15-minute task windows\n")
     print(f"{'t_interval':>10} | {'solver':>9} | {'min rel':>8} | "
           f"{'total_STD':>9} | {'answers':>7} | {'success':>7}")

@@ -24,6 +24,7 @@ from repro.datagen import average_degree
 
 
 def main() -> None:
+    """Solve one synthetic instance with every paper solver."""
     config = ExperimentConfig.scaled_defaults(num_tasks=40, num_workers=80)
     problem = generate_problem(config, seed=2026)
     print(f"Instance: {problem.num_tasks} tasks, {problem.num_workers} workers, "

@@ -1,0 +1,169 @@
+"""One churn stream, one shard vs four: identical plans, faster epochs.
+
+A movement-dominated workload — thousands of slow workers drip-feeding
+GPS position refreshes between re-planning instants, with a fringe of
+worker and task turnover — is replayed three times over the same typed
+event script: through the plain single-grid ``AssignmentEngine``
+(applying each event eagerly, as every pre-sharding driver did), and
+through ``ShardedAssignmentEngine`` at one and at four cell-block
+shards, whose routed buffers are applied per shard as per-cell-grouped
+batches at each epoch.  The script asserts every epoch's objective is
+bit-identical across all three, then prints the throughput table — the
+sharded engine's whole pitch in one screen: same plans, same numbers,
+several times the epochs per second.
+
+Run with ``PYTHONPATH=src python examples/sharded_session.py``.
+"""
+
+import dataclasses
+import math
+import time
+
+import numpy as np
+
+from repro.algorithms import GreedySolver
+from repro.datagen import ExperimentConfig, generate_tasks, generate_workers
+from repro.engine import (
+    AssignmentEngine,
+    ShardMap,
+    ShardedAssignmentEngine,
+    TaskArrive,
+    TaskWithdraw,
+    WorkerArrive,
+    WorkerLeave,
+    WorkerUpdate,
+)
+from repro.geometry.points import Point
+
+EPOCHS = 5
+MOVES_PER_EPOCH = 2000      # GPS pings between re-planning instants
+WORKER_TURNOVER = 50        # leave + arrive pairs per epoch
+TASK_TURNOVER = 5           # withdraw + post pairs per epoch
+
+
+def build_workload(seed=41):
+    """A local-reach fleet plus one shared typed-event churn script."""
+    config = ExperimentConfig(
+        num_tasks=50,
+        num_workers=3000,
+        start_time_range=(0.0, 0.5),
+        expiration_range=(0.5, 1.0),
+        velocity_range=(0.02, 0.06),   # slow workers: tight validity reach
+        angle_range_max=math.pi / 4.0,
+    )
+    rng = np.random.default_rng(seed)
+    tasks = list(generate_tasks(config, rng))
+    workers = list(generate_workers(config, rng))
+    spare_tasks = list(generate_tasks(config.with_updates(num_tasks=100), rng))
+    spare_workers = list(generate_workers(config.with_updates(num_workers=500), rng))
+    halo = ShardMap.halo_bound(tasks + spare_tasks, workers + spare_workers)
+
+    wpool, tpool = list(workers), list(tasks)
+    next_id = 10**6
+    spare_w = spare_t = 0
+    script = []
+    for _ in range(EPOCHS):
+        ops = []
+        for _ in range(WORKER_TURNOVER):
+            index = int(rng.integers(0, len(wpool)))
+            ops.append(WorkerLeave(time=0.0, worker_id=wpool.pop(index).worker_id))
+            fresh = dataclasses.replace(
+                spare_workers[spare_w % len(spare_workers)], worker_id=next_id
+            )
+            next_id += 1
+            spare_w += 1
+            wpool.append(fresh)
+            ops.append(WorkerArrive(time=0.0, worker=fresh))
+        for index in rng.choice(len(wpool), size=MOVES_PER_EPOCH, replace=False):
+            worker = wpool[index]
+            moved = worker.moved_to(
+                Point(
+                    float(np.clip(worker.location.x + rng.normal(0, 0.005), 0, 1)),
+                    float(np.clip(worker.location.y + rng.normal(0, 0.005), 0, 1)),
+                ),
+                worker.depart_time,
+            )
+            wpool[index] = moved
+            ops.append(WorkerUpdate(time=0.0, worker=moved))
+        for _ in range(TASK_TURNOVER):
+            index = int(rng.integers(0, len(tpool)))
+            ops.append(TaskWithdraw(time=0.0, task_id=tpool.pop(index).task_id))
+            fresh_task = dataclasses.replace(
+                spare_tasks[spare_t % len(spare_tasks)], task_id=next_id
+            )
+            next_id += 1
+            spare_t += 1
+            tpool.append(fresh_task)
+            ops.append(TaskArrive(time=0.0, task=fresh_task))
+        script.append(ops)
+    return tasks, workers, halo, script
+
+
+def replay(engine, tasks, workers, script, eager):
+    """Feed the script through one engine; returns (seconds, objectives)."""
+    engine.add_tasks(tasks)
+    engine.add_workers(workers)
+    engine.epoch(0.0)   # first plan excluded from the timing
+    objectives = []
+    started = time.perf_counter()
+    for ops in script:
+        if eager:
+            for event in ops:
+                engine.apply(event)
+        else:
+            engine.apply_batch(ops)
+        outcome = engine.epoch(0.0)
+        objectives.append(
+            (outcome.objective.min_reliability, outcome.objective.total_std)
+        )
+    seconds = time.perf_counter() - started
+    close = getattr(engine, "close", None)
+    if close is not None:
+        close()
+    return seconds, objectives
+
+
+def main():
+    """Replay the stream at 1 and 4 shards and print the comparison."""
+    tasks, workers, halo, script = build_workload()
+    events = sum(len(ops) for ops in script)
+    print(
+        f"{len(tasks)} tasks x {len(workers)} workers, {EPOCHS} epochs, "
+        f"{events} churn events, halo={halo:.3f}\n"
+    )
+
+    rows = []
+    for label, make_engine, eager in (
+        ("single engine (eager)",
+         lambda: AssignmentEngine(solver=GreedySolver(), eta=0.08, rng=3), True),
+        ("sharded x1 (sequential)",
+         lambda: ShardedAssignmentEngine(
+             solver=GreedySolver(), eta=0.08, rng=3,
+             num_shards=1, halo=halo), False),
+        ("sharded x4 (sequential)",
+         lambda: ShardedAssignmentEngine(
+             solver=GreedySolver(), eta=0.08, rng=3,
+             num_shards=4, halo=halo), False),
+    ):
+        seconds, objectives = replay(make_engine(), tasks, workers, script, eager)
+        rows.append((label, seconds, objectives))
+
+    reference = rows[0][2]
+    for label, _, objectives in rows[1:]:
+        assert objectives == reference, f"{label} diverged from the single engine"
+
+    baseline = rows[0][1]
+    print(f"{'mode':>24} | {'epochs/s':>9} | {'speedup':>8} | identical plans")
+    for label, seconds, _ in rows:
+        print(
+            f"{label:>24} | {EPOCHS / seconds:9.2f} | "
+            f"{baseline / seconds:7.2f}x | yes"
+        )
+    print(
+        "\nEvery epoch's (min reliability, total E[STD]) matched bit for bit;"
+        "\nthe sharded engine buys throughput, never answers."
+    )
+
+
+if __name__ == "__main__":
+    main()

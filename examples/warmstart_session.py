@@ -102,6 +102,7 @@ def run_session(mode, initial_tasks, initial_workers, script):
 
 
 def main() -> None:
+    """Replay a week of churn in full vs warm mode and compare."""
     initial_tasks, initial_workers, script = build_workload()
     print(
         f"workload: {DAYS} days x {EPOCHS_PER_DAY} re-plans, "

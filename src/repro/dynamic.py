@@ -89,6 +89,17 @@ class CrowdsourcingSession:
             only; other solvers always solve in full).
         warm_churn_threshold: churn fraction above which a warm-mode
             ``reassign`` falls back to a full solve.
+        num_shards: with a value above 1 the session runs on a
+            :class:`repro.engine.sharding.ShardedAssignmentEngine` — the
+            grid is partitioned into ``num_shards`` cell blocks and each
+            ``reassign`` fans the index work out per shard.  Assignments
+            are bit-identical to the unsharded session.
+        halo: task-replication radius for the sharded engine (``None``
+            replicates everywhere — always safe; see
+            :meth:`repro.engine.sharding.ShardMap.halo_bound`).
+        shard_executor: ``"sequential"`` or ``"process"`` fan-out for the
+            sharded engine (ignored with ``num_shards=1``).  With the
+            process executor, call ``session.close()`` when done.
     """
 
     def __init__(
@@ -100,17 +111,42 @@ class CrowdsourcingSession:
         backend: str = "python",
         solve_mode: str = "full",
         warm_churn_threshold: float = 0.25,
+        num_shards: int = 1,
+        halo: Optional[float] = None,
+        shard_executor: str = "sequential",
     ) -> None:
-        self.engine = AssignmentEngine(
-            solver=solver,
-            eta=eta,
-            validity=validity,
-            rng=rng,
-            backend=backend,
-            solve_mode=solve_mode,
-            warm_churn_threshold=warm_churn_threshold,
-        )
+        if num_shards > 1:
+            from repro.engine.sharding import ShardedAssignmentEngine
+
+            self.engine: AssignmentEngine = ShardedAssignmentEngine(
+                solver=solver,
+                eta=eta,
+                validity=validity,
+                rng=rng,
+                backend=backend,
+                num_shards=num_shards,
+                halo=halo,
+                executor=shard_executor,
+                solve_mode=solve_mode,
+                warm_churn_threshold=warm_churn_threshold,
+            )
+        else:
+            self.engine = AssignmentEngine(
+                solver=solver,
+                eta=eta,
+                validity=validity,
+                rng=rng,
+                backend=backend,
+                solve_mode=solve_mode,
+                warm_churn_threshold=warm_churn_threshold,
+            )
         self.stats = SessionStats()
+
+    def close(self) -> None:
+        """Release engine resources (a sharded session's worker pool)."""
+        close = getattr(self.engine, "close", None)
+        if close is not None:
+            close()
 
     # -- attribute pass-throughs (the engine owns the state) ------------ #
 

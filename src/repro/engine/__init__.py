@@ -18,6 +18,12 @@ not O(m * n) rebuilds.  This package is that machinery:
 ``metrics``
     Per-epoch records and lifetime counters (cache hit rate, epoch cost,
     warm/full solve split).
+``sharding``
+    :class:`ShardedAssignmentEngine` — the same engine with its index
+    partitioned into rectangular cell blocks (:class:`ShardMap` with a
+    halo wide enough for the validity radius) and epochs fanned out
+    across an in-process or process-pool executor; merged plans are
+    bit-identical to the single-shard engine.
 
 :class:`repro.dynamic.CrowdsourcingSession` (the library façade) and
 :class:`repro.platform_sim.simulator.PlatformSimulator` (the Figure 18
@@ -42,6 +48,13 @@ from repro.engine.events import (
 )
 from repro.engine.metrics import EngineMetrics, EpochRecord
 from repro.engine.scheduler import EventQueue, epoch_ticks
+from repro.engine.sharding import (
+    ProcessShardExecutor,
+    SequentialShardExecutor,
+    ShardMap,
+    ShardState,
+    ShardedAssignmentEngine,
+)
 
 __all__ = [
     "AssignmentEngine",
@@ -53,6 +66,11 @@ __all__ = [
     "Event",
     "EventQueue",
     "ExpireTasks",
+    "ProcessShardExecutor",
+    "SequentialShardExecutor",
+    "ShardMap",
+    "ShardState",
+    "ShardedAssignmentEngine",
     "TaskArrive",
     "TaskWithdraw",
     "WorkerArrive",

@@ -195,6 +195,7 @@ class AssignmentEngine:
         self.metrics = EngineMetrics()
         self._tasks: Dict[int, SpatialTask] = {}
         self._workers: Dict[int, MovingWorker] = {}
+        self._held: Set[int] = set()
         self._assignment = Assignment()
         self._delta = EpochDelta()
         self._plan: Optional[PreviousPlan] = None
@@ -241,23 +242,61 @@ class AssignmentEngine:
         return self._assignment.workers_for(task_id)
 
     # ------------------------------------------------------------------ #
+    # Index maintenance hooks
+    # ------------------------------------------------------------------ #
+    # The churn methods keep the object dicts, the slot slabs and the
+    # spatial index in lock-step; all index traffic funnels through these
+    # five hooks so :class:`repro.engine.sharding.ShardedAssignmentEngine`
+    # can reroute it to per-shard sub-grids without re-implementing any
+    # bookkeeping.  The batched hooks receive whole same-kind runs (see
+    # :meth:`apply_batch`) so the grid can group per-cell work.
+
+    def _index_insert_tasks(self, tasks: Sequence[SpatialTask]) -> None:
+        self.grid.insert_tasks(tasks)
+
+    def _index_remove_task(self, task_id: int) -> None:
+        self.grid.remove_task(task_id)
+
+    def _index_add_workers(self, workers: Sequence[MovingWorker]) -> None:
+        self.grid.insert_workers(workers)
+
+    def _index_remove_worker(self, worker_id: int) -> None:
+        self.grid.remove_worker(worker_id)
+
+    def _index_update_workers(self, workers: Sequence[MovingWorker]) -> None:
+        self.grid.update_workers(workers)
+
+    # ------------------------------------------------------------------ #
     # Churn (each method keeps dicts + grid + slabs in lock-step)
     # ------------------------------------------------------------------ #
 
     def add_task(self, task: SpatialTask) -> None:
         """Register a task (ValueError on duplicate id)."""
-        if task.task_id in self._tasks:
-            raise ValueError(f"task {task.task_id} already registered")
-        self._tasks[task.task_id] = task
-        self.grid.insert_task(task)
-        self.task_slots.add(task)
-        self._delta.tasks_arrived.add(task.task_id)
-        self.metrics.count_event("task_arrive")
+        self.add_tasks((task,))
+
+    def add_tasks(self, tasks: Sequence[SpatialTask]) -> None:
+        """Register a batch of tasks; the index links each cell once.
+
+        Ids must be distinct within the batch and unused (ValueError
+        otherwise; earlier entries of a partially invalid batch stay
+        registered, exactly as sequential ``add_task`` calls would).
+        """
+        fresh: List[SpatialTask] = []
+        for task in tasks:
+            if task.task_id in self._tasks:
+                self._index_insert_tasks(fresh)
+                raise ValueError(f"task {task.task_id} already registered")
+            self._tasks[task.task_id] = task
+            self.task_slots.add(task)
+            self._delta.tasks_arrived.add(task.task_id)
+            self.metrics.count_event("task_arrive")
+            fresh.append(task)
+        self._index_insert_tasks(fresh)
 
     def withdraw_task(self, task_id: int) -> SpatialTask:
         """Remove a task (completed/cancelled); frees its workers."""
         task = self._tasks.pop(task_id)
-        self.grid.remove_task(task_id)
+        self._index_remove_task(task_id)
         self.task_slots.remove(task_id)
         for worker_id in list(self._assignment.workers_for(task_id)):
             self._assignment.unassign(worker_id)
@@ -281,18 +320,32 @@ class AssignmentEngine:
 
     def add_worker(self, worker: MovingWorker) -> None:
         """Register a worker (ValueError on duplicate id)."""
-        if worker.worker_id in self._workers:
-            raise ValueError(f"worker {worker.worker_id} already registered")
-        self._workers[worker.worker_id] = worker
-        self.grid.insert_worker(worker)
-        self.worker_slots.add(worker)
-        self._delta.workers_arrived.add(worker.worker_id)
-        self.metrics.count_event("worker_arrive")
+        self.add_workers((worker,))
+
+    def add_workers(self, workers: Sequence[MovingWorker]) -> None:
+        """Register a batch of workers; the index widens each cell once.
+
+        Ids must be distinct within the batch and unused (ValueError
+        otherwise; earlier entries of a partially invalid batch stay
+        registered, exactly as sequential ``add_worker`` calls would).
+        """
+        fresh: List[MovingWorker] = []
+        for worker in workers:
+            if worker.worker_id in self._workers:
+                self._index_add_workers(fresh)
+                raise ValueError(f"worker {worker.worker_id} already registered")
+            self._workers[worker.worker_id] = worker
+            self.worker_slots.add(worker)
+            self._delta.workers_arrived.add(worker.worker_id)
+            self.metrics.count_event("worker_arrive")
+            fresh.append(worker)
+        self._index_add_workers(fresh)
 
     def remove_worker(self, worker_id: int) -> MovingWorker:
         """Deregister a worker (left the system)."""
         worker = self._workers.pop(worker_id)
-        self.grid.remove_worker(worker_id)
+        self._held.discard(worker_id)
+        self._index_remove_worker(worker_id)
         self.worker_slots.remove(worker_id)
         if self._assignment.is_assigned(worker_id):
             self._assignment.unassign(worker_id)
@@ -307,13 +360,78 @@ class AssignmentEngine:
         the cell record and the packed slot row are each overwritten in
         place; only a cross-cell move pays the remove + insert path.
         """
-        if worker.worker_id not in self._workers:
-            raise KeyError(f"worker {worker.worker_id} not registered")
-        self._workers[worker.worker_id] = worker
-        self.grid.update_worker(worker)
-        self.worker_slots.update(worker)
-        self._delta.workers_updated.add(worker.worker_id)
-        self.metrics.count_event("worker_update")
+        self.update_workers((worker,))
+
+    def update_workers(self, workers: Sequence[MovingWorker]) -> None:
+        """Batched :meth:`update_worker`; the index groups same-cell work.
+
+        Ids must be registered (KeyError otherwise) and distinct within
+        the batch (ValueError — a repeated id would desynchronise the
+        grid's remove + insert path on a cross-cell move), both checked
+        before any state is touched; same-cell refreshes grouped into one
+        batch pay one cell invalidation + widening sweep per touched cell
+        instead of one per worker.
+        """
+        seen: Set[int] = set()
+        for worker in workers:
+            if worker.worker_id not in self._workers:
+                raise KeyError(f"worker {worker.worker_id} not registered")
+            if worker.worker_id in seen:
+                raise ValueError(
+                    f"worker {worker.worker_id} appears twice in one update batch"
+                )
+            seen.add(worker.worker_id)
+        for worker in workers:
+            self._workers[worker.worker_id] = worker
+            self.worker_slots.update(worker)
+            self._delta.workers_updated.add(worker.worker_id)
+            self.metrics.count_event("worker_update")
+        self._index_update_workers(workers)
+
+    # ------------------------------------------------------------------ #
+    # In-flight holds (dispatched workers stay registered)
+    # ------------------------------------------------------------------ #
+
+    def hold_worker(self, worker_id: int) -> None:
+        """Hide a registered worker from the solver without removing it.
+
+        A held worker keeps its dict entry, slot row and grid residency —
+        no cache entries are invalidated — but its valid pairs are
+        filtered out of every epoch sub-instance and the re-anchor sweep
+        leaves it alone (its departure is owned by whoever holds it).
+        This is how the platform simulator models a dispatched worker
+        travelling to its task: in flight, not gone.  For warm-mode
+        purposes a hold is forced-dirty (the worker's candidates vanish)
+        but is *fulfilment* of the previous plan rather than external
+        churn, so it does not count toward the fallback fraction (see
+        :class:`repro.solvers.incremental.EpochDelta`).
+
+        Raises:
+            KeyError: if the worker is not registered.
+        """
+        if worker_id not in self._workers:
+            raise KeyError(f"worker {worker_id} not registered")
+        self._held.add(worker_id)
+        self._delta.workers_held.add(worker_id)
+        self.metrics.count_event("worker_hold")
+
+    def release_worker(self, worker_id: int) -> None:
+        """Make a held worker solver-visible again (KeyError if unknown).
+
+        Callers normally pair this with an :meth:`update_worker` carrying
+        the worker's post-trip position and departure time.  Releasing an
+        unheld worker is a no-op apart from the churn accounting.
+        """
+        if worker_id not in self._workers:
+            raise KeyError(f"worker {worker_id} not registered")
+        self._held.discard(worker_id)
+        self._delta.workers_updated.add(worker_id)
+        self.metrics.count_event("worker_release")
+
+    @property
+    def held_workers(self) -> Set[int]:
+        """Ids currently hidden from the solver (treat as read-only)."""
+        return self._held
 
     # ------------------------------------------------------------------ #
     # Event consumption
@@ -339,13 +457,59 @@ class AssignmentEngine:
             raise TypeError(f"unknown event type {type(event).__name__}")
         return None
 
+    def apply_batch(self, events: Sequence[ev.Event]) -> List[EpochResult]:
+        """Apply an ordered event batch, grouping commuting churn runs.
+
+        The batch is coalesced by :func:`repro.engine.scheduler.
+        coalesce_churn`: churn on distinct entities commutes, so leaves,
+        arrivals, updates and task churn each apply as one batched call —
+        a burst of same-instant deltas pays per-cell invalidation once
+        per cell instead of once per event.  A repeated entity id (which
+        must keep its per-entity order) and any non-churn event flush the
+        pending runs first, so the outcome is exactly that of applying
+        the batch one event at a time.  Epoch ticks return their results
+        in order.
+        """
+        from repro.engine.scheduler import coalesce_churn
+
+        results: List[EpochResult] = []
+        for kind, payload in coalesce_churn(events):
+            if kind == "worker_update":
+                self.update_workers(payload)
+            elif kind == "worker_arrive":
+                self.add_workers(payload)
+            elif kind == "worker_leave":
+                for worker_id in payload:
+                    self.remove_worker(worker_id)
+            elif kind == "task_arrive":
+                self.add_tasks(payload)
+            elif kind == "task_withdraw":
+                for task_id in payload:
+                    self.withdraw_task(task_id)
+            else:
+                outcome = self.apply(payload)
+                if outcome is not None:
+                    results.append(outcome)
+        return results
+
     def process(self, queue_or_events) -> List[EpochResult]:
         """Drain an :class:`~repro.engine.scheduler.EventQueue` (or any
-        pre-ordered event iterable); returns the epoch results in order."""
+        pre-ordered event iterable); returns the epoch results in order.
+
+        A queue exposing ``drain_instants`` is consumed as per-instant
+        batches through :meth:`apply_batch` (identical outcomes, grouped
+        index maintenance); anything else is applied event by event.
+        """
+        instants = getattr(queue_or_events, "drain_instants", None)
+        if instants is not None:
+            results: List[EpochResult] = []
+            for batch in instants():
+                results.extend(self.apply_batch(batch))
+            return results
         events: Iterable[ev.Event]
         drain = getattr(queue_or_events, "drain", None)
         events = drain() if drain is not None else queue_or_events
-        results: List[EpochResult] = []
+        results = []
         for event in events:
             outcome = self.apply(event)
             if outcome is not None:
@@ -395,9 +559,12 @@ class AssignmentEngine:
 
         Returns the problem plus the set of generated virtual worker ids
         (empty without pinning) so callers can separate real dispatch from
-        solver bookkeeping.
+        solver bookkeeping.  Held (in-flight) workers' pairs are filtered
+        out first, so the solver never sees them as available.
         """
         pairs = self.current_pairs()
+        if self._held:
+            pairs = [p for p in pairs if p.worker_id not in self._held]
         if forbidden:
             pairs = [
                 p for p in pairs if (p.worker_id, p.task_id) not in forbidden
@@ -439,15 +606,22 @@ class AssignmentEngine:
         skip saves an update that would dirty its whole cell's pair-cache
         entries.  Strict-arrival validity gets no skip (a later departure
         can turn a too-early arrival valid), and a worker anchored in the
-        *future* is always pulled back to ``now``.
+        *future* is always pulled back to ``now``.  Held workers are never
+        re-anchored: their departure (the post-trip availability time) is
+        owned by whoever holds them.
         """
-        stale = [w for w in self._workers.values() if w.depart_time != now]
+        stale = [
+            w
+            for w in self._workers.values()
+            if w.depart_time != now and w.worker_id not in self._held
+        ]
         if not stale:
             return
         can_skip = self.validity.allow_waiting
         with_pairs: Set[int] = (
             {pair.worker_id for pair in self.current_pairs()} if can_skip else set()
         )
+        moved: List[MovingWorker] = []
         for worker in stale:
             if (
                 can_skip
@@ -456,7 +630,22 @@ class AssignmentEngine:
             ):
                 self.metrics.reanchors_skipped += 1
                 continue
-            self.update_worker(worker.moved_to(worker.location, now))
+            moved.append(worker.moved_to(worker.location, now))
+        if not moved:
+            return
+        externally_churned = {
+            worker.worker_id for worker in moved
+        } & self._delta.workers_updated
+        # One batched update: the whole sweep pays one cell invalidation
+        # and one widening sweep per touched cell, like any other batch.
+        self.update_workers(moved)
+        for worker in moved:
+            if worker.worker_id not in externally_churned:
+                # The sweep's own update is clock bookkeeping, not churn:
+                # it stays forced-dirty for the warm repair but must not
+                # push every clocked epoch over the fallback threshold.
+                self._delta.workers_updated.discard(worker.worker_id)
+                self._delta.workers_reanchored.add(worker.worker_id)
 
     def _warm_solver(self):
         """The cached warm variant of the current solver (None if none).

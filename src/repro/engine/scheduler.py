@@ -15,8 +15,9 @@ with their churn stream and feed everything through one queue.
 from __future__ import annotations
 
 import heapq
-from typing import Iterable, Iterator, List, Optional
+from typing import Iterable, Iterator, List, Optional, Tuple
 
+from repro.engine import events as ev
 from repro.engine.events import EpochTick, Event
 
 #: Tolerance for including an epoch tick that lands exactly on the horizon
@@ -73,6 +74,34 @@ class EventQueue:
         while self._heap:
             yield self.pop()
 
+    def pop_instant(self) -> List[Event]:
+        """Remove and return every event sharing the earliest pending time.
+
+        The batch keeps the queue's order (churn before epoch ticks, FIFO
+        within a kind), so applying it event by event is indistinguishable
+        from popping — but handing the whole instant to a consumer at once
+        lets it group the deltas (per cell, per shard) before touching the
+        index, which is how batched epochs amortise invalidation.
+
+        Raises:
+            IndexError: when the queue is empty.
+        """
+        instant = self._heap[0][0]
+        batch: List[Event] = [self.pop()]
+        while self._heap and self._heap[0][0] == instant:
+            batch.append(self.pop())
+        return batch
+
+    def drain_instants(self) -> Iterator[List[Event]]:
+        """Drain the queue as per-instant batches, in time order.
+
+        Each yielded list is one :meth:`pop_instant` batch; events pushed
+        while draining join their instant if it has not been reached yet
+        (the same interleaving contract ``drain`` has).
+        """
+        while self._heap:
+            yield self.pop_instant()
+
 
 def epoch_ticks(
     interval: float, horizon: float, start: float = 0.0
@@ -96,3 +125,76 @@ def epoch_ticks(
             return ticks
         ticks.append(EpochTick(time=time))
         k += 1
+
+
+#: Flush order of the coalesced churn runs.  Within one conflict-free
+#: window every entity id appears in exactly one run, and churn on
+#: distinct entities commutes, so any fixed order is sound; leaves go
+#: first so a window's net population change frees slots before filling.
+CHURN_RUNS = (
+    "worker_leave",
+    "worker_arrive",
+    "worker_update",
+    "task_withdraw",
+    "task_arrive",
+)
+
+
+def coalesce_churn(events: Iterable[Event]) -> Iterator[Tuple[str, object]]:
+    """Group an ordered event batch into maximal commuting same-kind runs.
+
+    Yields ``(kind, payload)`` items where ``kind`` is one of
+    :data:`CHURN_RUNS` with a list payload (worker records, worker ids,
+    tasks or task ids), or ``("event", event)`` for anything else (epoch
+    ticks, expiry sweeps).  Churn touching *distinct* entities commutes —
+    the final per-entity state is the last event's either way — so runs
+    only flush when an entity id re-appears (its per-entity order must
+    hold) or a non-churn event interposes.  Consumers apply each run as
+    one batched index call, which is what lets a burst of same-instant
+    deltas amortise per-cell invalidation: a boundary-crossing worker
+    migration (leave + arrive) no longer chops a 1000-update run into
+    fragments.
+    """
+    pending: dict = {kind: [] for kind in CHURN_RUNS}
+    seen_workers: set = set()
+    seen_tasks: set = set()
+
+    def drain() -> Iterator[Tuple[str, object]]:
+        for kind in CHURN_RUNS:
+            run = pending[kind]
+            if run:
+                pending[kind] = []
+                yield (kind, run)
+        seen_workers.clear()
+        seen_tasks.clear()
+
+    for event in events:
+        if isinstance(event, ev.WorkerLeave):
+            kind, key, payload, seen = (
+                "worker_leave", event.worker_id, event.worker_id, seen_workers
+            )
+        elif isinstance(event, ev.WorkerArrive):
+            kind, key, payload, seen = (
+                "worker_arrive", event.worker.worker_id, event.worker, seen_workers
+            )
+        elif isinstance(event, ev.WorkerUpdate):
+            kind, key, payload, seen = (
+                "worker_update", event.worker.worker_id, event.worker, seen_workers
+            )
+        elif isinstance(event, ev.TaskWithdraw):
+            kind, key, payload, seen = (
+                "task_withdraw", event.task_id, event.task_id, seen_tasks
+            )
+        elif isinstance(event, ev.TaskArrive):
+            kind, key, payload, seen = (
+                "task_arrive", event.task.task_id, event.task, seen_tasks
+            )
+        else:
+            yield from drain()
+            yield ("event", event)
+            continue
+        if key in seen:
+            yield from drain()
+        seen.add(key)
+        pending[kind].append(payload)
+    yield from drain()

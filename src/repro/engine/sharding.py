@@ -1,0 +1,582 @@
+"""Sharded assignment: cell-block partitioning with fanned-out epochs.
+
+The single :class:`~repro.engine.engine.AssignmentEngine` keeps one grid
+index current per event; at the "millions of users" scale the ROADMAP
+targets, that one grid becomes the bottleneck — every update sweeps every
+materialised cell, and every epoch probes every dirty cell pair in one
+process.  This module splits the grid into rectangular **cell blocks**
+(:class:`ShardMap`), gives each block its own persistent sub-grid
+(:class:`ShardState`), and fans the per-epoch index work out across an
+executor (:class:`SequentialShardExecutor` in-process for determinism and
+debugging, :class:`ProcessShardExecutor` across a ``concurrent.futures``
+worker pool for real deployments).
+
+**Routing.**  A worker lives in exactly one shard — the owner of its
+grid cell.  A task is *replicated* into every shard whose owned block
+lies within ``halo`` of the task's cell, so each shard can compute every
+valid pair of its own workers locally.  A pair whose task lives in a
+different block than its worker (a *halo-crossing* pair) is therefore
+produced exactly once — by the worker's owner shard — and the merge step
+is a deterministic concatenate-and-sort, no conflict resolution needed.
+
+**The halo invariant.**  Replication is sound iff ``halo`` is at least
+the farthest any worker can travel within any task's valid period:
+``max over (t, w) of v_j * max(0, e_i - dp_j)``.  :meth:`ShardMap.
+halo_bound` computes that bound for a population; ``halo=None`` (the
+default) replicates tasks to every shard, which is always safe.  The
+sharded engine tracks the running population aggregates and raises as
+soon as a configured halo provably stops covering them — a silently
+missing pair would break the bit-identity contract.
+
+**Why the solve stays global.**  GREEDY scores every candidate against
+the *global* minimum task reliability and SAMPLING consumes one global
+RNG stream, so independent per-shard solves cannot reproduce the
+single-engine plan (two shards' rounds interleave through the shared
+minimum).  The fan-out therefore parallelises what does partition
+cleanly — per-shard index maintenance (applied as per-cell-grouped
+batches) and dirty-pair probing — and the merged pair set feeds one
+global warm/full solve.  Epoch plans are bit-identical to the
+single-shard engine on the same event stream (``tests/test_sharding.py``
+pins this for 1, 2 and 4 shards on both executors); throughput is
+recorded by ``benchmarks/bench_sharding.py`` into
+``BENCH_sharding.json``.
+"""
+
+from __future__ import annotations
+
+import math
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.algorithms.base import RngLike, Solver
+from repro.core.problem import ValidPair
+from repro.core.task import SpatialTask
+from repro.core.validity import ValidityRule
+from repro.core.worker import MovingWorker
+from repro.engine import events as ev
+from repro.engine.engine import AssignmentEngine
+from repro.geometry.points import Point
+from repro.index.grid import RdbscGrid, cell_coords
+
+#: Slack added to the halo guard so float accumulation in the population
+#: bound cannot trip it on a halo chosen exactly at ``halo_bound``.
+_HALO_EPS = 1e-9
+
+#: A shard's epoch report: its merged-in valid pairs plus the index-stat
+#: deltas (pair-cache hits/misses, pruning counters) since the last report.
+ShardReport = Tuple[List[ValidPair], Dict[str, int]]
+
+
+def _rect_distance(
+    a: Tuple[float, float, float, float], b: Tuple[float, float, float, float]
+) -> float:
+    """Minimum distance between two axis-aligned ``(x0, y0, x1, y1)`` rects."""
+    dx = max(a[0] - b[2], b[0] - a[2], 0.0)
+    dy = max(a[1] - b[3], b[1] - a[3], 0.0)
+    return math.hypot(dx, dy)
+
+
+class ShardMap:
+    """Rectangular cell-block partition of the unit-square grid.
+
+    The ``num_shards`` shards tile the grid in ``shard_rows x
+    shard_cols`` blocks of near-equal cell counts (the factorisation
+    closest to square).  Cell membership uses the same clamped
+    coordinate mapping as :class:`repro.index.grid.RdbscGrid`
+    (:func:`repro.index.grid.cell_coords`), so routing and indexing can
+    never disagree.
+
+    Args:
+        num_shards: number of blocks; 1 degenerates to no partitioning.
+        eta: grid cell side, shared with the shard grids.
+        halo: task-replication radius in unit-square units.  A task is
+            routed to every shard whose owned block is within ``halo`` of
+            the task's *cell* (cell-granular, so replicated cells hold
+            exactly the same residents as the single grid's).  ``None``
+            replicates every task to every shard — always safe; an
+            explicit value must satisfy the halo invariant (see
+            :meth:`halo_bound`).
+
+    Raises:
+        ValueError: for a non-positive shard count, an ``eta`` outside
+            ``(0, 1]``, a negative halo, or more blocks per axis than
+            grid cells.
+    """
+
+    def __init__(
+        self, num_shards: int, eta: float, halo: Optional[float] = None
+    ) -> None:
+        if num_shards < 1:
+            raise ValueError(f"num_shards must be positive, got {num_shards}")
+        if not 0.0 < eta <= 1.0:
+            raise ValueError(f"eta must be in (0, 1], got {eta}")
+        if halo is not None and halo < 0.0:
+            raise ValueError(f"halo must be non-negative or None, got {halo}")
+        self.num_shards = num_shards
+        self.eta = eta
+        self.halo = halo
+        self.n_cols = max(1, math.ceil(1.0 / eta))
+        rows = 1
+        for divisor in range(int(math.isqrt(num_shards)), 0, -1):
+            if num_shards % divisor == 0:
+                rows = divisor
+                break
+        self.shard_rows = rows
+        self.shard_cols = num_shards // rows
+        if self.shard_rows > self.n_cols or self.shard_cols > self.n_cols:
+            raise ValueError(
+                f"{num_shards} shards need a {self.shard_rows}x{self.shard_cols} "
+                f"block tiling but the grid has only {self.n_cols} cells per axis"
+            )
+        self._bounds = tuple(
+            self._block_bounds(shard_id) for shard_id in range(num_shards)
+        )
+
+    # ------------------------------------------------------------------ #
+
+    def _block_rows(self, block: int, blocks: int) -> Tuple[int, int]:
+        """Inclusive cell-row range of one block axis (near-even split)."""
+        first = -(-block * self.n_cols // blocks)  # ceil
+        last = -(-(block + 1) * self.n_cols // blocks) - 1
+        return first, last
+
+    def _block_bounds(self, shard_id: int) -> Tuple[float, float, float, float]:
+        block_row, block_col = divmod(shard_id, self.shard_cols)
+        row0, row1 = self._block_rows(block_row, self.shard_rows)
+        col0, col1 = self._block_rows(block_col, self.shard_cols)
+        return (
+            col0 * self.eta,
+            row0 * self.eta,
+            (col1 + 1) * self.eta,
+            (row1 + 1) * self.eta,
+        )
+
+    def block_bounds(self, shard_id: int) -> Tuple[float, float, float, float]:
+        """The ``(x0, y0, x1, y1)`` rectangle of a shard's owned cells.
+
+        The last row/column may extend past 1.0 when ``1 / eta`` is not
+        integral — exactly like the grid's edge cells.
+        """
+        return self._bounds[shard_id]
+
+    def shard_of_cell(self, row: int, col: int) -> int:
+        """Owner shard of the grid cell at ``(row, col)``."""
+        block_row = row * self.shard_rows // self.n_cols
+        block_col = col * self.shard_cols // self.n_cols
+        return block_row * self.shard_cols + block_col
+
+    def shard_of_point(self, point: Point) -> int:
+        """Owner shard of the cell containing ``point`` (worker routing)."""
+        return self.shard_of_cell(*cell_coords(point, self.eta, self.n_cols))
+
+    def shards_for_task(self, location: Point) -> Tuple[int, ...]:
+        """Every shard a task at ``location`` must be replicated into.
+
+        The owner shard (cell distance zero) plus every shard whose owned
+        block lies within ``halo`` of the task's cell rectangle, in shard
+        id order.  With ``halo=None`` this is all shards.
+        """
+        if self.halo is None or self.num_shards == 1:
+            return tuple(range(self.num_shards))
+        row, col = cell_coords(location, self.eta, self.n_cols)
+        cell_rect = (
+            col * self.eta,
+            row * self.eta,
+            (col + 1) * self.eta,
+            (row + 1) * self.eta,
+        )
+        return tuple(
+            shard_id
+            for shard_id in range(self.num_shards)
+            if _rect_distance(self._bounds[shard_id], cell_rect) <= self.halo
+        )
+
+    @staticmethod
+    def halo_bound(
+        tasks: Sequence[SpatialTask], workers: Sequence[MovingWorker]
+    ) -> float:
+        """The smallest halo provably safe for these populations.
+
+        A pair ``(t, w)`` can only be valid when the worker covers the
+        distance within the task's window: ``|l_i - l_j| <= v_j * (e_i -
+        dp_j)``.  The bound returned is ``max(0, max e_i - min dp_j) *
+        max v_j`` — conservative (it pairs the extremes), monotone under
+        growth, and cheap.  Pass the *full pools* a stream will draw
+        from, not just the initial population.
+        """
+        max_end = max((task.end for task in tasks), default=0.0)
+        min_depart = min((worker.depart_time for worker in workers), default=0.0)
+        v_max = max((worker.velocity for worker in workers), default=0.0)
+        return max(0.0, max_end - min_depart) * v_max
+
+
+class ShardState:
+    """One shard's persistent sub-grid, living wherever its executor runs.
+
+    Holds an ordinary :class:`~repro.index.grid.RdbscGrid` over the
+    shard's routed residents (owned workers, halo-replicated tasks) and
+    applies the typed churn events the engine routes to it.  The state is
+    picklable while fresh, which is how the process executor ships it
+    into its worker process once at start-up; afterwards it only ever
+    exchanges event batches and pair reports.
+    """
+
+    def __init__(
+        self,
+        shard_id: int,
+        eta: float,
+        validity: Optional[ValidityRule] = None,
+        backend: str = "python",
+    ) -> None:
+        self.shard_id = shard_id
+        self.grid = RdbscGrid(eta, validity, backend=backend)
+        self._reported = dict(self.grid.stats)
+
+    def apply_batch(self, events: Sequence[ev.Event]) -> None:
+        """Apply routed churn events, grouping same-kind runs per cell.
+
+        The batch is coalesced exactly like the engine's own batched
+        application (:func:`repro.engine.scheduler.coalesce_churn`):
+        leaves, arrivals, updates and task churn each hit the shard grid
+        as one batched call, paying one invalidation + widening sweep
+        per touched cell — the "per-cell invalidations grouped before
+        fan-out" amortisation.  Non-churn events are unroutable here and
+        raise.
+        """
+        from repro.engine.scheduler import coalesce_churn
+
+        for kind, payload in coalesce_churn(events):
+            if kind == "worker_update":
+                self.grid.update_workers(payload)
+            elif kind == "worker_arrive":
+                self.grid.insert_workers(payload)
+            elif kind == "worker_leave":
+                for worker_id in payload:
+                    self.grid.remove_worker(worker_id)
+            elif kind == "task_arrive":
+                self.grid.insert_tasks(payload)
+            elif kind == "task_withdraw":
+                for task_id in payload:
+                    self.grid.remove_task(task_id)
+            else:
+                raise TypeError(
+                    f"shard {self.shard_id}: unroutable event "
+                    f"{type(payload).__name__}"
+                )
+
+    def collect(self, events: Sequence[ev.Event]) -> ShardReport:
+        """Apply a batch, then report this shard's pairs and stat deltas.
+
+        The pair list is the shard grid's incremental retrieval (cached
+        entries stream, dirty entries re-probe); the stats dict holds the
+        change in each grid counter since the previous report, so the
+        engine can aggregate exact per-epoch cache hit/miss numbers
+        across shards.
+        """
+        self.apply_batch(events)
+        pairs = self.grid.valid_pairs()
+        delta = {
+            key: value - self._reported[key] for key, value in self.grid.stats.items()
+        }
+        self._reported = dict(self.grid.stats)
+        return pairs, delta
+
+
+class SequentialShardExecutor:
+    """In-process fan-out: shards applied one after another.
+
+    Zero serialisation, single address space, deterministic — the
+    executor for tests, debugging, and for deployments where the
+    partitioning itself (smaller per-shard sweeps, grouped batches) is
+    the win rather than parallelism.
+    """
+
+    def __init__(self, states: Sequence[ShardState]) -> None:
+        self.states = list(states)
+
+    def collect(
+        self, batches: Dict[int, List[ev.Event]]
+    ) -> List[ShardReport]:
+        """Run every shard's ``collect`` in shard order; missing = empty."""
+        return [
+            state.collect(batches.get(state.shard_id, []))
+            for state in self.states
+        ]
+
+    def close(self) -> None:
+        """Nothing to release."""
+
+
+_PROCESS_STATE: Optional[ShardState] = None
+
+
+def _process_init(state: ShardState) -> None:
+    """Worker-process initialiser: adopt the shipped shard state."""
+    global _PROCESS_STATE
+    _PROCESS_STATE = state
+
+
+def _process_collect(events: List[ev.Event]):
+    """Run one collect in the worker process; pairs travel packed."""
+    from repro.fastpath.arrays import pack_pairs
+
+    assert _PROCESS_STATE is not None
+    pairs, stats = _PROCESS_STATE.collect(events)
+    return pack_pairs(pairs), stats
+
+
+class ProcessShardExecutor:
+    """Process-pool fan-out: one single-worker pool per shard.
+
+    Pinning each shard to its own ``ProcessPoolExecutor(max_workers=1)``
+    gives the shard state process affinity — the sub-grid and its
+    persistent pair cache live in that worker for the engine's lifetime,
+    and each epoch only ships the shard's event batch out and its packed
+    pair report back (:func:`repro.fastpath.arrays.pack_pairs`).  All
+    shards' collects run concurrently; results are gathered in shard
+    order, so the merge stays deterministic.  Call :meth:`close` (or use
+    the engine as a context manager) to shut the pools down.
+    """
+
+    def __init__(self, states: Sequence[ShardState]) -> None:
+        self._shard_ids = [state.shard_id for state in states]
+        self._pools = [
+            ProcessPoolExecutor(
+                max_workers=1, initializer=_process_init, initargs=(state,)
+            )
+            for state in states
+        ]
+
+    def collect(
+        self, batches: Dict[int, List[ev.Event]]
+    ) -> List[ShardReport]:
+        """Fan one epoch's batches out; block until every shard reports."""
+        from repro.fastpath.arrays import unpack_pairs
+
+        futures = [
+            pool.submit(_process_collect, batches.get(shard_id, []))
+            for shard_id, pool in zip(self._shard_ids, self._pools)
+        ]
+        reports: List[ShardReport] = []
+        for future in futures:
+            packed, stats = future.result()
+            reports.append((unpack_pairs(packed), stats))
+        return reports
+
+    def close(self) -> None:
+        """Shut down every shard's worker process."""
+        for pool in self._pools:
+            pool.shutdown()
+
+
+class ShardedAssignmentEngine(AssignmentEngine):
+    """The incremental engine with its index fanned out across shards.
+
+    A drop-in :class:`~repro.engine.engine.AssignmentEngine`: the same
+    churn methods, the same ``epoch(now, pinned, forbidden)``, the same
+    warm/full solve modes — producing bit-identical plans — but all
+    spatial-index traffic is routed to per-shard sub-grids and deferred
+    until retrieval, when one fan-out applies each shard's accumulated
+    delta as per-cell-grouped batches and merges the shards' pair
+    reports deterministically.  The object dicts and slot slabs stay in
+    the engine (they are O(1) per event); ``self.grid`` stays empty and
+    serves as the aggregate stats ledger, so epoch records report
+    cache hits/misses summed across shards.
+
+    Args:
+        solver / eta / validity / rng / backend / reanchor_on_epoch /
+            solve_mode / warm_churn_threshold: as for
+            :class:`AssignmentEngine` (``backend`` selects how each shard
+            grid probes its dirty cell pairs).
+        num_shards: cell-block count (see :class:`ShardMap`).
+        halo: task-replication radius; ``None`` replicates everywhere
+            (safe default).  With an explicit halo the engine tracks the
+            population's reach bound and raises the moment the invariant
+            would be violated.
+        executor: ``"sequential"`` (in-process, default) or ``"process"``
+            (one pinned worker process per shard).
+    """
+
+    def __init__(
+        self,
+        solver: Optional[Solver] = None,
+        eta: float = 0.125,
+        validity: Optional[ValidityRule] = None,
+        rng: RngLike = None,
+        backend: str = "python",
+        num_shards: int = 4,
+        halo: Optional[float] = None,
+        executor: str = "sequential",
+        reanchor_on_epoch: bool = False,
+        solve_mode: str = "full",
+        warm_churn_threshold: float = 0.25,
+    ) -> None:
+        super().__init__(
+            solver=solver,
+            eta=eta,
+            validity=validity,
+            rng=rng,
+            backend=backend,
+            use_index=True,
+            reanchor_on_epoch=reanchor_on_epoch,
+            solve_mode=solve_mode,
+            warm_churn_threshold=warm_churn_threshold,
+        )
+        self.shard_map = ShardMap(num_shards, eta, halo=halo)
+        states = [
+            ShardState(shard_id, eta, self.validity, backend=backend)
+            for shard_id in range(num_shards)
+        ]
+        if executor == "sequential":
+            self.executor = SequentialShardExecutor(states)
+        elif executor == "process":
+            self.executor = ProcessShardExecutor(states)
+        else:
+            raise ValueError(f"unknown executor {executor!r}")
+        #: Completed fan-outs (one per retrieval that found routed churn).
+        self.fanouts = 0
+        self._pending: Dict[int, List[ev.Event]] = {}
+        self._merged: Optional[List[ValidPair]] = None
+        self._task_shards: Dict[int, Tuple[int, ...]] = {}
+        self._worker_shard: Dict[int, int] = {}
+        # Running population aggregates backing the halo guard; they only
+        # ever grow (removals cannot shrink a bound already honoured).
+        self._max_end = 0.0
+        self._min_depart = math.inf
+        self._v_max = 0.0
+
+    # ------------------------------------------------------------------ #
+    # Routing (the index hooks)
+    # ------------------------------------------------------------------ #
+
+    def _buffer(self, shard_id: int, event: ev.Event) -> None:
+        self._pending.setdefault(shard_id, []).append(event)
+        self._merged = None
+
+    def _guard_halo(self) -> None:
+        """Fail loudly the moment a configured halo stops being safe."""
+        halo = self.shard_map.halo
+        if halo is None:
+            return
+        min_depart = self._min_depart if self._min_depart != math.inf else 0.0
+        bound = max(0.0, self._max_end - min_depart) * self._v_max
+        if bound > halo + _HALO_EPS:
+            raise ValueError(
+                f"halo {halo} no longer covers the population's reach bound "
+                f"{bound:.6g}; size it with ShardMap.halo_bound over the full "
+                f"pools (or use halo=None to replicate tasks everywhere)"
+            )
+
+    def _guard_tasks(self, tasks: Sequence[SpatialTask]) -> None:
+        """Fold tasks into the reach aggregates and re-check the halo.
+
+        Runs *before* the base registration touches any state, so a
+        too-small halo raises with the engine unmodified (a guard firing
+        after registration would strand entities in the dicts but not in
+        the routing tables).
+        """
+        for task in tasks:
+            self._max_end = max(self._max_end, task.end)
+        self._guard_halo()
+
+    def _guard_workers(self, workers: Sequence[MovingWorker]) -> None:
+        """Fold workers into the reach aggregates and re-check the halo."""
+        for worker in workers:
+            self._min_depart = min(self._min_depart, worker.depart_time)
+            self._v_max = max(self._v_max, worker.velocity)
+        self._guard_halo()
+
+    def add_tasks(self, tasks: Sequence[SpatialTask]) -> None:
+        """Register tasks, halo-guarded before any state changes."""
+        self._guard_tasks(tasks)
+        super().add_tasks(tasks)
+
+    def add_workers(self, workers: Sequence[MovingWorker]) -> None:
+        """Register workers, halo-guarded before any state changes."""
+        self._guard_workers(workers)
+        super().add_workers(workers)
+
+    def update_workers(self, workers: Sequence[MovingWorker]) -> None:
+        """Refresh workers in place, halo-guarded before any state changes."""
+        self._guard_workers(workers)
+        super().update_workers(workers)
+
+    def _index_insert_tasks(self, tasks: Sequence[SpatialTask]) -> None:
+        for task in tasks:
+            shards = self.shard_map.shards_for_task(task.location)
+            self._task_shards[task.task_id] = shards
+            for shard_id in shards:
+                self._buffer(shard_id, ev.TaskArrive(time=0.0, task=task))
+
+    def _index_remove_task(self, task_id: int) -> None:
+        for shard_id in self._task_shards.pop(task_id):
+            self._buffer(shard_id, ev.TaskWithdraw(time=0.0, task_id=task_id))
+
+    def _index_add_workers(self, workers: Sequence[MovingWorker]) -> None:
+        for worker in workers:
+            shard_id = self.shard_map.shard_of_point(worker.location)
+            self._worker_shard[worker.worker_id] = shard_id
+            self._buffer(shard_id, ev.WorkerArrive(time=0.0, worker=worker))
+
+    def _index_remove_worker(self, worker_id: int) -> None:
+        shard_id = self._worker_shard.pop(worker_id)
+        self._buffer(shard_id, ev.WorkerLeave(time=0.0, worker_id=worker_id))
+
+    def _index_update_workers(self, workers: Sequence[MovingWorker]) -> None:
+        for worker in workers:
+            new_shard = self.shard_map.shard_of_point(worker.location)
+            old_shard = self._worker_shard[worker.worker_id]
+            if new_shard == old_shard:
+                self._buffer(new_shard, ev.WorkerUpdate(time=0.0, worker=worker))
+            else:
+                # A block-crossing move migrates the worker between shard
+                # grids; its pairs move with it, so the merge needs no
+                # cross-shard reconciliation.
+                self._worker_shard[worker.worker_id] = new_shard
+                self._buffer(
+                    old_shard, ev.WorkerLeave(time=0.0, worker_id=worker.worker_id)
+                )
+                self._buffer(new_shard, ev.WorkerArrive(time=0.0, worker=worker))
+
+    # ------------------------------------------------------------------ #
+    # Fan-out retrieval
+    # ------------------------------------------------------------------ #
+
+    def current_pairs(self) -> List[ValidPair]:
+        """The live valid-pair set, merged across shards.
+
+        Routed churn since the previous fan-out is flushed first (each
+        shard applies its batch grouped per cell, then reports its pairs
+        incrementally); with nothing pending, the previous merge is
+        served again without touching the executor.  The merged list is
+        sorted by ``(task_id, worker_id)`` — a canonical order containing
+        exactly the single grid's pair set, which is all the (candidate-
+        canonicalising) problem build observes.
+        """
+        if self._merged is None:
+            batches, self._pending = self._pending, {}
+            merged: List[ValidPair] = []
+            for pairs, stats in self.executor.collect(batches):
+                merged.extend(pairs)
+                for key, delta in stats.items():
+                    self.grid.stats[key] += delta
+            merged.sort(key=lambda pair: (pair.task_id, pair.worker_id))
+            self._merged = merged
+            self.fanouts += 1
+        return list(self._merged)
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    def close(self) -> None:
+        """Release the executor (worker processes, for ``"process"``)."""
+        self.executor.close()
+
+    def __enter__(self) -> "ShardedAssignmentEngine":
+        """Context-manager entry: the engine itself."""
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        """Context-manager exit: close the executor."""
+        self.close()

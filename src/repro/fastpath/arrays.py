@@ -401,3 +401,42 @@ class TaskSlots(_SlotStore):
         )
         tasks = [self._objects[int(t)] for t in ids]
         return tasks, arrays
+
+
+# --------------------------------------------------------------------- #
+# Valid-pair wire packing
+# --------------------------------------------------------------------- #
+
+def pack_pairs(pairs: Sequence["ValidPair"]) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Pack a valid-pair list into three flat arrays for cheap transport.
+
+    One :class:`repro.core.problem.ValidPair` is a ~200-byte Python object
+    whose pickle is dominated by per-instance overhead; a sharded engine's
+    process-pool fan-out ships thousands of them back per epoch, so the
+    wire format is ``(task_ids int64, worker_ids int64, arrivals
+    float64)`` instead — one contiguous buffer per column.  Arrivals are
+    copied bit-exactly (no rounding), so :func:`unpack_pairs` reproduces
+    the original list exactly.
+    """
+    n = len(pairs)
+    task_ids = np.empty(n, dtype=np.int64)
+    worker_ids = np.empty(n, dtype=np.int64)
+    arrivals = np.empty(n, dtype=np.float64)
+    for k, pair in enumerate(pairs):
+        task_ids[k] = pair.task_id
+        worker_ids[k] = pair.worker_id
+        arrivals[k] = pair.arrival
+    return task_ids, worker_ids, arrivals
+
+
+def unpack_pairs(
+    packed: Tuple[np.ndarray, np.ndarray, np.ndarray]
+) -> List["ValidPair"]:
+    """Rebuild the :func:`pack_pairs` pair list, bit-identically."""
+    from repro.core.problem import ValidPair
+
+    task_ids, worker_ids, arrivals = packed
+    return [
+        ValidPair(int(task_id), int(worker_id), float(arrival))
+        for task_id, worker_id, arrival in zip(task_ids, worker_ids, arrivals)
+    ]

@@ -35,6 +35,19 @@ from repro.index.cell import GridCell
 COMPACT_MIN_MEMBERS = 4
 
 
+def cell_coords(point: Point, eta: float, n_cols: int) -> Tuple[int, int]:
+    """The ``(row, col)`` grid coordinates of the cell containing ``point``.
+
+    Points on or past the unit-square border are clamped into the edge
+    cells, exactly as :class:`RdbscGrid` places residents.  The helper is
+    shared with :class:`repro.engine.sharding.ShardMap` so event routing
+    and grid indexing can never disagree about cell membership.
+    """
+    col = min(int(point.x / eta), n_cols - 1)
+    row = min(int(point.y / eta), n_cols - 1)
+    return max(row, 0), max(col, 0)
+
+
 def retrieve_pairs_without_index(
     tasks: Sequence[SpatialTask],
     workers: Sequence[MovingWorker],
@@ -133,9 +146,7 @@ class RdbscGrid:
     # ------------------------------------------------------------------ #
 
     def _coords_of(self, point: Point) -> Tuple[int, int]:
-        col = min(int(point.x / self.eta), self.n_cols - 1)
-        row = min(int(point.y / self.eta), self.n_cols - 1)
-        return max(row, 0), max(col, 0)
+        return cell_coords(point, self.eta, self.n_cols)
 
     def _cell_id(self, row: int, col: int) -> int:
         return row * self.n_cols + col
@@ -224,6 +235,74 @@ class RdbscGrid:
         self.insert_worker(worker)
         return old
 
+    def update_workers(self, workers: Sequence[MovingWorker]) -> None:
+        """Batched :meth:`update_worker`: group same-cell refreshes per cell.
+
+        Cross-cell moves fall back to remove + insert individually; the
+        (typically dominant) same-cell refreshes are grouped so each
+        touched cell pays its pair-entry invalidation and its tcell_list
+        widening sweep *once* per batch instead of once per worker — the
+        amortisation the engine's batched per-instant event application
+        relies on.  Worker ids **must** be distinct within one batch —
+        the engine's batch methods and the coalescer both guarantee it;
+        a cross-cell duplicate would desynchronise the remove + insert
+        bookkeeping.  The widened lists may differ from the sequential
+        outcome in membership but remain safe supersets of the true
+        reachability, so retrieval is unaffected.
+
+        Raises:
+            KeyError: if any worker is not indexed — checked for the
+                whole batch before any record moves, so a bad batch
+                cannot leave earlier cross-cell members removed but
+                never re-inserted.
+        """
+        for worker in workers:
+            if worker.worker_id not in self._worker_cell:
+                raise KeyError(f"worker {worker.worker_id} not indexed")
+        same_cell: Dict[int, List[MovingWorker]] = {}
+        moved: List[MovingWorker] = []
+        for worker in workers:
+            cell_id = self._worker_cell[worker.worker_id]
+            target = self._cell_id(*self._coords_of(worker.location))
+            if target == cell_id:
+                same_cell.setdefault(cell_id, []).append(worker)
+            else:
+                self.remove_worker(worker.worker_id)
+                moved.append(worker)
+        if moved:
+            # Cross-cell arrivals grouped by destination, like fresh inserts.
+            self.insert_workers(moved)
+        for cell_id, group in same_cell.items():
+            cell = self._cells[cell_id]
+            for worker in group:
+                cell.replace_worker(worker)
+            self._dirty_worker_cell(cell_id)
+            self._extend_tcell_for_workers(cell_id, group)
+
+    def insert_workers(self, workers: Sequence[MovingWorker]) -> None:
+        """Batched :meth:`insert_worker`: one widening sweep per cell.
+
+        All workers are placed first; each destination cell then pays one
+        pair-entry invalidation and one group widening sweep, instead of
+        one per arrival.  Duplicate ids (within the batch or already
+        indexed) raise ValueError before any placement, so the cached
+        lists are never left un-widened for a half-placed batch.
+        """
+        fresh: Set[int] = set()
+        for worker in workers:
+            if worker.worker_id in self._worker_cell or worker.worker_id in fresh:
+                raise ValueError(f"worker {worker.worker_id} already indexed")
+            fresh.add(worker.worker_id)
+        groups: Dict[int, List[MovingWorker]] = {}
+        for worker in workers:
+            cell = self.cell_at(worker.location)
+            cell.add_worker(worker)
+            self._worker_cell[worker.worker_id] = cell.cell_id
+            groups.setdefault(cell.cell_id, []).append(worker)
+        for cell_id, group in groups.items():
+            self._dirty_worker_cell(cell_id)
+            self._extend_tcell_for_workers(cell_id, group)
+
     def insert_task(self, task: SpatialTask) -> None:
         """Place a task and extend existing tcell_lists incrementally.
 
@@ -231,11 +310,38 @@ class RdbscGrid:
         the paper's worst case of touching all workers, but amortised to a
         single cell-level check per worker cell.
         """
+        self._place_task(task)
+        self._link_task_cell(self._cells[self._task_cell[task.task_id]])
+
+    def insert_tasks(self, tasks: Sequence[SpatialTask]) -> None:
+        """Batched :meth:`insert_task`: one list-extension pass per cell.
+
+        All tasks are placed first, then each *distinct* touched cell pays
+        a single sweep over the cached worker-cell lists — k same-cell
+        arrivals within one instant cost one cell-level check per worker
+        cell instead of k.  The resulting lists are a safe superset of the
+        sequential outcome (a grouped reachability check sees the cell's
+        full new content, which can only admit more members), so exact
+        retrieval probes return identical pairs either way.
+        """
+        touched: Dict[int, GridCell] = {}
+        for task in tasks:
+            self._place_task(task)
+            cell = self._cells[self._task_cell[task.task_id]]
+            touched[cell.cell_id] = cell
+        for cell in touched.values():
+            self._link_task_cell(cell)
+
+    def _place_task(self, task: SpatialTask) -> None:
+        """Put a task into its cell's records (no list maintenance yet)."""
         if task.task_id in self._task_cell:
             raise ValueError(f"task {task.task_id} already indexed")
         cell = self.cell_at(task.location)
         cell.add_task(task)
         self._task_cell[task.task_id] = cell.cell_id
+
+    def _link_task_cell(self, cell: GridCell) -> None:
+        """Extend cached worker-cell lists for a cell with new tasks."""
         for worker_cell_id in list(self._tcell.keys()):
             if cell.cell_id in self._tcell[worker_cell_id]:
                 # Already listed (possibly from before the cell emptied and
@@ -298,21 +404,44 @@ class RdbscGrid:
             self._pair_cache.pop((cell_id, target), None)
 
     def _extend_tcell_for_worker(self, cell_id: int, worker: MovingWorker) -> None:
-        """Widen a cached tcell_list with one new resident's own reach.
+        """Widen a cached tcell_list with one new resident's own reach."""
+        self._extend_tcell_for_workers(cell_id, (worker,))
+
+    def _extend_tcell_for_workers(
+        self, cell_id: int, workers: Sequence[MovingWorker]
+    ) -> None:
+        """Widen a cached tcell_list with a group of new residents' reach.
 
         Cells already listed stay (the old residents' reach is unchanged);
-        cells off the list join when the *new worker alone* might serve a
-        task there — a superset of the exact condition, kept honest by the
-        exact retrieval probes.  No-op without a cached list (it will be
-        built tight, lazily, on the next retrieval).
+        cells off the list join when *any of the new workers alone* might
+        serve a task there — a superset of the exact condition, kept
+        honest by the exact retrieval probes.  One pass over the grid's
+        cells covers the whole group, and each candidate cell is first
+        screened with a group-aggregate time bound (the group's fastest
+        worker, earliest departure, against the home cell's rectangle
+        distance — the same Section 7.1 shape as :meth:`_cell_reachable`)
+        so the unreachable majority of cells costs one check instead of
+        one per worker.  No-op without a cached list (it will be built
+        tight, lazily, on the next retrieval).
         """
         cached = self._tcell.get(cell_id)
         if cached is None:
             return
+        home = self._cells[cell_id]
+        v_max = max(worker.velocity for worker in workers)
+        depart_min = min(worker.depart_time for worker in workers)
         for candidate in self._cells.values():
             if not candidate.tasks or candidate.cell_id in cached:
                 continue
-            if self._worker_reaches_cell(worker, candidate):
+            d_min = home.min_distance_to(candidate)
+            if d_min > 0.0:
+                if v_max <= 0.0:
+                    continue
+                if depart_min + d_min / v_max > candidate.e_max:
+                    continue  # even the group's best composite cannot arrive
+            if any(
+                self._worker_reaches_cell(worker, candidate) for worker in workers
+            ):
                 cached.add(candidate.cell_id)
                 self._rtcell.setdefault(candidate.cell_id, set()).add(cell_id)
 

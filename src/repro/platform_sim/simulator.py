@@ -9,12 +9,15 @@ minutes with a pluggable RDB-SC solver.
 The simulator owns only the *physics*: trips, answer attempts (succeeding
 with probability equal to the worker's true confidence), reputation
 updates, and the Figure 18 metrics log.  All assignment state lives in an
-:class:`repro.engine.engine.AssignmentEngine`: task spawns and worker
-(re)arrivals are emitted as typed engine events through one time-ordered
+:class:`repro.engine.engine.AssignmentEngine`: task spawns and trip
+completions are emitted as typed engine events through one time-ordered
 :class:`repro.engine.scheduler.EventQueue`, and every re-planning instant
 is an engine epoch with the committed contributions pinned in (``A`` /
 ``S_c`` of Figure 10's line 6) and already-issued (worker, task) pairs
-forbidden.  Between update instants nothing re-plans: travelling workers
+forbidden.  A dispatched worker is *held* in place rather than removed —
+solver-invisible while travelling, released with one in-place update at
+the task site when the trip completes — so dispatch causes no index
+churn and warm-mode epochs keep their plan.  Between update instants nothing re-plans: travelling workers
 finish their trips and wait at the site until the next epoch makes them
 available again.  The Figure 18 metrics — minimum reliability and total
 expected STD over tasks that received workers — are computed from the
@@ -36,7 +39,7 @@ from repro.core.task import SpatialTask
 from repro.core.validity import ValidityRule
 from repro.core.worker import MovingWorker
 from repro.engine.engine import AssignmentEngine
-from repro.engine.events import EpochTick, TaskArrive, WorkerArrive
+from repro.engine.events import EpochTick, TaskArrive, WorkerUpdate
 from repro.engine.metrics import EngineMetrics
 from repro.engine.scheduler import EventQueue, epoch_ticks
 from repro.geometry.angles import AngleInterval
@@ -146,10 +149,11 @@ class PlatformSimulator:
             probing; identical dispatches either way.
         solve_mode: forwarded to the engine — ``"warm"`` repairs the
             previous epoch's plan during quiet update instants (see
-            :mod:`repro.solvers.incremental`); note that dispatches remove
-            workers from the engine and re-anchoring touches every worker
-            with live pairs, so deployments with few idle workers churn
-            fast and mostly fall back to full solves.
+            :mod:`repro.solvers.incremental`).  Dispatches *hold* workers
+            in place (no index churn) and trip completions are in-place
+            updates, so the per-epoch churn is just the holds, releases
+            and re-anchored idle workers — small enough that warm mode
+            genuinely engages on deployment workloads.
         warm_churn_threshold: churn fraction above which a warm-mode
             epoch falls back to a full solve.
     """
@@ -279,9 +283,10 @@ class PlatformSimulator:
                 records[event.task.task_id] = TaskRecord(event.task)
                 engine.apply(event)
                 continue
-            if isinstance(event, WorkerArrive):
-                # A trip completing: attempt the answer, then hand the
-                # worker back to the engine at the task's site.
+            if isinstance(event, WorkerUpdate):
+                # A trip completing: attempt the answer, then release the
+                # held worker with an in-place update to the task's site —
+                # no remove + re-add churn, so warm mode keeps its plan.
                 worker = event.worker
                 task_id, arrival, dispatched = in_flight.pop(worker.worker_id)
                 record = records[task_id]
@@ -300,6 +305,7 @@ class PlatformSimulator:
                 answers.append(answer)
                 if tracker is not None:
                     tracker.observe(worker.worker_id, success)
+                engine.release_worker(worker.worker_id)
                 engine.apply(event)
                 continue
             if not isinstance(event, EpochTick):  # pragma: no cover
@@ -310,6 +316,8 @@ class PlatformSimulator:
             # (an O(1) same-cell update per changed worker).
             if tracker is not None:
                 for worker in list(engine.workers.values()):
+                    if worker.worker_id in engine.held_workers:
+                        continue  # in flight: refreshed on release instead
                     refreshed = tracker.refreshed_worker(worker)
                     if refreshed.confidence != worker.confidence:
                         engine.update_worker(refreshed)
@@ -324,15 +332,15 @@ class PlatformSimulator:
             }
             result = engine.epoch(now, pinned=pinned, forbidden=issued)
 
-            # Dispatch the chosen workers: they leave the engine until
-            # their trip completes.
+            # Dispatch the chosen workers: held in place (solver-invisible,
+            # zero index churn) until their trip completes.
             for worker_id, task_id in sorted(result.dispatch.items()):
                 record = records[task_id]
                 worker_now = engine.workers[worker_id]
                 arrival = self.validity.effective_arrival(worker_now, record.task)
                 if arrival is None:
                     continue  # defensive: solver honoured precomputed pairs
-                engine.remove_worker(worker_id)
+                engine.hold_worker(worker_id)
                 issued.add((worker_id, task_id))
                 record.dispatched_worker_ids.append(worker_id)
                 record.dispatched_profiles.append(
@@ -346,7 +354,7 @@ class PlatformSimulator:
                 dispatches += 1
                 in_flight[worker_id] = (task_id, arrival, worker_now)
                 queue.push(
-                    WorkerArrive(
+                    WorkerUpdate(
                         time=arrival,
                         worker=worker_now.moved_to(
                             record.task.location,

@@ -64,11 +64,34 @@ class EpochDelta:
     workers_arrived: Set[int] = field(default_factory=set)
     workers_left: Set[int] = field(default_factory=set)
     workers_updated: Set[int] = field(default_factory=set)
+    #: Workers touched only by the engine's own per-epoch re-anchor sweep
+    #: (departure pulled to ``now``, position unchanged).  They are forced
+    #: dirty — their arrivals drift, so the warm solvers must re-score
+    #: them — but they are *endogenous clock bookkeeping*, not external
+    #: churn: every clocked deployment re-anchors its idle frontier every
+    #: epoch, and counting that against ``warm_churn_threshold`` would
+    #: push warm mode into permanent fallback regardless of how quiet the
+    #: actual workload is.
+    workers_reanchored: Set[int] = field(default_factory=set)
+    #: Workers *held* since the previous epoch (dispatched in-flight, see
+    #: :meth:`repro.engine.engine.AssignmentEngine.hold_worker`).  A hold
+    #: is plan-entry fulfilment, not invalidation: the previous epoch
+    #: chose the worker for exactly the task it is now travelling to, the
+    #: contribution re-enters the next epoch as a pinned profile, and no
+    #: other entry's validity changes — so holds are forced dirty (their
+    #: candidates vanish) but do not count toward the fallback fraction.
+    #: The *release* at trip completion is ordinary update churn.
+    workers_held: Set[int] = field(default_factory=set)
     tasks_arrived: Set[int] = field(default_factory=set)
     tasks_removed: Set[int] = field(default_factory=set)
 
     def churn_size(self) -> int:
-        """Distinct entities touched since the previous epoch."""
+        """Distinct externally churned entities since the previous epoch.
+
+        Re-anchor-only workers are excluded (see ``workers_reanchored``);
+        a worker that also arrived or was externally updated in the same
+        interval still counts once.
+        """
         workers = self.workers_arrived | self.workers_left | self.workers_updated
         tasks = self.tasks_arrived | self.tasks_removed
         return len(workers) + len(tasks)
@@ -78,19 +101,29 @@ class EpochDelta:
         return self.churn_size() / max(1, population)
 
     def touched_workers(self) -> Set[int]:
-        """Workers the delta names directly (arrived or updated in place).
+        """Workers the delta names directly (arrived, updated, re-anchored).
 
         Updated workers are forced dirty even when their candidate
         *signature* is unchanged: an in-place confidence refresh moves no
         arrival, yet can change which task the worker should serve.
+        Re-anchored and held workers are forced dirty too — arrivals
+        moved with the clock, or candidates vanished into a hold — even
+        though neither counts as churn.
         """
-        return self.workers_arrived | self.workers_updated
+        return (
+            self.workers_arrived
+            | self.workers_updated
+            | self.workers_reanchored
+            | self.workers_held
+        )
 
     def clear(self) -> None:
         """Reset all sets (called by the engine after each epoch)."""
         self.workers_arrived.clear()
         self.workers_left.clear()
         self.workers_updated.clear()
+        self.workers_reanchored.clear()
+        self.workers_held.clear()
         self.tasks_arrived.clear()
         self.tasks_removed.clear()
 

@@ -1,6 +1,6 @@
 """Benchmark smoke suite: every ``benchmarks/bench_*.py`` must still run.
 
-The 25 figure/ablation benchmarks are pytest modules that are only
+The 26 figure/ablation benchmarks are pytest modules that are only
 executed by hand (``make benchsmoke`` / ``pytest benchmarks``), which
 historically lets them rot silently when an API they use changes.  This
 suite, selected with ``pytest -m benchsmoke``, does two things per bench
@@ -134,6 +134,17 @@ SMOKE_RUNNERS = {
     "bench_fig27_angles_skewed": spec_runner("fig27_angles_skewed"),
     "bench_section72_maintenance": lambda m: m.run_maintenance_experiment(
         n_ops=10, seed=3
+    ),
+    "bench_sharding": lambda m: m.run_sharding_experiment(
+        num_tasks=8,
+        num_workers=40,
+        epochs=2,
+        moves=10,
+        worker_churn=2,
+        task_churn=1,
+        eta=0.125,
+        include_process=False,
+        write_json=False,
     ),
     "bench_table2_config": run_table2,
 }

@@ -107,6 +107,175 @@ class TestEventApplication:
         assert engine.assignment_of(0) == 0
 
 
+class TestBatchedApplication:
+    def _stream(self, seed=31):
+        """A mixed-kind stream with same-instant bursts."""
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        events = []
+        for k in range(12):
+            events.append(TaskArrive(time=0.0, task=make_task(
+                k, x=float(rng.uniform()), y=float(rng.uniform()), end=8.0)))
+        for k in range(25):
+            events.append(WorkerArrive(time=0.0, worker=make_worker(
+                k, x=float(rng.uniform()), y=float(rng.uniform()), velocity=0.3)))
+        events.append(EpochTick(time=0.0))
+        for k in range(20):
+            events.append(WorkerUpdate(time=1.0, worker=make_worker(
+                k % 25, x=float(rng.uniform()), y=float(rng.uniform()),
+                velocity=0.3, depart_time=1.0)))
+        events.append(TaskWithdraw(time=1.0, task_id=3))
+        events.append(ExpireTasks(time=1.0))
+        events.append(EpochTick(time=1.0))
+        return events
+
+    def test_pop_instant_groups_per_time_with_churn_first(self):
+        queue = EventQueue(self._stream())
+        first = queue.pop_instant()
+        assert {event.time for event in first} == {0.0}
+        assert isinstance(first[-1], EpochTick)
+        assert not any(isinstance(e, EpochTick) for e in first[:-1])
+        second = queue.pop_instant()
+        assert {event.time for event in second} == {1.0}
+        assert len(queue) == 0
+        with pytest.raises(IndexError):
+            queue.pop_instant()
+
+    def test_drain_instants_equals_drain(self):
+        events = self._stream()
+        flat = [e for batch in EventQueue(events).drain_instants() for e in batch]
+        assert flat == list(EventQueue(events).drain())
+
+    def test_apply_batch_equals_per_event_application(self):
+        """Batched per-instant application is behaviour-identical.
+
+        Same-instant worker-update and task-arrive runs are grouped into
+        single index calls (repeated ids split the run to stay
+        last-wins); the resulting pair sets, assignments and objectives
+        must match a per-event replay exactly.
+        """
+        events = self._stream()
+        # A repeated id inside one instant forces a mid-run flush.
+        events.insert(40, WorkerUpdate(time=1.0, worker=make_worker(
+            2, x=0.9, y=0.9, velocity=0.3, depart_time=1.0)))
+        batched = AssignmentEngine(solver=GreedySolver(), rng=5)
+        sequential = AssignmentEngine(solver=GreedySolver(), rng=5)
+        batched_results = batched.process(EventQueue(events))
+        sequential_results = []
+        for event in EventQueue(events).drain():
+            outcome = sequential.apply(event)
+            if outcome is not None:
+                sequential_results.append(outcome)
+        assert len(batched_results) == len(sequential_results) == 2
+        for a, b in zip(batched_results, sequential_results):
+            assert sorted(a.assignment.pairs()) == sorted(b.assignment.pairs())
+            assert a.objective == b.objective
+        assert sorted(
+            (p.task_id, p.worker_id, p.arrival) for p in batched.current_pairs()
+        ) == sorted(
+            (p.task_id, p.worker_id, p.arrival) for p in sequential.current_pairs()
+        )
+        assert batched.workers[2].location.x == pytest.approx(
+            sequential.workers[2].location.x
+        )
+
+    def test_batch_methods_validate_like_singles(self):
+        engine = AssignmentEngine(solver=GreedySolver())
+        engine.add_tasks([make_task(0), make_task(1)])
+        with pytest.raises(ValueError):
+            engine.add_tasks([make_task(2), make_task(0)])
+        assert engine.num_tasks == 3  # valid prefix registered, like singles
+        with pytest.raises(KeyError):
+            engine.update_workers([make_worker(9)])
+
+    def test_duplicate_update_batch_rejected_before_mutation(self):
+        """A repeated id in one update batch must raise, engine untouched.
+
+        A cross-cell duplicate would otherwise desynchronise the grid's
+        remove + insert bookkeeping (the first occurrence removes, the
+        second KeyErrors mid-flight, and the worker's pairs vanish).
+        """
+        from repro.geometry.points import Point
+
+        engine = AssignmentEngine(solver=GreedySolver())
+        engine.add_task(make_task(0, x=0.9, y=0.9, end=5.0))
+        engine.add_worker(make_worker(1, x=0.1, y=0.1, velocity=2.0))
+        moved = engine.workers[1].moved_to(Point(0.9, 0.9), 0.0)
+        with pytest.raises(ValueError):
+            engine.update_workers([moved, moved])
+        assert engine.workers[1].location.x == pytest.approx(0.1)
+        engine.update_worker(moved)  # engine and grid still in lock-step
+        assert {p.worker_id for p in engine.current_pairs()} == {1}
+
+
+class TestHeldWorkers:
+    def _engine(self):
+        engine = AssignmentEngine(solver=GreedySolver())
+        engine.add_task(make_task(0, x=0.5, y=0.5, end=10.0))
+        engine.add_worker(make_worker(0, x=0.4, y=0.5, velocity=0.5))
+        engine.add_worker(make_worker(1, x=0.6, y=0.5, velocity=0.5))
+        return engine
+
+    def test_held_worker_is_solver_invisible_without_index_churn(self):
+        engine = self._engine()
+        engine.epoch(0.0)
+        hits_before = engine.grid.stats["pair_cache_hits"]
+        engine.hold_worker(0)
+        result = engine.epoch(0.0)
+        assert 0 not in result.dispatch
+        assert result.dispatch == {1: 0}
+        # No cache entries were invalidated by the hold.
+        assert engine.grid.stats["pair_cache_misses"] == 2
+        assert engine.grid.stats["pair_cache_hits"] > hits_before
+        # Retrieval itself still sees the worker (state is intact).
+        assert {p.worker_id for p in engine.current_pairs()} == {0, 1}
+
+    def test_release_restores_visibility(self):
+        engine = self._engine()
+        engine.hold_worker(0)
+        engine.release_worker(0)
+        result = engine.epoch(0.0)
+        assert set(result.dispatch) == {0, 1}
+        assert engine.metrics.events["worker_hold"] == 1
+        assert engine.metrics.events["worker_release"] == 1
+
+    def test_hold_unknown_worker_raises(self):
+        engine = self._engine()
+        with pytest.raises(KeyError):
+            engine.hold_worker(99)
+        with pytest.raises(KeyError):
+            engine.release_worker(99)
+
+    def test_remove_clears_hold(self):
+        engine = self._engine()
+        engine.hold_worker(0)
+        engine.remove_worker(0)
+        assert 0 not in engine.held_workers
+
+    def test_reanchor_skips_held_workers(self):
+        engine = AssignmentEngine(
+            solver=GreedySolver(),
+            validity=ValidityRule(allow_waiting=True),
+            reanchor_on_epoch=True,
+        )
+        engine.add_task(make_task(0, x=0.5, y=0.5, start=0.0, end=10.0))
+        engine.add_worker(make_worker(0, x=0.4, y=0.5, velocity=0.5))
+        engine.hold_worker(0)
+        future_depart = 7.5  # post-trip availability owned by the holder
+        engine.update_worker(
+            engine.workers[0].moved_to(engine.workers[0].location, future_depart)
+        )
+        engine.epoch(2.0)
+        assert engine.workers[0].depart_time == future_depart
+
+    def test_hold_does_not_count_as_fallback_churn(self):
+        engine = self._engine()
+        engine.hold_worker(0)
+        assert engine._delta.churn_size() == 3  # the initial adds only
+        assert 0 in engine._delta.touched_workers()
+
+
 class TestEpoch:
     def test_pinned_contributions_become_virtual_workers(self):
         engine = AssignmentEngine(solver=GreedySolver())

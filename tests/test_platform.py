@@ -208,3 +208,45 @@ class TestSimulatorRuns:
             key = (answer.worker_id, answer.task_id)
             assert key not in seen
             seen.add(key)
+
+
+class TestWarmModeDispatchChurn:
+    """Dispatch holds workers in place, so warm mode genuinely engages.
+
+    Before the hold/release dispatch path, every dispatch removed its
+    worker and every trip completion re-added one, so warm-mode
+    deployments fell back to full solves almost every epoch (the old
+    ROADMAP item).  Now a dispatched worker is held (plan fulfilment, not
+    churn), released with one in-place update — warm repair must carry
+    most epochs at the default threshold, without costing quality.
+    """
+
+    def _run(self, mode):
+        simulator = PlatformSimulator(
+            PlatformConfig(sim_minutes=40.0), solve_mode=mode
+        )
+        return simulator.run(GreedySolver(), rng=11)
+
+    def test_warm_mode_carries_most_epochs(self):
+        result = self._run("warm")
+        metrics = result.engine_metrics
+        assert metrics.warm_solves > metrics.full_solves
+        assert metrics.events["worker_hold"] == result.dispatches
+        assert metrics.events["worker_release"] == len(result.answers)
+
+    def test_warm_quality_matches_full_on_the_same_seed(self):
+        full = self._run("full")
+        warm = self._run("warm")
+        assert full.engine_metrics.warm_solves == 0
+        assert warm.dispatches == pytest.approx(full.dispatches, abs=0.1 * full.dispatches)
+        assert warm.min_reliability == pytest.approx(full.min_reliability, abs=0.05)
+        assert warm.total_std == pytest.approx(full.total_std, rel=0.15)
+
+    def test_dispatched_worker_stays_registered_while_held(self):
+        simulator = PlatformSimulator(PlatformConfig(sim_minutes=6.0))
+        config = simulator.config
+        result = simulator.run(GreedySolver(), rng=3)
+        # Every dispatch kept the worker count constant: nobody was
+        # removed, so the engine ends with the full workforce registered.
+        assert result.engine_metrics.events.get("worker_leave", 0) == 0
+        assert result.engine_metrics.events["worker_arrive"] == config.n_workers

@@ -4,7 +4,9 @@
 The container image has no ``pydocstyle``, so this is the dependency-free
 equivalent CI runs: an ``ast`` walk over the given directories enforcing
 the public-API documentation contract of ``repro.engine`` and
-``repro.solvers`` —
+``repro.solvers`` — and, since the sharded era, the same contract over
+``benchmarks/`` and ``examples/``, whose modules are the runnable
+documentation of the recorded claims —
 
 * every module has a module docstring (D100),
 * every public class has a class docstring (D101),
@@ -19,9 +21,10 @@ cased because the codebase has none.  A function whose body is only
 
 Usage::
 
-    python tools/docs_lint.py src/repro/engine src/repro/solvers
+    python tools/docs_lint.py src/repro/engine src/repro/solvers benchmarks examples
 
-Exits non-zero listing every violation as ``path:line: code name``.
+Run without arguments to lint the default target set above.  Exits
+non-zero listing every violation as ``path:line: code name``.
 """
 
 from __future__ import annotations
@@ -86,9 +89,18 @@ def lint_paths(paths: List[str]) -> List[Violation]:
     return violations
 
 
+#: Directories linted when the CLI is given no arguments (what CI runs).
+DEFAULT_TARGETS = [
+    "src/repro/engine",
+    "src/repro/solvers",
+    "benchmarks",
+    "examples",
+]
+
+
 def main(argv: List[str]) -> int:
     """CLI entry point; returns the process exit code."""
-    targets = argv or ["src/repro/engine", "src/repro/solvers"]
+    targets = argv or list(DEFAULT_TARGETS)
     violations = lint_paths(targets)
     for path, line, code, name in violations:
         print(f"{path}:{line}: {code} missing docstring: {name}")

@@ -25,7 +25,14 @@ The table decomposes where the speedup comes from, honestly:
 * ``sharded-4/proc`` — the same four shards pinned to worker processes.
   On a multi-core host the four collects overlap; on a single-core host
   (like CI) this row mostly measures IPC overhead, which is why it is
-  reported but not asserted on.
+  reported but not asserted on.  The row additionally records the
+  engine-side executor decomposition — ``route_seconds`` (batch routing +
+  submission, i.e. the serialisation hand-off), ``wait_seconds``
+  (blocking on the overlapped shard collects) and ``unpack_seconds``
+  (deserialising the packed pair reports) — so routing/serialisation
+  cost is measured in its own right instead of being lumped into shard
+  compute (the ROADMAP's open measurement for deciding whether shipping
+  needs to overlap with compute).
 """
 
 import dataclasses
@@ -138,6 +145,9 @@ def _run(engine, tasks, workers, script, eager):
             (outcome.objective.min_reliability, outcome.objective.total_std)
         )
     epoch_seconds = time.perf_counter() - started
+    executor_timings = dict(
+        getattr(getattr(engine, "executor", None), "timings", {}) or {}
+    )
     close = getattr(engine, "close", None)
     if close is not None:
         close()
@@ -145,6 +155,7 @@ def _run(engine, tasks, workers, script, eager):
         "epoch_seconds": epoch_seconds,
         "solve_seconds": engine.metrics.solve_seconds - solve_before,
         "objectives": objectives,
+        "executor_timings": executor_timings,
     }
 
 
@@ -212,20 +223,28 @@ def run_sharding_experiment(
             baseline_seconds = outcome["epoch_seconds"]
         elif outcome["objectives"] != reference:
             raise AssertionError(f"{label}: objectives diverged from single-shard")
-        rows.append(
-            {
-                "mode": label,
-                "m_tasks": num_tasks,
-                "n_workers": num_workers,
-                "epochs": epochs,
-                "events_per_epoch": moves + 2 * worker_churn + 2 * task_churn,
-                "halo": halo,
-                "epoch_seconds": outcome["epoch_seconds"],
-                "solve_seconds": outcome["solve_seconds"],
-                "epochs_per_second": epochs / outcome["epoch_seconds"],
-                "speedup_vs_single": baseline_seconds / outcome["epoch_seconds"],
-            }
-        )
+        row = {
+            "mode": label,
+            "m_tasks": num_tasks,
+            "n_workers": num_workers,
+            "epochs": epochs,
+            "events_per_epoch": moves + 2 * worker_churn + 2 * task_churn,
+            "halo": halo,
+            "epoch_seconds": outcome["epoch_seconds"],
+            "solve_seconds": outcome["solve_seconds"],
+            "epochs_per_second": epochs / outcome["epoch_seconds"],
+            "speedup_vs_single": baseline_seconds / outcome["epoch_seconds"],
+        }
+        if outcome["executor_timings"]:
+            # Engine-side fan-out decomposition: routing/serialisation and
+            # report deserialisation measured apart from shard compute.
+            row.update(
+                {
+                    f"executor_{key}": value
+                    for key, value in outcome["executor_timings"].items()
+                }
+            )
+        rows.append(row)
 
     if write_json:
         RESULT_PATH.write_text(
@@ -252,6 +271,12 @@ def test_sharding_speedup(benchmark, show):
             f"{row['epoch_seconds']:9.3f} | {row['solve_seconds']:9.3f} | "
             f"{row['speedup_vs_single']:7.2f}x"
         )
+        if "executor_route_seconds" in row:
+            lines.append(
+                f"{'':>15} |   fan-out: route {row['executor_route_seconds']:.3f}s, "
+                f"wait {row['executor_wait_seconds']:.3f}s, "
+                f"unpack {row['executor_unpack_seconds']:.3f}s"
+            )
     show("\n".join(lines))
 
     headline = next(row for row in rows if row["mode"] == "sharded-4/seq")

@@ -18,11 +18,19 @@ Two optimisations keep the inner loop honest at scale:
   Lemma 4.3 sweep run as :mod:`repro.fastpath` array kernels over all
   candidates at once — same selections, same result, less interpreter
   time per candidate.
+* With a ``scorer`` attached (the engine's ``solve_executor`` knob binds a
+  :class:`repro.engine.parallel.ShardBatchedScorer`), each round's
+  ``Δmin_R`` scoring is evaluated in per-shard batches — inline or across
+  a process pool — and merged back into candidate order *before* the
+  global argmax, so the committed plan stays bit-identical to the serial
+  greedy at every batch count and pool size.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
+
+import numpy as np
 
 from repro.algorithms.base import RngLike, Solver, SolverResult
 from repro.algorithms.pruning import (
@@ -45,15 +53,24 @@ class GreedySolver(Solver):
         backend: ``"python"`` scores candidates one by one; ``"numpy"``
             batches the ``Δmin_R`` scoring and pruning sweep through the
             fastpath kernels.  Both backends commit identical assignments.
+        scorer: optional shard-batched round scorer (duck-typed to
+            :class:`repro.engine.parallel.ShardBatchedScorer`); when set,
+            each round's ``Δmin_R`` values come from per-shard kernel
+            batches merged before the argmax — identical selections on
+            both backends.  The engine attaches this via its
+            ``solve_executor`` knob.
     """
 
     name = "GREEDY"
 
-    def __init__(self, use_pruning: bool = True, backend: str = "python") -> None:
+    def __init__(
+        self, use_pruning: bool = True, backend: str = "python", scorer=None
+    ) -> None:
         if backend not in ("python", "numpy"):
             raise ValueError(f"unknown backend {backend!r}")
         self.use_pruning = use_pruning
         self.backend = backend
+        self.scorer = scorer
 
     def solve(self, problem: RdbscProblem, rng: RngLike = None) -> SolverResult:
         evaluator = IncrementalEvaluator(problem)
@@ -95,7 +112,7 @@ class GreedySolver(Solver):
         Returns:
             The solver stats dict (rounds, exact evaluations, pruned count).
         """
-        if self.backend == "numpy":
+        if self.backend == "numpy" or self.scorer is not None:
             if log_weights is None:
                 log_weights = {
                     worker_id: problem.workers_by_id[worker_id].log_confidence_weight
@@ -150,6 +167,50 @@ class GreedySolver(Solver):
 
     # ------------------------------------------------------------------ #
 
+    def _round_dr_array(
+        self,
+        problem: RdbscProblem,
+        evaluator: IncrementalEvaluator,
+        pairs: List[Tuple[int, int]],
+        min_two: Tuple[float, float],
+    ) -> np.ndarray:
+        """``Δmin_R`` for every candidate of one round, as an array.
+
+        Packs the per-candidate kernel inputs — the target task's current
+        ``(R, occupied)`` state, looked up once per task, and the worker's
+        Eq. 8 weight — then evaluates through the attached shard-batched
+        scorer when one is set, or one direct
+        :func:`repro.fastpath.kernels.batch_delta_min_r` call otherwise.
+        The kernel is element-wise, so both routes (and any batch
+        partition) produce the same values as the scalar
+        ``delta_min_r`` — bit for bit.
+        """
+        best, second = min_two
+        weights = self._log_weights
+        assert weights is not None
+        n = len(pairs)
+        task_r = np.empty(n)
+        task_has = np.empty(n, dtype=bool)
+        pair_weights = np.empty(n)
+        # Per-round memo: each task's (R, occupied) is looked up once.
+        seen: Dict[int, Tuple[float, bool]] = {}
+        for k, (task_id, worker_id) in enumerate(pairs):
+            cached = seen.get(task_id)
+            if cached is None:
+                state = evaluator.state_of(task_id)
+                cached = (state.r_value, bool(state.profiles))
+                seen[task_id] = cached
+            task_r[k] = cached[0]
+            task_has[k] = cached[1]
+            pair_weights[k] = weights[worker_id]
+        if self.scorer is not None:
+            return self.scorer.round_delta_min_r(
+                problem, pairs, task_r, task_has, pair_weights, best, second
+            )
+        from repro.fastpath.kernels import batch_delta_min_r
+
+        return batch_delta_min_r(task_r, task_has, pair_weights, best, second)
+
     def _exact_dstd(
         self,
         evaluator: IncrementalEvaluator,
@@ -184,11 +245,23 @@ class GreedySolver(Solver):
             return self._score_round_numpy(
                 problem, evaluator, pairs, min_two, dstd_cache, bounds_cache
             )
+        # With a shard-batched scorer attached the round's Δmin_R values
+        # come from the merged kernel batches (bit-identical to the scalar
+        # delta_min_r); otherwise they are computed pair by pair.
+        dr_array = (
+            self._round_dr_array(problem, evaluator, pairs, min_two)
+            if self.scorer is not None
+            else None
+        )
         exact = 0
         if not self.use_pruning:
             out = []
-            for task_id, worker_id in pairs:
-                dr = evaluator.delta_min_r(task_id, worker_id, min_two)
+            for k, (task_id, worker_id) in enumerate(pairs):
+                dr = (
+                    float(dr_array[k])
+                    if dr_array is not None
+                    else evaluator.delta_min_r(task_id, worker_id, min_two)
+                )
                 dd, computed = self._exact_dstd(
                     evaluator, dstd_cache, task_id, worker_id
                 )
@@ -197,8 +270,12 @@ class GreedySolver(Solver):
             return out, exact, 0
 
         bounded: List[CandidateBounds] = []
-        for task_id, worker_id in pairs:
-            dr = evaluator.delta_min_r(task_id, worker_id, min_two)
+        for k, (task_id, worker_id) in enumerate(pairs):
+            dr = (
+                float(dr_array[k])
+                if dr_array is not None
+                else evaluator.delta_min_r(task_id, worker_id, min_two)
+            )
             cached = dstd_cache.get(task_id, {}).get(worker_id)
             if cached is not None:
                 lb = ub = cached
@@ -238,35 +315,18 @@ class GreedySolver(Solver):
     ) -> Tuple[List[Tuple[Tuple[int, int], float, float]], int, int]:
         """The fastpath twin of the scalar scoring loop.
 
-        ``Δmin_R`` for every candidate comes from one broadcast kernel
-        call, and the Lemma 4.3 sweep is the vectorised
+        ``Δmin_R`` for every candidate comes from the broadcast kernel —
+        one direct call, or per-shard batches merged back into candidate
+        order when a scorer is attached (:meth:`_round_dr_array`) — and
+        the Lemma 4.3 sweep is the vectorised
         :func:`repro.fastpath.kernels.lemma43_prune_order`.  Bound and
         exact-``ΔE[STD]`` values reuse the same per-task caches as the
         scalar path, so both backends make identical selections.
         """
-        import numpy as np
+        from repro.fastpath.kernels import lemma43_prune_order
 
-        from repro.fastpath.kernels import batch_delta_min_r, lemma43_prune_order
-
-        best, second = min_two
-        weights = self._log_weights
-        assert weights is not None
         n = len(pairs)
-        task_r = np.empty(n)
-        task_has = np.empty(n, dtype=bool)
-        pair_weights = np.empty(n)
-        # Per-round memo: each task's (R, occupied) is looked up once.
-        seen: Dict[int, Tuple[float, bool]] = {}
-        for k, (task_id, worker_id) in enumerate(pairs):
-            cached = seen.get(task_id)
-            if cached is None:
-                state = evaluator.state_of(task_id)
-                cached = (state.r_value, bool(state.profiles))
-                seen[task_id] = cached
-            task_r[k] = cached[0]
-            task_has[k] = cached[1]
-            pair_weights[k] = weights[worker_id]
-        dr = batch_delta_min_r(task_r, task_has, pair_weights, best, second)
+        dr = self._round_dr_array(problem, evaluator, pairs, min_two)
 
         exact = 0
         if not self.use_pruning:

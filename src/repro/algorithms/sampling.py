@@ -8,18 +8,38 @@ best dominance rank — the skyline member dominating the most other samples,
 exactly the paper's [22]-style tie-break for when no sample dominates all
 others.
 
+**Determinism contracts.**  How the ``K`` draws consume randomness is an
+explicit, versioned contract (:data:`SUBSTREAM_V1` /
+:data:`SHARED_STREAM_V0`):
+
+* ``"substream-v1"`` (the default) draws **one** base seed from the
+  caller's generator and then gives sample ``i`` its *own* child generator,
+  spawned deterministically as ``SeedSequence(base, spawn_key=(i,))``.
+  Sample ``i`` therefore depends only on ``(base, i)`` — never on how many
+  samples preceded it, which process drew it, or how a pool chunked the
+  batch — so the solved plan is bit-identical at every pool size (serial,
+  and fanned out across any number of executor processes).  This is the
+  contract the parallel solve subsystem (:mod:`repro.engine.parallel`)
+  requires.
+* ``"shared-v0"`` is the legacy behaviour: all samples consume one shared
+  generator stream in draw order.  It is kept behind the flag for
+  reproducing pre-substream results; it cannot be fanned out (sample ``i``
+  depends on every draw before it).
+
 With ``backend="numpy"`` each sample's per-worker choices are drawn in one
 bounded-``integers`` call over a flattened candidate table instead of a
 Python loop.  NumPy's ``Generator.integers`` consumes the bit stream
 identically for an array of bounds and for element-wise scalar calls, so
 the drawn samples — and therefore the returned assignment — are identical
-to the python backend for the same seed (pinned by the differential test
-suite).
+to the python backend for the same seed and contract (pinned by the
+differential test suite).
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.algorithms.base import RngLike, Solver, SolverResult, make_rng
 from repro.algorithms.random_assign import (
@@ -33,6 +53,87 @@ from repro.core.objectives import evaluate_assignment
 from repro.core.problem import RdbscProblem
 from repro.skyline.dominance import best_index_by_dominance
 
+#: The substream determinism contract (see the module docstring): one base
+#: seed per solve, per-sample child generators, pool-size-independent plans.
+SUBSTREAM_V1 = "substream-v1"
+
+#: The legacy shared-stream contract: all samples consume one generator in
+#: draw order.  Serial-only; kept for reproducing pre-substream results.
+SHARED_STREAM_V0 = "shared-v0"
+
+#: Contracts a :class:`SamplingSolver` accepts.
+RNG_CONTRACTS = (SUBSTREAM_V1, SHARED_STREAM_V0)
+
+#: Exclusive upper bound of the base-seed draw — the full non-negative
+#: ``int64`` range, so one ``integers`` call advances the caller's stream
+#: by exactly one bounded draw.
+_BASE_SEED_BOUND = 2**63
+
+
+def substream_base_seed(generator: np.random.Generator) -> int:
+    """Draw the solve's base seed: one bounded integer off the stream.
+
+    The single draw is the only randomness the substream contract consumes
+    from the caller's generator, so a persistent generator still yields
+    fresh (but reproducible) sample sets epoch after epoch, while warm and
+    full solves starting from equal generator state derive the same base —
+    and therefore bit-identical samples.
+    """
+    return int(generator.integers(0, _BASE_SEED_BOUND))
+
+
+def substream_rng(base_seed: int, index: int) -> np.random.Generator:
+    """Sample ``index``'s child generator under :data:`SUBSTREAM_V1`.
+
+    ``SeedSequence(base, spawn_key=(i,))`` is exactly the ``i``-th child
+    ``SeedSequence(base).spawn()`` would produce, without materialising the
+    siblings — any process can mint any sample's generator independently.
+    """
+    return np.random.default_rng(
+        np.random.SeedSequence(entropy=base_seed, spawn_key=(index,))
+    )
+
+
+class SamplePool:
+    """Scores for a drawn sample batch, with on-demand materialisation.
+
+    The fan-out path ships only per-sample *scores* back from the worker
+    processes (a K x 2 float block) — whole assignments would dominate the
+    wire — so the pool re-draws an assignment locally when a caller asks
+    for one (cheap: one sample's draw, no scoring).  Serial paths pass the
+    materialised samples instead and ``assignment`` is a list lookup.
+
+    Args:
+        scores: per-sample ``(min reliability, total E[STD])`` pairs, in
+            sample-index order.
+        samples: the materialised assignments, when the drawing path kept
+            them.
+        drawer: fallback ``index -> Assignment`` used when ``samples`` is
+            not supplied.
+    """
+
+    def __init__(
+        self,
+        scores: List[Tuple[float, float]],
+        samples: Optional[List[Assignment]] = None,
+        drawer: Optional[Callable[[int], Assignment]] = None,
+    ) -> None:
+        if samples is None and drawer is None and scores:
+            raise ValueError("a non-empty pool needs samples or a drawer")
+        self.scores = scores
+        self._samples = samples
+        self._drawer = drawer
+
+    def __len__(self) -> int:
+        return len(self.scores)
+
+    def assignment(self, index: int) -> Assignment:
+        """The sample at ``index`` (materialised or re-drawn on demand)."""
+        if self._samples is not None:
+            return self._samples[index]
+        assert self._drawer is not None
+        return self._drawer(index)
+
 
 class SamplingSolver(Solver):
     """Draw K random assignments; keep the dominance-rank winner.
@@ -44,6 +145,14 @@ class SamplingSolver(Solver):
         backend: ``"python"`` draws each worker's choice in a loop;
             ``"numpy"`` draws a whole sample at once (same RNG stream,
             identical samples).
+        rng_contract: :data:`SUBSTREAM_V1` (default — per-sample child
+            generators, pool-size-independent plans) or
+            :data:`SHARED_STREAM_V0` (legacy shared stream, serial only).
+        executor: optional sample fan-out executor (duck-typed to
+            :class:`repro.engine.parallel.ParallelSampleExecutor`); when
+            set, substream sample batches are evaluated through it instead
+            of the in-line loop.  Requires the substream contract.  The
+            engine attaches this via its ``solve_executor`` knob.
     """
 
     name = "SAMPLING"
@@ -53,12 +162,21 @@ class SamplingSolver(Solver):
         plan: Optional[SamplePlan] = None,
         num_samples: Optional[int] = None,
         backend: str = "python",
+        rng_contract: str = SUBSTREAM_V1,
+        executor=None,
     ) -> None:
         if backend not in ("python", "numpy"):
             raise ValueError(f"unknown backend {backend!r}")
+        if rng_contract not in RNG_CONTRACTS:
+            raise ValueError(
+                f"unknown rng_contract {rng_contract!r}; expected one of "
+                f"{RNG_CONTRACTS}"
+            )
         self.plan = plan if plan is not None else SamplePlan()
         self.num_samples = num_samples
         self.backend = backend
+        self.rng_contract = rng_contract
+        self.executor = executor
 
     def resolve_sample_count(self, problem: RdbscProblem) -> int:
         """The number of samples this solver would draw for ``problem``."""
@@ -71,11 +189,90 @@ class SamplingSolver(Solver):
     def solve(self, problem: RdbscProblem, rng: RngLike = None) -> SolverResult:
         generator = make_rng(rng)
         k = self.resolve_sample_count(problem)
-        samples, scores = self.draw_scored_samples(problem, generator, k)
-        if not samples:
+        pool = self.scored_sample_pool(problem, generator, k)
+        if not len(pool):
             return self._finish(problem, Assignment(), {"samples": 0.0})
-        best = best_index_by_dominance(scores)
-        return self._finish(problem, samples[best], {"samples": float(k)})
+        best = best_index_by_dominance(pool.scores)
+        return self._finish(problem, pool.assignment(best), {"samples": float(k)})
+
+    # ------------------------------------------------------------------ #
+    # Sample drawing
+    # ------------------------------------------------------------------ #
+
+    def _draw_one(self, problem: RdbscProblem, table, generator) -> Assignment:
+        """One population draw on this solver's backend."""
+        if table is not None:
+            return draw_random_assignment_batch(table, generator)
+        return draw_random_assignment(problem, generator)
+
+    def scored_sample_pool(
+        self,
+        problem: RdbscProblem,
+        generator: np.random.Generator,
+        count: int,
+    ) -> SamplePool:
+        """Draw and score ``count`` samples under the active contract.
+
+        The core of :meth:`solve`, shared with the warm-start wrapper
+        (:class:`repro.solvers.incremental.WarmStartSamplingSolver`) so
+        warm and full solves consume randomness identically: for equal
+        generator state, sample ``i`` here is bit-identical to sample
+        ``i`` of :meth:`solve` — on either backend, and (under the
+        substream contract) at any executor pool size.
+        """
+        if self.rng_contract == SHARED_STREAM_V0:
+            if self.executor is not None:
+                raise ValueError(
+                    "sample fan-out requires the substream contract; "
+                    "rng_contract='shared-v0' solvers must run serially"
+                )
+            return self._shared_stream_pool(problem, generator, count)
+        base_seed = substream_base_seed(generator)
+        if self.executor is not None:
+            scores = self.executor.scored_sample_chunks(problem, base_seed, count)
+            table = (
+                CandidateTable.from_problem(problem)
+                if self.backend == "numpy"
+                else None
+            )
+            return SamplePool(
+                scores,
+                drawer=lambda index: self._draw_one(
+                    problem, table, substream_rng(base_seed, index)
+                ),
+            )
+        table = (
+            CandidateTable.from_problem(problem) if self.backend == "numpy" else None
+        )
+        samples: List[Assignment] = []
+        scores: List[Tuple[float, float]] = []
+        for index in range(count):
+            assignment = self._draw_one(
+                problem, table, substream_rng(base_seed, index)
+            )
+            value = evaluate_assignment(problem, assignment)
+            samples.append(assignment)
+            scores.append((value.min_reliability, value.total_std))
+        return SamplePool(scores, samples=samples)
+
+    def _shared_stream_pool(
+        self,
+        problem: RdbscProblem,
+        generator: np.random.Generator,
+        count: int,
+    ) -> SamplePool:
+        """The legacy draw loop: all samples off one shared stream."""
+        table = (
+            CandidateTable.from_problem(problem) if self.backend == "numpy" else None
+        )
+        samples: List[Assignment] = []
+        scores: List[Tuple[float, float]] = []
+        for _ in range(count):
+            assignment = self._draw_one(problem, table, generator)
+            value = evaluate_assignment(problem, assignment)
+            samples.append(assignment)
+            scores.append((value.min_reliability, value.total_std))
+        return SamplePool(scores, samples=samples)
 
     def draw_scored_samples(
         self,
@@ -83,29 +280,12 @@ class SamplingSolver(Solver):
         generator,
         count: int,
     ) -> Tuple[List[Assignment], List[Tuple[float, float]]]:
-        """Draw and score ``count`` samples from the Section 5.1 population.
+        """Materialised ``(samples, scores)`` view of a sample pool.
 
-        The drawing loop of :meth:`solve`, factored out so warm-start
-        callers (:class:`repro.solvers.incremental.WarmStartSamplingSolver`)
-        consume the *same* RNG stream as a full solve: for equal generator
-        state, sample ``i`` here is bit-identical to sample ``i`` of
-        :meth:`solve` on either backend.
-
-        Returns:
-            ``(samples, scores)`` where ``scores[i]`` is sample ``i``'s
-            (min reliability, total E[STD]) pair.
+        Compatibility wrapper over :meth:`scored_sample_pool` for callers
+        that want every assignment in hand (tests, analysis code); the
+        solve paths use the pool directly so the fan-out path only
+        materialises the winner.
         """
-        table: Optional[CandidateTable] = (
-            CandidateTable.from_problem(problem) if self.backend == "numpy" else None
-        )
-        samples: List[Assignment] = []
-        scores: List[Tuple[float, float]] = []
-        for _ in range(count):
-            if table is not None:
-                assignment = draw_random_assignment_batch(table, generator)
-            else:
-                assignment = draw_random_assignment(problem, generator)
-            value = evaluate_assignment(problem, assignment)
-            samples.append(assignment)
-            scores.append((value.min_reliability, value.total_std))
-        return samples, scores
+        pool = self.scored_sample_pool(problem, generator, count)
+        return [pool.assignment(i) for i in range(len(pool))], list(pool.scores)

@@ -100,6 +100,12 @@ class CrowdsourcingSession:
         shard_executor: ``"sequential"`` or ``"process"`` fan-out for the
             sharded engine (ignored with ``num_shards=1``).  With the
             process executor, call ``session.close()`` when done.
+        solve_executor: parallelise each ``reassign``'s *solve* — ``None``
+            (serial), a pinned-process count, or a
+            :class:`repro.engine.parallel.ParallelSolveExecutor` instance;
+            see :class:`repro.engine.engine.AssignmentEngine`.  Plans are
+            bit-identical to the serial session.  With a process count,
+            call ``session.close()`` when done.
     """
 
     def __init__(
@@ -114,6 +120,7 @@ class CrowdsourcingSession:
         num_shards: int = 1,
         halo: Optional[float] = None,
         shard_executor: str = "sequential",
+        solve_executor=None,
     ) -> None:
         if num_shards > 1:
             from repro.engine.sharding import ShardedAssignmentEngine
@@ -129,6 +136,7 @@ class CrowdsourcingSession:
                 executor=shard_executor,
                 solve_mode=solve_mode,
                 warm_churn_threshold=warm_churn_threshold,
+                solve_executor=solve_executor,
             )
         else:
             self.engine = AssignmentEngine(
@@ -139,6 +147,7 @@ class CrowdsourcingSession:
                 backend=backend,
                 solve_mode=solve_mode,
                 warm_churn_threshold=warm_churn_threshold,
+                solve_executor=solve_executor,
             )
         self.stats = SessionStats()
 

@@ -24,6 +24,13 @@ not O(m * n) rebuilds.  This package is that machinery:
     halo wide enough for the validity radius) and epochs fanned out
     across an in-process or process-pool executor; merged plans are
     bit-identical to the single-shard engine.
+``parallel``
+    The solve-parallelism subsystem behind the engines'
+    ``solve_executor`` knob: :class:`ParallelSolveExecutor` owns pinned
+    worker pools and binds SAMPLING's substream sample fan-out
+    (:class:`ParallelSampleExecutor`) and GREEDY's shard-batched round
+    scoring (:class:`ShardBatchedScorer`) to the configured solver —
+    plans bit-identical to the serial solve at every pool size.
 
 :class:`repro.dynamic.CrowdsourcingSession` (the library façade) and
 :class:`repro.platform_sim.simulator.PlatformSimulator` (the Figure 18
@@ -47,6 +54,13 @@ from repro.engine.events import (
     WorkerUpdate,
 )
 from repro.engine.metrics import EngineMetrics, EpochRecord
+from repro.engine.parallel import (
+    ParallelSampleExecutor,
+    ParallelSolveExecutor,
+    PinnedWorkerPools,
+    SampleChunkScorer,
+    ShardBatchedScorer,
+)
 from repro.engine.scheduler import EventQueue, epoch_ticks
 from repro.engine.sharding import (
     ProcessShardExecutor,
@@ -66,8 +80,13 @@ __all__ = [
     "Event",
     "EventQueue",
     "ExpireTasks",
+    "ParallelSampleExecutor",
+    "ParallelSolveExecutor",
+    "PinnedWorkerPools",
     "ProcessShardExecutor",
+    "SampleChunkScorer",
     "SequentialShardExecutor",
+    "ShardBatchedScorer",
     "ShardMap",
     "ShardState",
     "ShardedAssignmentEngine",

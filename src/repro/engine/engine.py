@@ -161,6 +161,19 @@ class AssignmentEngine:
         warm_churn_threshold: largest churn fraction (distinct churned
             entities over the previous epoch's live population) still
             repaired in warm mode; epochs strictly above it solve in full.
+        solve_executor: parallelise the epoch *solve* (the per-epoch index
+            work is the sharded engine's job).  ``None`` solves serially;
+            an ``int`` builds a :class:`repro.engine.parallel.
+            ParallelSolveExecutor` with that many pinned worker processes
+            (owned — closed by :meth:`close`); an executor instance is
+            used as-is (shared — the caller closes it).  The executor is
+            bound to the solver's parallel face per epoch: SAMPLING fans
+            independent substream sample evaluations across the pool,
+            GREEDY scores each round's candidates in shard batches merged
+            before the argmax — plans are bit-identical to the serial
+            solve either way.  Warm-start wrappers inherit the binding
+            (dirty-worker scoring batches, warm fresh draws); solvers
+            without a parallel face simply solve serially.
     """
 
     def __init__(
@@ -174,6 +187,7 @@ class AssignmentEngine:
         reanchor_on_epoch: bool = False,
         solve_mode: str = "full",
         warm_churn_threshold: float = 0.25,
+        solve_executor=None,
     ) -> None:
         if backend not in ("python", "numpy"):
             raise ValueError(f"unknown backend {backend!r}")
@@ -203,6 +217,21 @@ class AssignmentEngine:
         # swapped-in solver re-resolves and a stateful warm wrapper
         # persists across epochs.
         self._warm_cache: Tuple[Optional[Solver], Optional[object]] = (None, None)
+        if isinstance(solve_executor, int):
+            from repro.engine.parallel import ParallelSolveExecutor
+
+            self.solve_executor = (
+                ParallelSolveExecutor(processes=solve_executor)
+                if solve_executor > 0
+                else None
+            )
+            self._owns_solve_executor = self.solve_executor is not None
+        else:
+            self.solve_executor = solve_executor
+            self._owns_solve_executor = False
+        # Bind cache, keyed by solver identity like the warm cache: a
+        # swapped-in solver re-binds, a stable one binds once.
+        self._bound_solver: Optional[Solver] = None
 
     # ------------------------------------------------------------------ #
     # State access
@@ -647,6 +676,46 @@ class AssignmentEngine:
                 self._delta.workers_updated.discard(worker.worker_id)
                 self._delta.workers_reanchored.add(worker.worker_id)
 
+    def _bind_solve_executor(self) -> None:
+        """Attach the solve executor to the current solver's parallel face.
+
+        Cached by solver identity (a swapped-in solver re-binds); binding
+        targets the *base* solver, so the warm-start wrappers — which
+        re-enter the base's scoring loops — run their dirty-worker batches
+        and fresh draws through the same executor.  The sharded engine's
+        shard map, when present, drives the greedy batch partition.
+        """
+        if self.solve_executor is None or self._bound_solver is self.solver:
+            return
+        # A swapped-out solver must not keep pointing at this executor
+        # (its pools may be closed later without it being re-visited).
+        self.solve_executor.unbind(self._bound_solver)
+        self.solve_executor.bind(
+            self.solver, shard_map=getattr(self, "shard_map", None)
+        )
+        self._bound_solver = self.solver
+
+    def close(self) -> None:
+        """Release owned resources (an engine-built solve executor's pool).
+
+        A shared executor instance passed in by the caller is left
+        running — whoever constructed it closes it.  Closing an owned
+        executor also detaches it from the bound solver, so the solver
+        stays usable (serially) elsewhere.
+        """
+        if self._owns_solve_executor and self.solve_executor is not None:
+            self.solve_executor.unbind(self._bound_solver)
+            self._bound_solver = None
+            self.solve_executor.close()
+
+    def __enter__(self) -> "AssignmentEngine":
+        """Context-manager entry: the engine itself."""
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        """Context-manager exit: release owned resources."""
+        self.close()
+
     def _warm_solver(self):
         """The cached warm variant of the current solver (None if none).
 
@@ -722,6 +791,7 @@ class AssignmentEngine:
         expired = self.expire_tasks(now)
         if self.reanchor_on_epoch:
             self._reanchor_workers(now)
+        self._bind_solve_executor()
         mode = self._choose_mode()
         problem, virtual_ids = self.build_problem(pinned, forbidden)
         warm = self._warm_solver() if self.solve_mode == "warm" else None

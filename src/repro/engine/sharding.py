@@ -45,7 +45,7 @@ recorded by ``benchmarks/bench_sharding.py`` into
 from __future__ import annotations
 
 import math
-from concurrent.futures import ProcessPoolExecutor
+import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.algorithms.base import RngLike, Solver
@@ -328,7 +328,8 @@ def _process_collect(events: List[ev.Event]):
 class ProcessShardExecutor:
     """Process-pool fan-out: one single-worker pool per shard.
 
-    Pinning each shard to its own ``ProcessPoolExecutor(max_workers=1)``
+    Pinning each shard to its own single-worker pool (one
+    :class:`repro.engine.parallel.PinnedWorkerPools` slot per shard)
     gives the shard state process affinity — the sub-grid and its
     persistent pair cache live in that worker for the engine's lifetime,
     and each epoch only ships the shard's event batch out and its packed
@@ -336,16 +337,30 @@ class ProcessShardExecutor:
     shards' collects run concurrently; results are gathered in shard
     order, so the merge stays deterministic.  Call :meth:`close` (or use
     the engine as a context manager) to shut the pools down.
+
+    Each collect's engine-side cost is decomposed into cumulative
+    ``timings``: ``route_seconds`` (batch routing + submission — the
+    serialisation hand-off), ``wait_seconds`` (blocking on shard compute
+    plus IPC, which all shards overlap) and ``unpack_seconds``
+    (deserialising the packed pair reports) — the measurement behind the
+    ``bench_sharding.py`` decomposition of process-executor overhead.
     """
 
     def __init__(self, states: Sequence[ShardState]) -> None:
+        from repro.engine.parallel import PinnedWorkerPools
+
         self._shard_ids = [state.shard_id for state in states]
-        self._pools = [
-            ProcessPoolExecutor(
-                max_workers=1, initializer=_process_init, initargs=(state,)
-            )
-            for state in states
-        ]
+        self.pools = PinnedWorkerPools(
+            len(states),
+            initializer=_process_init,
+            initargs_per_slot=[(state,) for state in states],
+        )
+        #: Cumulative engine-side collect decomposition (see class docs).
+        self.timings: Dict[str, float] = {
+            "route_seconds": 0.0,
+            "wait_seconds": 0.0,
+            "unpack_seconds": 0.0,
+        }
 
     def collect(
         self, batches: Dict[int, List[ev.Event]]
@@ -353,20 +368,25 @@ class ProcessShardExecutor:
         """Fan one epoch's batches out; block until every shard reports."""
         from repro.fastpath.arrays import unpack_pairs
 
+        started = time.perf_counter()
         futures = [
-            pool.submit(_process_collect, batches.get(shard_id, []))
-            for shard_id, pool in zip(self._shard_ids, self._pools)
+            self.pools.submit(slot, _process_collect, batches.get(shard_id, []))
+            for slot, shard_id in enumerate(self._shard_ids)
         ]
-        reports: List[ShardReport] = []
-        for future in futures:
-            packed, stats = future.result()
-            reports.append((unpack_pairs(packed), stats))
+        submitted = time.perf_counter()
+        self.timings["route_seconds"] += submitted - started
+        packed_reports = [future.result() for future in futures]
+        gathered = time.perf_counter()
+        self.timings["wait_seconds"] += gathered - submitted
+        reports: List[ShardReport] = [
+            (unpack_pairs(packed), stats) for packed, stats in packed_reports
+        ]
+        self.timings["unpack_seconds"] += time.perf_counter() - gathered
         return reports
 
     def close(self) -> None:
         """Shut down every shard's worker process."""
-        for pool in self._pools:
-            pool.shutdown()
+        self.pools.close()
 
 
 class ShardedAssignmentEngine(AssignmentEngine):
@@ -395,6 +415,12 @@ class ShardedAssignmentEngine(AssignmentEngine):
             would be violated.
         executor: ``"sequential"`` (in-process, default) or ``"process"``
             (one pinned worker process per shard).
+        solve_executor: parallelise the epoch *solve* as for
+            :class:`AssignmentEngine` (``None`` / process count /
+            :class:`repro.engine.parallel.ParallelSolveExecutor`); the
+            shard map additionally drives the greedy scorer's batch
+            partition, so solve batches follow the same cell-block
+            partition as the index fan-out.
     """
 
     def __init__(
@@ -410,6 +436,7 @@ class ShardedAssignmentEngine(AssignmentEngine):
         reanchor_on_epoch: bool = False,
         solve_mode: str = "full",
         warm_churn_threshold: float = 0.25,
+        solve_executor=None,
     ) -> None:
         super().__init__(
             solver=solver,
@@ -421,6 +448,7 @@ class ShardedAssignmentEngine(AssignmentEngine):
             reanchor_on_epoch=reanchor_on_epoch,
             solve_mode=solve_mode,
             warm_churn_threshold=warm_churn_threshold,
+            solve_executor=solve_executor,
         )
         self.shard_map = ShardMap(num_shards, eta, halo=halo)
         states = [
@@ -570,13 +598,6 @@ class ShardedAssignmentEngine(AssignmentEngine):
     # ------------------------------------------------------------------ #
 
     def close(self) -> None:
-        """Release the executor (worker processes, for ``"process"``)."""
+        """Release the shard executor and any owned solve executor."""
         self.executor.close()
-
-    def __enter__(self) -> "ShardedAssignmentEngine":
-        """Context-manager entry: the engine itself."""
-        return self
-
-    def __exit__(self, exc_type, exc_value, traceback) -> None:
-        """Context-manager exit: close the executor."""
-        self.close()
+        super().close()

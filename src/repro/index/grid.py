@@ -22,6 +22,8 @@ from __future__ import annotations
 import math
 from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
+import numpy as np
+
 from repro.core.problem import ValidPair
 from repro.core.task import SpatialTask
 from repro.core.validity import ValidityRule
@@ -33,6 +35,19 @@ from repro.index.cell import GridCell
 #: Smallest cached ``tcell_list`` considered for compaction — rebuilding
 #: shorter lists costs more than the handful of dead probes they can hold.
 COMPACT_MIN_MEMBERS = 4
+
+#: Slack widening the vectorised group-reach screen's deadline comparison.
+#: The ``np.hypot``-based distances can drift from their ``math.hypot``
+#: twins by ulps; the slack turns any drift into a kept candidate — whose
+#: membership the exact per-worker check then decides with scalar
+#: arithmetic — and never a silently skipped reachable cell.
+_SCREEN_SLACK = 1e-9
+
+#: Smallest candidate-cell count worth the vectorised group-reach screen.
+#: Below it (per-shard sub-grids, sparse instances) the scalar sweep over
+#: cached cell-pair distances is faster than the array set-up; above it
+#: (one big grid under heavy movement churn) the array screen wins.
+_VECTOR_SCREEN_MIN = 96
 
 
 def cell_coords(point: Point, eta: float, n_cols: int) -> Tuple[int, int]:
@@ -122,6 +137,10 @@ class RdbscGrid:
         # removals can re-check exactly the lists that mention their cell.
         self._tcell: Dict[int, Set[int]] = {}
         self._rtcell: Dict[int, Set[int]] = {}
+        # Cell-pair rectangle distances, keyed by ordered (cell id, cell
+        # id).  A cell id fixes its rectangle for the grid's lifetime, so
+        # entries are never invalidated — churn only changes *residents*.
+        self._rect_dist: Dict[Tuple[int, int], float] = {}
         # Persistent valid-pair cache, keyed by (worker cell, task cell).
         # An entry holds the exact ValidPair list one retrieval probe of
         # that cell pair would produce; churn drops only the affected
@@ -170,6 +189,26 @@ class RdbscGrid:
     def cells(self) -> Iterator[GridCell]:
         """All non-empty materialised cells."""
         return iter(self._cells.values())
+
+    def cell_pair_distance(self, a: GridCell, b: GridCell) -> float:
+        """Cached minimum rectangle distance between two cells.
+
+        Cell rectangles are fixed by cell id for the grid's lifetime —
+        churn moves residents, never geometry — so every (cell, cell)
+        distance is computed once (``math.hypot``, exactly as the uncached
+        :meth:`repro.index.cell.GridCell.min_distance_to`) and then served
+        from the cache by every pruning probe.
+        """
+        key = (
+            (a.cell_id, b.cell_id)
+            if a.cell_id <= b.cell_id
+            else (b.cell_id, a.cell_id)
+        )
+        distance = self._rect_dist.get(key)
+        if distance is None:
+            distance = a.min_distance_to(b)
+            self._rect_dist[key] = distance
+        return distance
 
     @property
     def num_cells(self) -> int:
@@ -416,13 +455,19 @@ class RdbscGrid:
         cells off the list join when *any of the new workers alone* might
         serve a task there — a superset of the exact condition, kept
         honest by the exact retrieval probes.  One pass over the grid's
-        cells covers the whole group, and each candidate cell is first
-        screened with a group-aggregate time bound (the group's fastest
-        worker, earliest departure, against the home cell's rectangle
-        distance — the same Section 7.1 shape as :meth:`_cell_reachable`)
-        so the unreachable majority of cells costs one check instead of
-        one per worker.  No-op without a cached list (it will be built
-        tight, lazily, on the next retrieval).
+        cells covers the whole group, and the candidate cells are first
+        screened with a *vectorised* group-aggregate time bound (the
+        group's fastest worker, earliest departure, against the home
+        cell's rectangle distances and the candidates' latest deadlines —
+        the same Section 7.1 shape as :meth:`_cell_reachable`, evaluated
+        for every candidate in a handful of array operations rather than
+        a scalar loop per cell).  The screen's deadline comparison is
+        widened by :data:`_SCREEN_SLACK`, so it can only over-accept
+        relative to the scalar arithmetic; a kept candidate's membership
+        is still decided by the exact per-worker check.  Only the
+        surviving minority pays that per-worker work.  No-op without a
+        cached list (it will be built tight, lazily, on the next
+        retrieval).
         """
         cached = self._tcell.get(cell_id)
         if cached is None:
@@ -430,15 +475,53 @@ class RdbscGrid:
         home = self._cells[cell_id]
         v_max = max(worker.velocity for worker in workers)
         depart_min = min(worker.depart_time for worker in workers)
-        for candidate in self._cells.values():
-            if not candidate.tasks or candidate.cell_id in cached:
-                continue
-            d_min = home.min_distance_to(candidate)
-            if d_min > 0.0:
-                if v_max <= 0.0:
-                    continue
-                if depart_min + d_min / v_max > candidate.e_max:
-                    continue  # even the group's best composite cannot arrive
+        candidates = [
+            cell
+            for cell in self._cells.values()
+            if cell.tasks and cell.cell_id not in cached
+        ]
+        if not candidates:
+            return
+        if len(candidates) < _VECTOR_SCREEN_MIN:
+            # Scalar sweep over the cached cell-pair distances: cheaper
+            # than array set-up for the short candidate lists of per-shard
+            # sub-grids, and the distance lookup is now O(1) per pair.
+            for candidate in candidates:
+                d_min = self.cell_pair_distance(home, candidate)
+                if d_min > 0.0:
+                    if v_max <= 0.0:
+                        continue
+                    if depart_min + d_min / v_max > candidate.e_max:
+                        continue  # even the group's best composite cannot arrive
+                if any(
+                    self._worker_reaches_cell(worker, candidate)
+                    for worker in workers
+                ):
+                    cached.add(candidate.cell_id)
+                    self._rtcell.setdefault(candidate.cell_id, set()).add(cell_id)
+            return
+        n = len(candidates)
+        ox = np.fromiter((cell.origin.x for cell in candidates), float, n)
+        oy = np.fromiter((cell.origin.y for cell in candidates), float, n)
+        side = np.fromiter((cell.side for cell in candidates), float, n)
+        e_max = np.fromiter((cell.e_max for cell in candidates), float, n)
+        dx = np.maximum(
+            np.maximum(ox - (home.origin.x + home.side), home.origin.x - (ox + side)),
+            0.0,
+        )
+        dy = np.maximum(
+            np.maximum(oy - (home.origin.y + home.side), home.origin.y - (oy + side)),
+            0.0,
+        )
+        d_min = np.hypot(dx, dy)
+        if v_max <= 0.0:
+            keep = d_min <= 0.0
+        else:
+            keep = (d_min <= 0.0) | (
+                depart_min + d_min / v_max <= e_max + _SCREEN_SLACK
+            )
+        for index in np.flatnonzero(keep).tolist():
+            candidate = candidates[index]
             if any(
                 self._worker_reaches_cell(worker, candidate) for worker in workers
             ):
@@ -491,7 +574,7 @@ class RdbscGrid:
                 or self._confirm_exact(worker_cell, task_cell)
             )
         v_max = worker_cell.v_max
-        d_min = worker_cell.min_distance_to(task_cell)
+        d_min = self.cell_pair_distance(worker_cell, task_cell)
         if v_max <= 0.0 and d_min > 0.0:
             return False
         t_min = d_min / v_max if v_max > 0.0 else 0.0

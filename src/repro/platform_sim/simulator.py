@@ -156,6 +156,13 @@ class PlatformSimulator:
             genuinely engages on deployment workloads.
         warm_churn_threshold: churn fraction above which a warm-mode
             epoch falls back to a full solve.
+        solve_executor: forwarded to the engine — parallelise each
+            re-planning instant's solve (``None``, a pinned-process count,
+            or a :class:`repro.engine.parallel.ParallelSolveExecutor`).
+            Dispatches are bit-identical to the serial simulator.  An
+            executor *instance* is shared across :meth:`run` calls and
+            closed by the caller; a process count builds one per run,
+            closed when the run finishes.
     """
 
     def __init__(
@@ -164,11 +171,13 @@ class PlatformSimulator:
         backend: str = "python",
         solve_mode: str = "full",
         warm_churn_threshold: float = 0.25,
+        solve_executor=None,
     ) -> None:
         self.config = config if config is not None else PlatformConfig()
         self.backend = backend
         self.solve_mode = solve_mode
         self.warm_churn_threshold = warm_churn_threshold
+        self.solve_executor = solve_executor
         #: Early arrivals wait at the site until the window opens, as human
         #: workers on the real platform do.
         self.validity = ValidityRule(allow_waiting=True)
@@ -235,7 +244,6 @@ class PlatformSimulator:
         forbidden)`` — the simulator holds no assignment state of its own.
         """
         generator = make_rng(rng)
-        config = self.config
         engine = AssignmentEngine(
             solver=solver,
             validity=self.validity,
@@ -244,7 +252,18 @@ class PlatformSimulator:
             reanchor_on_epoch=True,
             solve_mode=self.solve_mode,
             warm_churn_threshold=self.warm_churn_threshold,
+            solve_executor=self.solve_executor,
         )
+        try:
+            return self._run_with_engine(engine, generator)
+        finally:
+            # Release an engine-owned solve executor even when the solver
+            # (or an unexpected event) raises mid-run.
+            engine.close()
+
+    def _run_with_engine(self, engine: AssignmentEngine, generator) -> PlatformRunResult:
+        """The simulation loop proper, once the engine exists."""
+        config = self.config
         queue = EventQueue()
         for task in self._spawn_schedule():
             queue.push(TaskArrive(time=task.start, task=task))

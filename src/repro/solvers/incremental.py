@@ -280,13 +280,17 @@ class WarmStartGreedySolver(WarmStartSolver):
     result is bit-identical to a full solve; under small churn it touches
     O(dirty) workers instead of O(n).
 
-    One *widening* round keeps quality honest: a task that lost one of its
-    planned workers (the worker left, or its pair was invalidated) is
-    re-balanced by also re-scoring that task's remaining candidate
-    workers — without it the frozen plan could leave a churn-hit task
-    under-served while the full solve would have re-covered it.  The
-    widened set is still the churn neighbourhood, O(delta * density), not
-    O(n).
+    One *widening* pass keeps quality honest: a task that lost one of its
+    planned workers to the churn (the worker left, or its pair was
+    invalidated) is re-balanced by also re-scoring that task's remaining
+    candidate workers — without it the frozen plan could leave a churn-hit
+    task under-served while the full solve would have re-covered it.  The
+    pass is capped by objective contribution: only tasks whose coverage
+    the *churn* took count as hurt, so losses the widening itself inflicts
+    (a freed worker's other entries) do not propagate — the freed workers
+    are in the re-scoring pool anyway — and a dense instance's candidate
+    component is never chased transitively.  The widened set stays
+    O(delta * per-task candidates), not O(n).
 
     Args:
         base: the full GREEDY solver used for scoring and for cold solves.
@@ -308,27 +312,32 @@ class WarmStartGreedySolver(WarmStartSolver):
         if signatures is None:
             signatures = candidate_signatures(problem)
         dirty = dirty_workers(problem, plan, signatures, forced_dirty)
-        # Widen to the churn-connected neighbourhood: a task that lost
-        # planned coverage (its worker left, its pair was invalidated, or a
-        # just-widened worker was freed) releases its remaining candidates
-        # for re-scoring, so greedy can re-balance it; repeat to a fixpoint.
-        # In the sparse regimes the engine targets the cascade stays within
-        # the churn's candidate-graph component — O(delta * density) — and
-        # the engine's churn threshold bounds the worst case.
-        while True:
-            repaired = repair_assignment(problem, plan.assignment, frozenset(dirty))
-            hurt_tasks = {
-                task_id
-                for task_id, worker_id in plan.assignment.pairs()
-                if task_id in problem.tasks_by_id
-                and repaired.task_of(worker_id) != task_id
-            }
-            widened = set(dirty)
-            for task_id in hurt_tasks:
-                widened.update(problem.candidate_workers(task_id))
-            if widened == dirty:
-                break
+        # Widen to the tasks whose reliability actually dropped: a task
+        # that lost planned coverage *to the churn itself* (its worker
+        # left, its pair was invalidated, or the worker is dirty) releases
+        # its remaining candidates for re-scoring, so greedy can
+        # re-balance it.  The widening is deliberately **capped at one
+        # pass**: a task that loses a worker only because this widening
+        # freed it has not lost reliability to churn — the freed worker
+        # sits in the greedy pool and can be re-inserted anywhere,
+        # including right back.  The earlier fixpoint propagation chased
+        # those self-inflicted losses transitively and could touch a dense
+        # instance's whole candidate component on one churned worker; the
+        # cap keeps the re-scored set at O(churn * per-task candidates)
+        # (pinned by the dense-chain regression test).
+        repaired = repair_assignment(problem, plan.assignment, frozenset(dirty))
+        hurt_tasks = {
+            task_id
+            for task_id, worker_id in plan.assignment.pairs()
+            if task_id in problem.tasks_by_id
+            and repaired.task_of(worker_id) != task_id
+        }
+        widened = set(dirty)
+        for task_id in hurt_tasks:
+            widened.update(problem.candidate_workers(task_id))
+        if widened != dirty:
             dirty = widened
+            repaired = repair_assignment(problem, plan.assignment, frozenset(dirty))
         evaluator = IncrementalEvaluator(problem)
         for task_id, worker_id in sorted(repaired.pairs()):
             evaluator.apply(task_id, worker_id)
@@ -430,14 +439,13 @@ class WarmStartSamplingSolver(WarmStartSolver):
         generator = make_rng(rng)
         carried = self.carried_candidate(problem, plan)
         fresh = self.fresh_sample_count(problem)
-        samples, scores = base.draw_scored_samples(problem, generator, fresh)
+        sample_pool = base.scored_sample_pool(problem, generator, fresh)
         carried_value = evaluate_assignment(problem, carried)
-        pool = [carried] + samples
         pool_scores = [
             (carried_value.min_reliability, carried_value.total_std)
-        ] + scores
+        ] + list(sample_pool.scores)
         best = best_index_by_dominance(pool_scores)
-        winner = pool[best]
+        winner = carried if best == 0 else sample_pool.assignment(best - 1)
         return SolverResult(
             assignment=winner,
             objective=evaluate_assignment(problem, winner),

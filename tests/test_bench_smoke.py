@@ -1,6 +1,6 @@
 """Benchmark smoke suite: every ``benchmarks/bench_*.py`` must still run.
 
-The 26 figure/ablation benchmarks are pytest modules that are only
+The 27 figure/ablation/record benchmarks are pytest modules that are only
 executed by hand (``make benchsmoke`` / ``pytest benchmarks``), which
 historically lets them rot silently when an API they use changes.  This
 suite, selected with ``pytest -m benchsmoke``, does two things per bench
@@ -132,6 +132,16 @@ SMOKE_RUNNERS = {
     "bench_fig25_velocity_uniform": spec_runner("fig25_velocity_uniform"),
     "bench_fig26_velocity_skewed": spec_runner("fig26_velocity_skewed"),
     "bench_fig27_angles_skewed": spec_runner("fig27_angles_skewed"),
+    "bench_parallel_solve": lambda m: m.run_parallel_solve_experiment(
+        num_tasks=10,
+        num_workers=40,
+        num_samples=24,
+        epochs=2,
+        moves=6,
+        processes=(2,),
+        repeats=1,
+        write_json=False,
+    ),
     "bench_section72_maintenance": lambda m: m.run_maintenance_experiment(
         n_ops=10, seed=3
     ),

@@ -142,3 +142,79 @@ class TestPruningStats:
             RdbscGrid(0.0)
         with pytest.raises(ValueError):
             RdbscGrid(1.5)
+
+
+class TestRectDistanceCacheAndGroupScreen:
+    """The cell-pair distance cache and the vectorised widening screen."""
+
+    def test_cell_pair_distance_cached_and_exact(self):
+        grid = RdbscGrid(0.125)
+        a = grid.cell_at(make_task(0, x=0.1, y=0.1).location)
+        b = grid.cell_at(make_task(1, x=0.9, y=0.6).location)
+        first = grid.cell_pair_distance(a, b)
+        assert first == a.min_distance_to(b)
+        assert grid.cell_pair_distance(b, a) == first  # symmetric key
+        assert len(grid._rect_dist) == 1
+        grid.cell_pair_distance(a, a)
+        assert grid.cell_pair_distance(a, a) == 0.0
+        assert len(grid._rect_dist) == 2
+
+    def test_group_widening_screen_preserves_retrieval(self):
+        """Batched arrivals after the cached list exists: pairs still exact."""
+        import numpy as np
+
+        rng = np.random.default_rng(31)
+        config = ExperimentConfig(
+            num_tasks=40,
+            num_workers=60,
+            start_time_range=(0.0, 0.6),
+            expiration_range=(0.3, 0.9),
+            velocity_range=(0.02, 0.1),
+            angle_range_max=math.pi / 2,
+        )
+        tasks = list(generate_tasks(config, rng))
+        workers = list(generate_workers(config, rng))
+        grid = RdbscGrid(0.1)
+        for task in tasks:
+            grid.insert_task(task)
+        for worker in workers[:20]:
+            grid.insert_worker(worker)
+        grid.valid_pairs()  # materialise cached lists before the widening
+        grid.insert_workers(workers[20:])  # one vectorised sweep per cell
+        expected = retrieve_pairs_without_index(tasks, workers, grid.validity)
+        got = grid.valid_pairs()
+        assert sorted(
+            (p.task_id, p.worker_id, p.arrival) for p in got
+        ) == sorted((p.task_id, p.worker_id, p.arrival) for p in expected)
+        # The cache fills as pruning probes run.
+        assert grid._rect_dist
+
+    def test_vectorised_screen_path_preserves_retrieval(self):
+        """Enough candidate cells to cross the vector-screen threshold."""
+        import numpy as np
+
+        from repro.index.grid import _VECTOR_SCREEN_MIN
+
+        rng = np.random.default_rng(37)
+        tasks = [
+            make_task(i, x=float(x), y=float(y), start=0.0, end=50.0)
+            for i, (x, y) in enumerate(rng.uniform(0.0, 1.0, size=(240, 2)))
+        ]
+        grid = RdbscGrid(0.05)  # 20x20 cells: task cells well above the cutoff
+        for task in tasks:
+            grid.insert_task(task)
+        anchor = make_worker(0, x=0.5, y=0.5, velocity=0.0)  # tiny tight list
+        grid.insert_worker(anchor)
+        grid.valid_pairs()  # materialise the cached list before the widening
+        occupied = sum(1 for cell in grid.cells() if cell.tasks)
+        assert occupied > _VECTOR_SCREEN_MIN  # the sweep takes the array path
+        movers = [
+            make_worker(1 + i, x=0.5, y=0.5, velocity=0.5) for i in range(3)
+        ]
+        grid.insert_workers(movers)
+        workers = [anchor] + movers
+        expected = retrieve_pairs_without_index(tasks, workers, grid.validity)
+        got = grid.valid_pairs()
+        assert sorted(
+            (p.task_id, p.worker_id, p.arrival) for p in got
+        ) == sorted((p.task_id, p.worker_id, p.arrival) for p in expected)

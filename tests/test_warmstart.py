@@ -388,3 +388,103 @@ def test_invalid_solve_mode_rejected():
         AssignmentEngine(solve_mode="tepid")
     with pytest.raises(ValueError):
         WarmStartSamplingSolver(fresh_fraction=0.0)
+
+
+# --------------------------------------------------------------------- #
+# Widening cascade cap (dense candidate chains)
+# --------------------------------------------------------------------- #
+
+
+def _chain_problem(length=10):
+    """A dense candidate *chain*: task ``i`` reaches workers ``i, i+1``.
+
+    Built from precomputed pairs so the candidate graph is exact: one
+    connected component spanning every entity, the regime where the old
+    fixpoint widening would cascade from any single churned worker to the
+    whole component.
+    """
+    from repro.core.worker import MovingWorker
+    from repro.core.problem import ValidPair
+
+    tasks = [
+        SpatialTask(i, Point(0.05 + 0.09 * i, 0.6), 0.0, 10.0) for i in range(length)
+    ]
+    workers = [
+        MovingWorker(i, Point(0.05 + 0.09 * i, 0.4), velocity=0.2)
+        for i in range(length)
+    ]
+    pairs = [ValidPair(i, i, 1.0 + 0.1 * i) for i in range(length)]
+    pairs += [ValidPair(i, i + 1, 1.5 + 0.1 * i) for i in range(length - 1)]
+    return RdbscProblem(tasks, workers, precomputed_pairs=pairs)
+
+
+def test_widening_cascade_capped_on_dense_chain():
+    """One churned worker re-scores O(its tasks' candidates), not the chain."""
+    problem = _chain_problem()
+    from repro.core.assignment import Assignment
+
+    plan_assignment = Assignment()
+    for i in range(10):
+        plan_assignment.assign(i, i)
+    plan = PreviousPlan(
+        assignment=plan_assignment,
+        signatures=candidate_signatures(problem),
+        population=20,
+    )
+    warm = WarmStartGreedySolver()
+    result = warm.warm_solve(problem, plan, forced_dirty=frozenset({5}))
+    # Worker 5 is dirty; its planned task t5 is hurt, freeing t5's
+    # candidates {w5, w6} — and the cascade stops there instead of
+    # chasing w6's task, w7's task, ... to the end of the chain.
+    assert result.stats["dirty_workers"] == 2.0
+    # The repaired-and-re-scored plan still serves every worker.
+    assigned = {worker_id for _, worker_id in result.assignment.pairs()}
+    assert assigned == set(range(10))
+    for task_id, worker_id in result.assignment.pairs():
+        assert problem.is_valid_pair(task_id, worker_id)
+
+
+def test_widening_still_frees_candidates_of_churn_hit_tasks():
+    """The cap keeps the property the widening exists for.
+
+    A task whose planned worker *left* releases its remaining candidates
+    for re-balancing (here ``t5`` frees ``w6``) — and only them: the
+    cascade does not chase ``w6``'s other task down the chain.
+    """
+    from repro.core.assignment import Assignment
+    from repro.core.problem import ValidPair
+    from repro.core.worker import MovingWorker
+
+    length = 10
+    gone = 5
+    tasks = [
+        SpatialTask(i, Point(0.05 + 0.09 * i, 0.6), 0.0, 10.0)
+        for i in range(length)
+    ]
+    workers = [
+        MovingWorker(i, Point(0.05 + 0.09 * i, 0.4), velocity=0.2)
+        for i in range(length)
+        if i != gone  # worker 5 left the system since the previous epoch
+    ]
+    pairs = [ValidPair(i, i, 1.0 + 0.1 * i) for i in range(length) if i != gone]
+    pairs += [
+        ValidPair(i, i + 1, 1.5 + 0.1 * i)
+        for i in range(length - 1)
+        if i + 1 != gone
+    ]
+    problem = RdbscProblem(tasks, workers, precomputed_pairs=pairs)
+    plan_assignment = Assignment()
+    for i in range(length):
+        plan_assignment.assign(i, i)  # the stale plan still names worker 5
+    plan = PreviousPlan(
+        assignment=plan_assignment,
+        signatures=candidate_signatures(problem),
+        population=2 * length,
+    )
+    result = WarmStartGreedySolver().warm_solve(problem, plan)
+    # t5 lost its worker to churn; its surviving candidate w6 was freed
+    # and re-scored (dirty count 1 — the cascade stopped at w6).
+    assert result.stats["dirty_workers"] == 1.0
+    assert result.assignment.task_of(6) in (5, 6)
+    assigned = {worker_id for _, worker_id in result.assignment.pairs()}
+    assert assigned == {i for i in range(length) if i != gone}

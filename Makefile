@@ -2,7 +2,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test benchsmoke bench-fastpath bench-incremental bench-warmstart bench-sharding bench-parallel docs-lint bench golden
+.PHONY: test benchsmoke bench-fastpath bench-incremental bench-warmstart bench-sharding bench-parallel bench-durability docs-lint bench golden
 
 # Tier-1 verification (the command CI runs).
 test:
@@ -31,6 +31,11 @@ bench-sharding:
 # Parallel solve fan-out vs serial solves; writes BENCH_parallel_solve.json.
 bench-parallel:
 	$(PYTHON) -m pytest -q benchmarks/bench_parallel_solve.py
+
+# Durable-log append overhead + restore/replay throughput; writes
+# BENCH_durability.json.
+bench-durability:
+	$(PYTHON) -m pytest -q benchmarks/bench_durability.py
 
 # Docstring lint: engine-era packages + benchmarks/ + examples/ (CI runs
 # this; the default target set lives in tools/docs_lint.py).

@@ -18,6 +18,7 @@ from repro.algorithms import GreedySolver, SamplingSolver
 from repro.datagen import ExperimentConfig, generate_problem
 from repro.fastpath import batch_valid_pairs
 from repro.index.grid import RdbscGrid, retrieve_pairs_without_index
+from repro.utils.hostmeta import host_metadata
 
 RESULT_PATH = Path(__file__).parent.parent / "BENCH_fastpath.json"
 
@@ -153,7 +154,15 @@ def run_fastpath_experiment(
 
     if write_json:
         RESULT_PATH.write_text(
-            json.dumps({"rows": rows, "seed": seed, "repeats": repeats}, indent=2)
+            json.dumps(
+                {
+                    "rows": rows,
+                    "seed": seed,
+                    "repeats": repeats,
+                    "host": host_metadata(),
+                },
+                indent=2,
+            )
             + "\n"
         )
     return rows

@@ -27,6 +27,7 @@ from repro.datagen import ExperimentConfig, generate_tasks, generate_workers
 from repro.engine import AssignmentEngine
 from repro.geometry.points import Point
 from repro.index.grid import RdbscGrid
+from repro.utils.hostmeta import host_metadata
 
 RESULT_PATH = Path(__file__).parent.parent / "BENCH_incremental.json"
 
@@ -224,7 +225,13 @@ def run_incremental_experiment(
     if write_json:
         RESULT_PATH.write_text(
             json.dumps(
-                {"rows": rows, "seed": seed, "solver_seed": solver_seed}, indent=2
+                {
+                    "rows": rows,
+                    "seed": seed,
+                    "solver_seed": solver_seed,
+                    "host": host_metadata(),
+                },
+                indent=2,
             )
             + "\n"
         )

@@ -49,6 +49,7 @@ from repro.algorithms.sampling import SHARED_STREAM_V0
 from repro.datagen import ExperimentConfig, generate_tasks, generate_workers
 from repro.engine import AssignmentEngine, ParallelSolveExecutor, WorkerUpdate
 from repro.geometry.points import Point
+from repro.utils.hostmeta import host_metadata
 
 RESULT_PATH = Path(__file__).parent.parent / "BENCH_parallel_solve.json"
 
@@ -215,7 +216,13 @@ def run_parallel_solve_experiment(
     if write_json:
         RESULT_PATH.write_text(
             json.dumps(
-                {"rows": rows, "seed": seed, "solver_seed": solver_seed}, indent=2
+                {
+                    "rows": rows,
+                    "seed": seed,
+                    "solver_seed": solver_seed,
+                    "host": host_metadata(),
+                },
+                indent=2,
             )
             + "\n"
         )

@@ -56,6 +56,7 @@ from repro.engine import (
     WorkerUpdate,
 )
 from repro.geometry.points import Point
+from repro.utils.hostmeta import host_metadata
 
 RESULT_PATH = Path(__file__).parent.parent / "BENCH_sharding.json"
 
@@ -249,7 +250,13 @@ def run_sharding_experiment(
     if write_json:
         RESULT_PATH.write_text(
             json.dumps(
-                {"rows": rows, "seed": seed, "solver_seed": solver_seed}, indent=2
+                {
+                    "rows": rows,
+                    "seed": seed,
+                    "solver_seed": solver_seed,
+                    "host": host_metadata(),
+                },
+                indent=2,
             )
             + "\n"
         )

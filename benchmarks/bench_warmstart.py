@@ -29,6 +29,7 @@ from repro.algorithms import GreedySolver, SamplingSolver
 from repro.datagen import ExperimentConfig, generate_tasks, generate_workers
 from repro.engine import AssignmentEngine
 from repro.geometry.points import Point
+from repro.utils.hostmeta import host_metadata
 
 RESULT_PATH = Path(__file__).parent.parent / "BENCH_warmstart.json"
 
@@ -217,7 +218,13 @@ def run_warmstart_experiment(
     if write_json:
         RESULT_PATH.write_text(
             json.dumps(
-                {"rows": rows, "seed": seed, "solver_seed": solver_seed}, indent=2
+                {
+                    "rows": rows,
+                    "seed": seed,
+                    "solver_seed": solver_seed,
+                    "host": host_metadata(),
+                },
+                indent=2,
             )
             + "\n"
         )

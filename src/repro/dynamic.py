@@ -106,6 +106,13 @@ class CrowdsourcingSession:
             see :class:`repro.engine.engine.AssignmentEngine`.  Plans are
             bit-identical to the serial session.  With a process count,
             call ``session.close()`` when done.
+        durable_path: crash safety — write every churn event, epoch
+            marker and periodic full-state snapshot to this SQLite log
+            (:mod:`repro.engine.durable`).  Requires a deterministic
+            ``rng``.  Recover a dead session with
+            :meth:`CrowdsourcingSession.restore`; re-assignments after
+            recovery are bit-identical to the uninterrupted session.
+        durable_snapshot_every: reassignments between full snapshots.
     """
 
     def __init__(
@@ -121,6 +128,8 @@ class CrowdsourcingSession:
         halo: Optional[float] = None,
         shard_executor: str = "sequential",
         solve_executor=None,
+        durable_path=None,
+        durable_snapshot_every: int = 16,
     ) -> None:
         if num_shards > 1:
             from repro.engine.sharding import ShardedAssignmentEngine
@@ -137,6 +146,8 @@ class CrowdsourcingSession:
                 solve_mode=solve_mode,
                 warm_churn_threshold=warm_churn_threshold,
                 solve_executor=solve_executor,
+                durable_path=durable_path,
+                durable_snapshot_every=durable_snapshot_every,
             )
         else:
             self.engine = AssignmentEngine(
@@ -148,8 +159,41 @@ class CrowdsourcingSession:
                 solve_mode=solve_mode,
                 warm_churn_threshold=warm_churn_threshold,
                 solve_executor=solve_executor,
+                durable_path=durable_path,
+                durable_snapshot_every=durable_snapshot_every,
             )
         self.stats = SessionStats()
+
+    @classmethod
+    def restore(
+        cls,
+        durable_path,
+        solver: Optional[Solver] = None,
+        solve_executor=None,
+        shard_executor: Optional[str] = None,
+    ) -> "CrowdsourcingSession":
+        """Recover a session from its durable log (snapshot + replay).
+
+        The engine class, configuration and shard layout come from the
+        log's meta row; ``solver`` must be configured exactly as the
+        original (the class name is checked).  The recovered session
+        keeps appending to the same log, and its re-assignments are
+        bit-identical to those the dead session would have produced.
+        ``stats`` counters restart from zero — they are session-object
+        bookkeeping; the engine's replay-deterministic
+        ``engine.metrics`` counters survive recovery.
+        """
+        from repro.engine.durable import restore_engine
+
+        session = cls.__new__(cls)
+        session.engine = restore_engine(
+            durable_path,
+            solver=solver,
+            solve_executor=solve_executor,
+            shard_executor=shard_executor,
+        )
+        session.stats = SessionStats()
+        return session
 
     def close(self) -> None:
         """Release engine resources (a sharded session's worker pool)."""

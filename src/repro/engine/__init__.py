@@ -18,6 +18,11 @@ not O(m * n) rebuilds.  This package is that machinery:
 ``metrics``
     Per-epoch records and lifetime counters (cache hit rate, epoch cost,
     warm/full solve split).
+``durable``
+    Crash safety: :class:`DurableLog` (a SQLite write-ahead event log +
+    periodic full-state snapshots, attached via the engines'
+    ``durable_path=`` knob) and :func:`restore_engine` (snapshot + tail
+    replay, reproducing the live per-epoch plans bit-exactly).
 ``sharding``
     :class:`ShardedAssignmentEngine` — the same engine with its index
     partitioned into rectangular cell blocks (:class:`ShardMap` with a
@@ -43,6 +48,7 @@ from repro.engine.engine import (
     EpochResult,
     virtual_worker,
 )
+from repro.engine.durable import DurableLog, restore_engine
 from repro.engine.events import (
     EpochTick,
     Event,
@@ -50,7 +56,9 @@ from repro.engine.events import (
     TaskArrive,
     TaskWithdraw,
     WorkerArrive,
+    WorkerHold,
     WorkerLeave,
+    WorkerRelease,
     WorkerUpdate,
 )
 from repro.engine.metrics import EngineMetrics, EpochRecord
@@ -72,6 +80,7 @@ from repro.engine.sharding import (
 
 __all__ = [
     "AssignmentEngine",
+    "DurableLog",
     "EngineMetrics",
     "EngineSnapshot",
     "EpochRecord",
@@ -93,8 +102,11 @@ __all__ = [
     "TaskArrive",
     "TaskWithdraw",
     "WorkerArrive",
+    "WorkerHold",
     "WorkerLeave",
+    "WorkerRelease",
     "WorkerUpdate",
     "epoch_ticks",
+    "restore_engine",
     "virtual_worker",
 ]

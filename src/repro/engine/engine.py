@@ -55,6 +55,7 @@ from repro.core.task import SpatialTask
 from repro.core.validity import ValidityRule
 from repro.core.worker import MovingWorker
 from repro.engine import events as ev
+from repro.engine import durable as dur
 from repro.engine.metrics import EngineMetrics, EpochRecord
 from repro.fastpath.arrays import TaskSlots, WorkerSlots
 from repro.solvers.incremental import (
@@ -174,6 +175,15 @@ class AssignmentEngine:
             solve either way.  Warm-start wrappers inherit the binding
             (dirty-worker scoring batches, warm fresh draws); solvers
             without a parallel face simply solve serially.
+        durable_path: when set, the engine writes a write-ahead event log
+            plus periodic full-state snapshots to this SQLite file
+            (:mod:`repro.engine.durable`); a crashed session is recovered
+            with :func:`repro.engine.durable.restore_engine`, which
+            reproduces the live per-epoch plans bit-exactly.  Requires a
+            deterministic ``rng`` (an int seed or a numpy ``Generator``);
+            the path must not already hold a session.
+        durable_snapshot_every: epochs between full-state snapshots (the
+            recovery replay tail is at most this many epochs long).
     """
 
     def __init__(
@@ -188,6 +198,8 @@ class AssignmentEngine:
         solve_mode: str = "full",
         warm_churn_threshold: float = 0.25,
         solve_executor=None,
+        durable_path=None,
+        durable_snapshot_every: int = 16,
     ) -> None:
         if backend not in ("python", "numpy"):
             raise ValueError(f"unknown backend {backend!r}")
@@ -232,6 +244,85 @@ class AssignmentEngine:
         # Bind cache, keyed by solver identity like the warm cache: a
         # swapped-in solver re-binds, a stable one binds once.
         self._bound_solver: Optional[Solver] = None
+        self._closed = False
+        #: Session-clock watermark: the latest ``now`` seen by an epoch or
+        #: expiry sweep, stamped onto logged churn rows for analytics.
+        self._clock = 0.0
+        self.durable: Optional[dur.DurableLog] = None
+        self._durable_suppress = 0
+        self._durable_snapshot_every = max(1, int(durable_snapshot_every))
+        self._epochs_since_snapshot = 0
+        if durable_path is not None:
+            self._start_durable(durable_path)
+
+    # ------------------------------------------------------------------ #
+    # Durability (the write-ahead log; see :mod:`repro.engine.durable`)
+    # ------------------------------------------------------------------ #
+
+    def _durable_config(self) -> dict:
+        """The constructor arguments a recovery must reproduce (log meta)."""
+        return {
+            "schema": dur.SCHEMA_VERSION,
+            "engine": type(self).__name__,
+            "solver": type(self.solver).__name__,
+            "eta": self.grid.eta,
+            "backend": self.backend,
+            "use_index": self.use_index,
+            "allow_waiting": self.validity.allow_waiting,
+            "reanchor_on_epoch": self.reanchor_on_epoch,
+            "solve_mode": self.solve_mode,
+            "warm_churn_threshold": self.warm_churn_threshold,
+            "snapshot_every": self._durable_snapshot_every,
+        }
+
+    def _start_durable(self, path) -> None:
+        """Open a fresh write-ahead log and seed it with snapshot zero."""
+        if self.rng is None:
+            raise ValueError(
+                "durable_path requires a deterministic rng: pass an int seed "
+                "or a numpy Generator, not rng=None"
+            )
+        log = dur.DurableLog(path)
+        try:
+            if log.last_seq() > 0 or log.latest_snapshot() is not None:
+                raise ValueError(
+                    f"durable log {path} already holds a session; recover it "
+                    "with repro.engine.durable.restore_engine (or point the "
+                    "engine at a fresh path)"
+                )
+            log.set_meta(self._durable_config())
+        except BaseException:
+            log.close()
+            raise
+        self._adopt_durable(log)
+        self._write_durable_snapshot()
+
+    def _adopt_durable(self, log, snapshot_every: Optional[int] = None) -> None:
+        """Attach an open log (fresh or recovered) for live appending."""
+        self.durable = log
+        if snapshot_every is not None:
+            self._durable_snapshot_every = max(1, int(snapshot_every))
+        self._epochs_since_snapshot = 0
+
+    def _durable_append(self, records) -> None:
+        """Append ``(kind, payload)`` rows unless logging is suppressed.
+
+        Suppressed while an epoch runs (the epoch marker subsumes its
+        internal expiry/re-anchor churn) and while a recovery replays the
+        tail (replayed events are already in the log).
+        """
+        if self.durable is not None and not self._durable_suppress:
+            self.durable.append_events(
+                [(kind, self._clock, payload) for kind, payload in records]
+            )
+
+    def _write_durable_snapshot(self) -> None:
+        """Serialise the full live state, positioned after the last event."""
+        assert self.durable is not None
+        self.durable.write_snapshot(
+            self.durable.last_seq(), dur.encode_snapshot(self.snapshot())
+        )
+        self._epochs_since_snapshot = 0
 
     # ------------------------------------------------------------------ #
     # State access
@@ -311,16 +402,22 @@ class AssignmentEngine:
         registered, exactly as sequential ``add_task`` calls would).
         """
         fresh: List[SpatialTask] = []
-        for task in tasks:
-            if task.task_id in self._tasks:
-                self._index_insert_tasks(fresh)
-                raise ValueError(f"task {task.task_id} already registered")
-            self._tasks[task.task_id] = task
-            self.task_slots.add(task)
-            self._delta.tasks_arrived.add(task.task_id)
-            self.metrics.count_event("task_arrive")
-            fresh.append(task)
-        self._index_insert_tasks(fresh)
+        try:
+            for task in tasks:
+                if task.task_id in self._tasks:
+                    raise ValueError(f"task {task.task_id} already registered")
+                self._tasks[task.task_id] = task
+                self.task_slots.add(task)
+                self._delta.tasks_arrived.add(task.task_id)
+                self.metrics.count_event("task_arrive")
+                fresh.append(task)
+        finally:
+            # The entries registered before a mid-batch duplicate stay, so
+            # index and log must absorb them even on the error path.
+            self._index_insert_tasks(fresh)
+            self._durable_append(
+                [("task_arrive", {"task": dur.task_row(task)}) for task in fresh]
+            )
 
     def withdraw_task(self, task_id: int) -> SpatialTask:
         """Remove a task (completed/cancelled); frees its workers."""
@@ -331,6 +428,7 @@ class AssignmentEngine:
             self._assignment.unassign(worker_id)
         self._delta.tasks_removed.add(task_id)
         self.metrics.count_event("task_withdraw")
+        self._durable_append([("task_withdraw", {"task_id": task_id})])
         return task
 
     def expire_tasks(self, now: float) -> List[int]:
@@ -340,11 +438,19 @@ class AssignmentEngine:
         live), matching :meth:`repro.core.task.SpatialTask.expired_at` and
         therefore the validity rule's arrival check.
         """
+        self._clock = now
         expired = [t.task_id for t in self._tasks.values() if t.expired_at(now)]
-        for task_id in expired:
-            self.withdraw_task(task_id)
-            self.metrics.events["task_withdraw"] -= 1
-            self.metrics.count_event("task_expire")
+        # The sweep logs as one "expire" record (replay re-derives the same
+        # withdrawals from the same clock), not as per-task withdrawals.
+        self._durable_suppress += 1
+        try:
+            for task_id in expired:
+                self.withdraw_task(task_id)
+                self.metrics.events["task_withdraw"] -= 1
+                self.metrics.count_event("task_expire")
+        finally:
+            self._durable_suppress -= 1
+        self._durable_append([("expire", {"now": now})])
         return expired
 
     def add_worker(self, worker: MovingWorker) -> None:
@@ -359,16 +465,25 @@ class AssignmentEngine:
         registered, exactly as sequential ``add_worker`` calls would).
         """
         fresh: List[MovingWorker] = []
-        for worker in workers:
-            if worker.worker_id in self._workers:
-                self._index_add_workers(fresh)
-                raise ValueError(f"worker {worker.worker_id} already registered")
-            self._workers[worker.worker_id] = worker
-            self.worker_slots.add(worker)
-            self._delta.workers_arrived.add(worker.worker_id)
-            self.metrics.count_event("worker_arrive")
-            fresh.append(worker)
-        self._index_add_workers(fresh)
+        try:
+            for worker in workers:
+                if worker.worker_id in self._workers:
+                    raise ValueError(
+                        f"worker {worker.worker_id} already registered"
+                    )
+                self._workers[worker.worker_id] = worker
+                self.worker_slots.add(worker)
+                self._delta.workers_arrived.add(worker.worker_id)
+                self.metrics.count_event("worker_arrive")
+                fresh.append(worker)
+        finally:
+            self._index_add_workers(fresh)
+            self._durable_append(
+                [
+                    ("worker_arrive", {"worker": dur.worker_row(worker)})
+                    for worker in fresh
+                ]
+            )
 
     def remove_worker(self, worker_id: int) -> MovingWorker:
         """Deregister a worker (left the system)."""
@@ -380,6 +495,7 @@ class AssignmentEngine:
             self._assignment.unassign(worker_id)
         self._delta.workers_left.add(worker_id)
         self.metrics.count_event("worker_leave")
+        self._durable_append([("worker_leave", {"worker_id": worker_id})])
         return worker
 
     def update_worker(self, worker: MovingWorker) -> None:
@@ -416,6 +532,12 @@ class AssignmentEngine:
             self._delta.workers_updated.add(worker.worker_id)
             self.metrics.count_event("worker_update")
         self._index_update_workers(workers)
+        self._durable_append(
+            [
+                ("worker_update", {"worker": dur.worker_row(worker)})
+                for worker in workers
+            ]
+        )
 
     # ------------------------------------------------------------------ #
     # In-flight holds (dispatched workers stay registered)
@@ -443,6 +565,7 @@ class AssignmentEngine:
         self._held.add(worker_id)
         self._delta.workers_held.add(worker_id)
         self.metrics.count_event("worker_hold")
+        self._durable_append([("worker_hold", {"worker_id": worker_id})])
 
     def release_worker(self, worker_id: int) -> None:
         """Make a held worker solver-visible again (KeyError if unknown).
@@ -456,6 +579,7 @@ class AssignmentEngine:
         self._held.discard(worker_id)
         self._delta.workers_updated.add(worker_id)
         self.metrics.count_event("worker_release")
+        self._durable_append([("worker_release", {"worker_id": worker_id})])
 
     @property
     def held_workers(self) -> Set[int]:
@@ -478,6 +602,10 @@ class AssignmentEngine:
             self.remove_worker(event.worker_id)
         elif isinstance(event, ev.WorkerUpdate):
             self.update_worker(event.worker)
+        elif isinstance(event, ev.WorkerHold):
+            self.hold_worker(event.worker_id)
+        elif isinstance(event, ev.WorkerRelease):
+            self.release_worker(event.worker_id)
         elif isinstance(event, ev.ExpireTasks):
             self.expire_tasks(event.time)
         elif isinstance(event, ev.EpochTick):
@@ -696,17 +824,26 @@ class AssignmentEngine:
         self._bound_solver = self.solver
 
     def close(self) -> None:
-        """Release owned resources (an engine-built solve executor's pool).
+        """Release owned resources; idempotent, and final for this engine.
 
-        A shared executor instance passed in by the caller is left
-        running — whoever constructed it closes it.  Closing an owned
-        executor also detaches it from the bound solver, so the solver
-        stays usable (serially) elsewhere.
+        Closes an engine-built solve executor's pool (a shared executor
+        instance passed in by the caller is left running — whoever
+        constructed it closes it; closing an owned executor also detaches
+        it from the bound solver, so the solver stays usable serially
+        elsewhere) and flushes/closes an attached durable log.  A closed
+        engine refuses further :meth:`epoch` calls with a clear error
+        instead of submitting work to dead pools; a second ``close()`` is
+        a no-op.
         """
+        if self._closed:
+            return
+        self._closed = True
         if self._owns_solve_executor and self.solve_executor is not None:
             self.solve_executor.unbind(self._bound_solver)
             self._bound_solver = None
             self.solve_executor.close()
+        if self.durable is not None:
+            self.durable.close()
 
     def __enter__(self) -> "AssignmentEngine":
         """Context-manager entry: the engine itself."""
@@ -785,73 +922,123 @@ class AssignmentEngine:
         recorded :class:`~repro.engine.metrics.EpochRecord` say which path
         ran.
         """
+        if self._closed:
+            raise RuntimeError(
+                "engine is closed (its executor pools are shut down); build a "
+                "new engine, or recover a durable session with "
+                "repro.engine.durable.restore_engine"
+            )
         started = time.perf_counter()
-        hits_before = self.grid.stats["pair_cache_hits"]
-        misses_before = self.grid.stats["pair_cache_misses"]
-        expired = self.expire_tasks(now)
-        if self.reanchor_on_epoch:
-            self._reanchor_workers(now)
-        self._bind_solve_executor()
-        mode = self._choose_mode()
-        problem, virtual_ids = self.build_problem(pinned, forbidden)
-        warm = self._warm_solver() if self.solve_mode == "warm" else None
-        solve_started = time.perf_counter()
-        # One signature pass per warm-capable epoch, inside the solve timer
-        # (it is genuine warm-mode work): shared between the warm solver's
-        # dirty diff and the plan stored for the next epoch.
-        signatures = (
-            candidate_signatures(problem, frozenset(virtual_ids))
-            if warm is not None
+        self._clock = now
+        # The whole epoch logs as one marker (replay re-runs it, re-deriving
+        # the internal expiry and re-anchor churn), so the RNG position is
+        # captured *before* the solve consumes draws and inner logging is
+        # suppressed.  ``None`` when no log is attached or when this epoch is
+        # itself a replay of an already-logged marker.
+        rng_position = (
+            dur.rng_spec(self.rng)
+            if self.durable is not None and not self._durable_suppress
             else None
         )
-        if mode == "warm":
-            assert warm is not None and self._plan is not None
-            log_weights = (
-                self._warm_log_weights(problem, virtual_ids)
-                if isinstance(warm, WarmStartGreedySolver)
+        self._durable_suppress += 1
+        try:
+            hits_before = self.grid.stats["pair_cache_hits"]
+            misses_before = self.grid.stats["pair_cache_misses"]
+            expired = self.expire_tasks(now)
+            if self.reanchor_on_epoch:
+                self._reanchor_workers(now)
+            self._bind_solve_executor()
+            mode = self._choose_mode()
+            problem, virtual_ids = self.build_problem(pinned, forbidden)
+            warm = self._warm_solver() if self.solve_mode == "warm" else None
+            solve_started = time.perf_counter()
+            # One signature pass per warm-capable epoch, inside the solve
+            # timer (it is genuine warm-mode work): shared between the warm
+            # solver's dirty diff and the plan stored for the next epoch.
+            signatures = (
+                candidate_signatures(problem, frozenset(virtual_ids))
+                if warm is not None
                 else None
             )
-            result = warm.warm_solve(
-                problem,
-                self._plan,
-                forced_dirty=frozenset(self._delta.touched_workers()),
-                rng=self.rng,
-                log_weights=log_weights,
-                signatures=signatures,
+            if mode == "warm":
+                assert warm is not None and self._plan is not None
+                log_weights = (
+                    self._warm_log_weights(problem, virtual_ids)
+                    if isinstance(warm, WarmStartGreedySolver)
+                    else None
+                )
+                result = warm.warm_solve(
+                    problem,
+                    self._plan,
+                    forced_dirty=frozenset(self._delta.touched_workers()),
+                    rng=self.rng,
+                    log_weights=log_weights,
+                    signatures=signatures,
+                )
+            else:
+                result = self.solver.solve(problem, rng=self.rng)
+            solve_seconds = time.perf_counter() - solve_started
+            dispatch: Dict[int, int] = {}
+            live = Assignment()
+            for task_id, worker_id in result.assignment.pairs():
+                if worker_id not in virtual_ids:
+                    dispatch[worker_id] = task_id
+                    live.assign(task_id, worker_id)
+            self._assignment = live
+            if warm is not None:
+                assert signatures is not None
+                self._plan = PreviousPlan(
+                    assignment=live.copy(),
+                    signatures=signatures,
+                    population=problem.num_tasks
+                    + problem.num_workers
+                    - len(virtual_ids),
+                )
+            self._delta.clear()
+            record = EpochRecord(
+                now=now,
+                num_tasks=problem.num_tasks,
+                num_workers=problem.num_workers,
+                num_pairs=problem.num_pairs,
+                expired=len(expired),
+                cache_hits=self.grid.stats["pair_cache_hits"] - hits_before,
+                cache_misses=self.grid.stats["pair_cache_misses"] - misses_before,
+                objective=result.objective,
+                seconds=time.perf_counter() - started,
+                mode=mode,
             )
-        else:
-            result = self.solver.solve(problem, rng=self.rng)
-        solve_seconds = time.perf_counter() - solve_started
-        dispatch: Dict[int, int] = {}
-        live = Assignment()
-        for task_id, worker_id in result.assignment.pairs():
-            if worker_id not in virtual_ids:
-                dispatch[worker_id] = task_id
-                live.assign(task_id, worker_id)
-        self._assignment = live
-        if warm is not None:
-            assert signatures is not None
-            self._plan = PreviousPlan(
-                assignment=live.copy(),
-                signatures=signatures,
-                population=problem.num_tasks
-                + problem.num_workers
-                - len(virtual_ids),
+            self.metrics.record_epoch(record, solve_seconds)
+        finally:
+            self._durable_suppress -= 1
+        if rng_position is not None:
+            assert self.durable is not None
+            self.durable.append_events(
+                [
+                    (
+                        "epoch",
+                        now,
+                        {
+                            "now": now,
+                            "pinned": dur.encode_pinned(pinned),
+                            "forbidden": dur.encode_forbidden(forbidden),
+                            "rng": rng_position,
+                            # Analytics extras (replay ignores them): what
+                            # this epoch decided.
+                            "mode": mode,
+                            "objective": [
+                                result.objective.min_reliability,
+                                result.objective.total_std,
+                            ],
+                            "dispatch": sorted(
+                                [w, t] for w, t in dispatch.items()
+                            ),
+                        },
+                    )
+                ]
             )
-        self._delta.clear()
-        record = EpochRecord(
-            now=now,
-            num_tasks=problem.num_tasks,
-            num_workers=problem.num_workers,
-            num_pairs=problem.num_pairs,
-            expired=len(expired),
-            cache_hits=self.grid.stats["pair_cache_hits"] - hits_before,
-            cache_misses=self.grid.stats["pair_cache_misses"] - misses_before,
-            objective=result.objective,
-            seconds=time.perf_counter() - started,
-            mode=mode,
-        )
-        self.metrics.record_epoch(record, solve_seconds)
+            self._epochs_since_snapshot += 1
+            if self._epochs_since_snapshot >= self._durable_snapshot_every:
+                self._write_durable_snapshot()
         return EpochResult(
             now=now,
             objective=result.objective,
@@ -878,21 +1065,61 @@ class AssignmentEngine:
     # ------------------------------------------------------------------ #
 
     def snapshot(self) -> "EngineSnapshot":
-        """An immutable copy of the live state (for reporting / debugging)."""
+        """An immutable copy of the full solver-relevant live state.
+
+        Beyond the reporting triple (tasks, workers, assignment) the
+        snapshot captures everything a restore needs for bit-identical
+        replay: the hold set, the previous epoch's
+        :class:`~repro.solvers.incremental.PreviousPlan`, the pending
+        inter-epoch delta, the solve mode, the replay-deterministic
+        metrics counters, and the RNG position (``None`` only for a
+        nondeterministic ``rng=None`` engine, which cannot be durably
+        replayed).  ``repro.engine.durable`` serialises exactly this.
+        """
+        plan = self._plan
+        if plan is not None:
+            plan = PreviousPlan(
+                assignment=plan.assignment.copy(),
+                signatures=dict(plan.signatures),
+                population=plan.population,
+            )
+        delta = EpochDelta()
+        for name in dur._DELTA_SETS:
+            getattr(delta, name).update(getattr(self._delta, name))
         return EngineSnapshot(
             tasks=tuple(self._tasks.values()),
             workers=tuple(self._workers.values()),
             assignment=self._assignment.copy(),
+            held=frozenset(self._held),
+            plan=plan,
+            delta=delta,
+            solve_mode=self.solve_mode,
+            rng_state=None if self.rng is None else dur.rng_spec(self.rng),
+            metrics=self.metrics.counters(),
+            clock=self._clock,
         )
 
 
 @dataclass(frozen=True)
 class EngineSnapshot:
-    """Point-in-time view of an engine's live state."""
+    """Point-in-time view of an engine's live state.
+
+    The first three fields are the PR-3-era reporting view; the rest
+    (defaulted, so handmade snapshots keep working) carry the durable
+    subsystem's full solver-relevant state — see
+    :meth:`AssignmentEngine.snapshot` and :mod:`repro.engine.durable`.
+    """
 
     tasks: Tuple[SpatialTask, ...]
     workers: Tuple[MovingWorker, ...]
     assignment: Assignment
+    held: frozenset = frozenset()
+    plan: Optional[PreviousPlan] = None
+    delta: Optional[EpochDelta] = None
+    solve_mode: str = "full"
+    rng_state: Optional[dict] = None
+    metrics: Optional[dict] = None
+    clock: float = 0.0
 
     @property
     def num_tasks(self) -> int:

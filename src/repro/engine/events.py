@@ -10,6 +10,8 @@ replays, the platform simulator, live services) and the consumer
 * :class:`TaskArrive` / :class:`TaskWithdraw` — task churn,
 * :class:`WorkerArrive` / :class:`WorkerLeave` / :class:`WorkerUpdate` —
   worker churn (update covers position/heading/confidence refreshes),
+* :class:`WorkerHold` / :class:`WorkerRelease` — in-flight dispatch state
+  (a held worker stays registered but solver-invisible),
 * :class:`ExpireTasks` — retire every task whose valid period has closed,
 * :class:`EpochTick` — run the configured solver over the current state.
 
@@ -70,6 +72,20 @@ class WorkerUpdate(Event):
     """A registered worker refreshes position / heading / confidence."""
 
     worker: MovingWorker
+
+
+@dataclass(frozen=True)
+class WorkerHold(Event):
+    """A dispatched worker goes in-flight: registered but solver-invisible."""
+
+    worker_id: int
+
+
+@dataclass(frozen=True)
+class WorkerRelease(Event):
+    """A held worker becomes solver-visible again (trip completed)."""
+
+    worker_id: int
 
 
 @dataclass(frozen=True)

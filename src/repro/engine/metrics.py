@@ -82,6 +82,34 @@ class EngineMetrics:
         self.epoch_seconds += record.seconds
         self.history.append(record)
 
+    def counters(self) -> Dict[str, object]:
+        """The lifetime counters as one plain JSON-safe dict.
+
+        Covers everything except the per-epoch ``history`` and the
+        wall-clock second totals — exactly the portion of the metrics
+        that is *replay-deterministic* (a restored engine re-earns its
+        own wall clock), which is what durable snapshots serialize.
+        """
+        return {
+            "events": dict(self.events),
+            "epochs": self.epochs,
+            "full_solves": self.full_solves,
+            "warm_solves": self.warm_solves,
+            "reanchors_skipped": self.reanchors_skipped,
+            "tasks_expired": self.tasks_expired,
+            "pairs_retrieved": self.pairs_retrieved,
+        }
+
+    def restore_counters(self, counters: Dict[str, object]) -> None:
+        """Overwrite the lifetime counters from a :meth:`counters` dict."""
+        self.events = dict(counters["events"])
+        self.epochs = int(counters["epochs"])
+        self.full_solves = int(counters["full_solves"])
+        self.warm_solves = int(counters["warm_solves"])
+        self.reanchors_skipped = int(counters["reanchors_skipped"])
+        self.tasks_expired = int(counters["tasks_expired"])
+        self.pairs_retrieved = int(counters["pairs_retrieved"])
+
     @property
     def events_processed(self) -> int:
         """Total churn events applied over the engine's lifetime."""

@@ -421,6 +421,11 @@ class ShardedAssignmentEngine(AssignmentEngine):
             shard map additionally drives the greedy scorer's batch
             partition, so solve batches follow the same cell-block
             partition as the index fan-out.
+        durable_path / durable_snapshot_every: write-ahead event log +
+            periodic snapshots, as for :class:`AssignmentEngine`; the log
+            additionally records the shard layout (count, halo, executor
+            kind), so :func:`repro.engine.durable.restore_engine` rebuilds
+            a sharded engine with identical routing.
     """
 
     def __init__(
@@ -437,6 +442,8 @@ class ShardedAssignmentEngine(AssignmentEngine):
         solve_mode: str = "full",
         warm_churn_threshold: float = 0.25,
         solve_executor=None,
+        durable_path=None,
+        durable_snapshot_every: int = 16,
     ) -> None:
         super().__init__(
             solver=solver,
@@ -449,6 +456,7 @@ class ShardedAssignmentEngine(AssignmentEngine):
             solve_mode=solve_mode,
             warm_churn_threshold=warm_churn_threshold,
             solve_executor=solve_executor,
+            durable_snapshot_every=durable_snapshot_every,
         )
         self.shard_map = ShardMap(num_shards, eta, halo=halo)
         states = [
@@ -472,6 +480,26 @@ class ShardedAssignmentEngine(AssignmentEngine):
         self._max_end = 0.0
         self._min_depart = math.inf
         self._v_max = 0.0
+        # Durability attaches here, after the shard layout exists — the log
+        # meta must record it (the base __init__ runs too early for that).
+        if durable_path is not None:
+            self._start_durable(durable_path)
+
+    def _durable_config(self) -> dict:
+        """Base meta plus the shard layout a recovery must reproduce."""
+        config = super()._durable_config()
+        config.update(
+            {
+                "num_shards": self.shard_map.num_shards,
+                "halo": self.shard_map.halo,
+                "shard_executor": (
+                    "process"
+                    if isinstance(self.executor, ProcessShardExecutor)
+                    else "sequential"
+                ),
+            }
+        )
+        return config
 
     # ------------------------------------------------------------------ #
     # Routing (the index hooks)
@@ -598,6 +626,17 @@ class ShardedAssignmentEngine(AssignmentEngine):
     # ------------------------------------------------------------------ #
 
     def close(self) -> None:
-        """Release the shard executor and any owned solve executor."""
+        """Release the shard executor and any owned solve executor.
+
+        Idempotent like the base close: the first call shuts the shard
+        pools *and* an engine-owned solve executor down (the base close
+        handles the latter — an engine-owned
+        :class:`~repro.engine.parallel.ParallelSolveExecutor` must not
+        outlive the sharded engine any more than the single one); repeats
+        are no-ops, and a later :meth:`epoch` fails with a clear error
+        instead of submitting to dead pools.
+        """
+        if self._closed:
+            return
         self.executor.close()
         super().close()

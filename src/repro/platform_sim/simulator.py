@@ -163,6 +163,17 @@ class PlatformSimulator:
             executor *instance* is shared across :meth:`run` calls and
             closed by the caller; a process count builds one per run,
             closed when the run finishes.
+        durable_path: forwarded to the engine — the run's churn events,
+            epoch markers (with pinned contributions and forbidden pairs)
+            and snapshots go to this SQLite write-ahead log
+            (:mod:`repro.engine.durable`), so a crashed deployment's
+            assignment state is recoverable and the dispatch history is
+            queryable without re-simulating.  One log holds one session:
+            a second :meth:`run` against the same path raises.  Note the
+            simulator draws answer outcomes from the *same* generator the
+            engine solves with, so a recovered engine replays the logged
+            history bit-exactly but epochs beyond it may diverge from a
+            never-crashed run (the outside draws are not in the log).
     """
 
     def __init__(
@@ -172,12 +183,14 @@ class PlatformSimulator:
         solve_mode: str = "full",
         warm_churn_threshold: float = 0.25,
         solve_executor=None,
+        durable_path=None,
     ) -> None:
         self.config = config if config is not None else PlatformConfig()
         self.backend = backend
         self.solve_mode = solve_mode
         self.warm_churn_threshold = warm_churn_threshold
         self.solve_executor = solve_executor
+        self.durable_path = durable_path
         #: Early arrivals wait at the site until the window opens, as human
         #: workers on the real platform do.
         self.validity = ValidityRule(allow_waiting=True)
@@ -253,6 +266,7 @@ class PlatformSimulator:
             solve_mode=self.solve_mode,
             warm_churn_threshold=self.warm_churn_threshold,
             solve_executor=self.solve_executor,
+            durable_path=self.durable_path,
         )
         try:
             return self._run_with_engine(engine, generator)

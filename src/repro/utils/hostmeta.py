@@ -1,0 +1,35 @@
+"""Host metadata stamped into benchmark result files.
+
+Every ``benchmarks/bench_*.py`` writer records its rows into a
+``BENCH_*.json`` at the repo root; those trajectories are only
+comparable across machines when each file says what it was recorded on
+(the ROADMAP notes the reference records come from a 1-core container).
+The bench modules are loaded through isolated ``importlib`` specs (see
+``tests/test_bench_smoke.py``), so this helper lives in the package —
+not in ``benchmarks/`` — where every writer can import it.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import sys
+from typing import Dict
+
+
+def host_metadata() -> Dict[str, object]:
+    """The recording host's shape, as one JSON-safe dict.
+
+    Keys:
+        ``cpu_count``: logical CPUs visible to the process (``None`` when
+            the platform cannot say).
+        ``platform``: ``platform.platform()`` — OS, release, machine.
+        ``machine``: the bare architecture string (``x86_64``, ...).
+        ``python``: the interpreter version recording the numbers.
+    """
+    return {
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "python": sys.version.split()[0],
+    }

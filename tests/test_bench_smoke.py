@@ -90,6 +90,15 @@ SMOKE_RUNNERS = {
     "bench_ablation_sampling_budget": lambda m: m.sampling_budget_ablation(
         budgets=(5, 20), seeds=(1,)
     ),
+    "bench_durability": lambda m: m.run_durability_experiment(
+        num_tasks=10,
+        num_workers=40,
+        epochs=3,
+        churn_workers=4,
+        eta=0.125,
+        repeats=1,
+        write_json=False,
+    ),
     "bench_fastpath": lambda m: m.run_fastpath_experiment(
         num_tasks=12, num_workers=60, repeats=1, write_json=False
     ),

@@ -395,3 +395,82 @@ class TestExpiryBoundary:
         record = TaskRecord(make_task(0, start=0.0, end=5.0))
         assert record.open_at(5.0)
         assert not record.open_at(math.nextafter(5.0, math.inf))
+
+
+class TestCloseLifecycle:
+    """Engine-owned executor teardown: both engine classes must shut the
+    pools they built, tolerate a second ``close()``, and refuse epochs
+    afterwards with a clear error instead of submitting to dead pools."""
+
+    def _populate(self, engine):
+        engine.add_task(make_task(0, end=9.0))
+        engine.add_worker(make_worker(0, x=0.2, y=0.5))
+
+    def test_plain_engine_close_is_idempotent(self):
+        engine = AssignmentEngine(solver=GreedySolver())
+        self._populate(engine)
+        engine.epoch(0.0)
+        engine.close()
+        engine.close()  # second close is a no-op, not an error
+
+    def test_plain_engine_closes_owned_solve_executor(self):
+        engine = AssignmentEngine(solver=GreedySolver(), solve_executor=2)
+        self._populate(engine)
+        executor = engine.solve_executor
+        engine.close()
+        assert executor._closed
+        with pytest.raises(RuntimeError, match="already closed"):
+            executor.pools()
+
+    def test_plain_engine_epoch_after_close_raises(self):
+        engine = AssignmentEngine(solver=GreedySolver())
+        self._populate(engine)
+        engine.close()
+        with pytest.raises(RuntimeError, match="engine is closed"):
+            engine.epoch(1.0)
+
+    def test_sharded_engine_close_is_idempotent(self):
+        from repro.engine import ShardedAssignmentEngine
+
+        engine = ShardedAssignmentEngine(solver=GreedySolver(), num_shards=2)
+        self._populate(engine)
+        engine.epoch(0.0)
+        engine.close()
+        engine.close()
+
+    def test_sharded_engine_closes_owned_solve_executor(self):
+        # The regression: ShardedAssignmentEngine.close() used to release
+        # only the shard executor, leaking the engine-built solve
+        # executor's pinned worker processes.
+        from repro.engine import ShardedAssignmentEngine
+
+        engine = ShardedAssignmentEngine(
+            solver=GreedySolver(), num_shards=2, solve_executor=2
+        )
+        self._populate(engine)
+        executor = engine.solve_executor
+        engine.close()
+        assert executor._closed
+        with pytest.raises(RuntimeError, match="already closed"):
+            executor.pools()
+
+    def test_sharded_engine_epoch_after_close_raises(self):
+        from repro.engine import ShardedAssignmentEngine
+
+        engine = ShardedAssignmentEngine(solver=GreedySolver(), num_shards=2)
+        self._populate(engine)
+        engine.close()
+        with pytest.raises(RuntimeError, match="engine is closed"):
+            engine.epoch(1.0)
+
+    def test_shared_solve_executor_is_left_running(self):
+        from repro.engine.parallel import ParallelSolveExecutor
+
+        shared = ParallelSolveExecutor(processes=2)
+        try:
+            engine = AssignmentEngine(solver=GreedySolver(), solve_executor=shared)
+            self._populate(engine)
+            engine.close()
+            assert not shared._closed  # caller-owned: caller closes it
+        finally:
+            shared.close()

@@ -2,7 +2,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test benchsmoke bench-fastpath bench-incremental bench-warmstart bench-sharding bench-parallel bench-durability docs-lint bench golden
+.PHONY: test benchsmoke bench-fastpath bench-incremental bench-warmstart bench-sharding bench-parallel bench-durability bench-dstd docs-lint bench golden
 
 # Tier-1 verification (the command CI runs).
 test:
@@ -36,6 +36,11 @@ bench-parallel:
 # BENCH_durability.json.
 bench-durability:
 	$(PYTHON) -m pytest -q benchmarks/bench_durability.py
+
+# Scalar-vs-batched exact ΔE[STD] throughput + epoch phase profile;
+# writes BENCH_dstd.json.
+bench-dstd:
+	$(PYTHON) -m pytest -q benchmarks/bench_dstd.py
 
 # Docstring lint: engine-era packages + benchmarks/ + examples/ (CI runs
 # this; the default target set lives in tools/docs_lint.py).

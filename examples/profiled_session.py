@@ -1,0 +1,121 @@
+"""Where an epoch's time goes: the phase profiler on both greedy backends.
+
+The same movement-churn session is driven twice through an
+``AssignmentEngine`` — once with ``GreedySolver(backend="python")``, once
+with ``backend="numpy"`` — and the built-in epoch phase profiler
+(``docs/PROFILING.md``) decomposes each run.  The plans are bit-identical
+by contract; what changes is *where the time goes*: the numpy backend
+routes exact ΔE[STD] scoring through the batched slab kernels
+(``repro.fastpath.batch_delta_estd``), so the ``delta_estd`` share of
+epoch wall time shrinks and the remaining phases grow in relative terms.
+
+Pruning is disabled so every candidate pays the exact O(r²) evaluation —
+the regime the vectorised objective targets and the clearest view of the
+shift (with Lemma 4.3 pruning on, survivor blocks are small and the
+``prune`` phase dominates instead).
+
+Run with ``PYTHONPATH=src python examples/profiled_session.py``.
+"""
+
+import numpy as np
+
+from repro.algorithms import GreedySolver
+from repro.datagen import ExperimentConfig, generate_tasks, generate_workers
+from repro.engine import AssignmentEngine, WorkerUpdate
+from repro.geometry.points import Point
+
+EPOCHS = 4
+MOVES_PER_EPOCH = 30
+SEED = 23
+SOLVER_SEED = 5
+
+
+def build_workload(seed=SEED):
+    """Initial population plus a per-epoch GPS-jitter script both runs replay."""
+    config = ExperimentConfig.scaled_defaults(
+        num_tasks=36, num_workers=150
+    ).with_updates(velocity_range=(0.05, 0.12))
+    rng = np.random.default_rng(seed)
+    tasks = list(generate_tasks(config, rng))
+    workers = list(generate_workers(config, rng))
+
+    script = []
+    pool = list(workers)
+    crng = np.random.default_rng(seed + 1)
+    for _ in range(EPOCHS):
+        ops = []
+        for index in crng.choice(len(pool), size=MOVES_PER_EPOCH, replace=False):
+            worker = pool[index]
+            moved = worker.moved_to(
+                Point(
+                    float(np.clip(worker.location.x + crng.normal(0.0, 0.004), 0.0, 1.0)),
+                    float(np.clip(worker.location.y + crng.normal(0.0, 0.004), 0.0, 1.0)),
+                ),
+                worker.depart_time,
+            )
+            pool[index] = moved
+            ops.append(WorkerUpdate(time=0.0, worker=moved))
+        script.append(ops)
+    return tasks, workers, script
+
+
+def profile_backend(backend, tasks, workers, script):
+    """Drive the script on one backend; return (per-epoch phases, lifetime, plans)."""
+    engine = AssignmentEngine(
+        solver=GreedySolver(use_pruning=False, backend=backend), rng=SOLVER_SEED
+    )
+    engine.add_tasks(tasks)
+    engine.add_workers(workers)
+    epoch_phases = []
+    plans = []
+    for ops in script:
+        engine.apply_batch(ops)
+        outcome = engine.epoch(0.0)
+        epoch_phases.append(dict(engine.metrics.history[-1].phases))
+        plans.append(sorted(outcome.assignment.pairs()))
+    lifetime = dict(engine.metrics.phase_seconds)
+    engine.close()
+    return epoch_phases, lifetime, plans
+
+
+def print_profile(backend, epoch_phases, lifetime):
+    """Print per-epoch phase rows and the lifetime share decomposition."""
+    names = sorted(lifetime, key=lifetime.get, reverse=True)
+    print(f"\n[{backend}] per-epoch phase seconds:")
+    header = "  epoch | " + " | ".join(f"{name:>12}" for name in names)
+    print(header)
+    for k, phases in enumerate(epoch_phases):
+        row = " | ".join(f"{phases.get(name, 0.0):12.4f}" for name in names)
+        print(f"  {k:>5} | {row}")
+    total = sum(lifetime.values()) or 1.0
+    print(f"[{backend}] lifetime shares:")
+    for name in names:
+        print(f"  {name:>12}  {lifetime[name]:8.4f}s  {lifetime[name] / total:6.1%}")
+
+
+def main():
+    """Profile both backends on the same churn session and compare shares."""
+    tasks, workers, script = build_workload()
+
+    results = {}
+    for backend in ("python", "numpy"):
+        epoch_phases, lifetime, plans = profile_backend(
+            backend, tasks, workers, script
+        )
+        print_profile(backend, epoch_phases, lifetime)
+        results[backend] = (lifetime, plans)
+
+    assert results["python"][1] == results["numpy"][1], "backends must agree"
+
+    shares = {}
+    for backend, (lifetime, _) in results.items():
+        total = sum(lifetime.values()) or 1.0
+        shares[backend] = lifetime.get("delta_estd", 0.0) / total
+    print(
+        f"\nplans bit-identical across backends; delta_estd share: "
+        f"python {shares['python']:.1%} -> numpy {shares['numpy']:.1%}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -18,12 +18,21 @@ Two optimisations keep the inner loop honest at scale:
   Lemma 4.3 sweep run as :mod:`repro.fastpath` array kernels over all
   candidates at once — same selections, same result, less interpreter
   time per candidate.
+* With ``backend="numpy"`` the post-pruning exact ``ΔE[STD]`` work also
+  leaves the interpreter: surviving uncached candidates are scored as one
+  block through :func:`repro.fastpath.diversity.batch_delta_estd`, whose
+  kernels are bitwise-equal to the scalar ``expected_std`` reduction.
 * With a ``scorer`` attached (the engine's ``solve_executor`` knob binds a
   :class:`repro.engine.parallel.ShardBatchedScorer`), each round's
-  ``Δmin_R`` scoring is evaluated in per-shard batches — inline or across
-  a process pool — and merged back into candidate order *before* the
-  global argmax, so the committed plan stays bit-identical to the serial
-  greedy at every batch count and pool size.
+  ``Δmin_R`` scoring — and, on the numpy backend, its exact ``ΔE[STD]``
+  block — is evaluated in per-shard batches, inline or across a process
+  pool, and merged back into candidate order *before* the global argmax,
+  so the committed plan stays bit-identical to the serial greedy at every
+  batch count and pool size.
+
+The scoring stages report their wall time through the engine phase
+profiler (:mod:`repro.engine.profile`) when an engine has activated one;
+standalone solves skip the timers entirely.
 """
 
 from __future__ import annotations
@@ -40,6 +49,12 @@ from repro.algorithms.pruning import (
 )
 from repro.core.objectives import IncrementalEvaluator
 from repro.core.problem import RdbscProblem
+
+#: Below this many uncached candidates, the scalar per-pair loop beats
+#: slab packing + kernel dispatch (post-pruning survivor blocks are often
+#: a handful of rows).  Both paths produce identical bits, so the switch
+#: is invisible to every equality contract.
+_MIN_BLOCK_DSTD = 32
 
 
 class GreedySolver(Solver):
@@ -227,6 +242,41 @@ class GreedySolver(Solver):
         per_task[worker_id] = value
         return value, True
 
+    def _block_dstd(
+        self,
+        problem: RdbscProblem,
+        evaluator: IncrementalEvaluator,
+        dstd_cache: Dict[int, Dict[int, float]],
+        pairs: List[Tuple[int, int]],
+    ) -> None:
+        """Exact ``ΔE[STD]`` for a block of uncached candidates at once.
+
+        Packs one padded profile slab for the block and evaluates it
+        through the attached shard-batched scorer when one is set
+        (per-shard batches, remote through the pinned pools) or one
+        direct :func:`repro.fastpath.diversity.batch_expected_std` call.
+        Every value lands in ``dstd_cache`` exactly as the scalar
+        :meth:`_exact_dstd` would have stored it — the batched kernels
+        are bitwise-equal to the scalar reduction, so the cache contents
+        and every downstream selection are identical.  Unscored blocks
+        below :data:`_MIN_BLOCK_DSTD` take the scalar loop instead: slab
+        packing + kernel dispatch costs more than a handful of O(r^2)
+        evaluations.
+        """
+        from repro.fastpath.diversity import batch_expected_std, pack_delta_slab
+
+        if self.scorer is None and len(pairs) < _MIN_BLOCK_DSTD:
+            for task_id, worker_id in pairs:
+                self._exact_dstd(evaluator, dstd_cache, task_id, worker_id)
+            return
+        slab, old_estd = pack_delta_slab(problem, evaluator, pairs)
+        if self.scorer is not None and hasattr(self.scorer, "round_delta_estd"):
+            values = self.scorer.round_delta_estd(problem, pairs, slab, old_estd)
+        else:
+            values = batch_expected_std(slab) - old_estd
+        for (task_id, worker_id), value in zip(pairs, values.tolist()):
+            dstd_cache.setdefault(task_id, {})[worker_id] = value
+
     def _score_round(
         self,
         problem: RdbscProblem,
@@ -245,6 +295,8 @@ class GreedySolver(Solver):
             return self._score_round_numpy(
                 problem, evaluator, pairs, min_two, dstd_cache, bounds_cache
             )
+        from repro.engine.profile import phase
+
         # With a shard-batched scorer attached the round's Δmin_R values
         # come from the merged kernel batches (bit-identical to the scalar
         # delta_min_r); otherwise they are computed pair by pair.
@@ -255,53 +307,59 @@ class GreedySolver(Solver):
         )
         exact = 0
         if not self.use_pruning:
-            out = []
+            # The scalar loop interleaves Δmin_R and ΔE[STD] per pair;
+            # the exact diversity reduction dominates, so the whole loop
+            # is attributed to the delta_estd phase.
+            with phase("delta_estd"):
+                out = []
+                for k, (task_id, worker_id) in enumerate(pairs):
+                    dr = (
+                        float(dr_array[k])
+                        if dr_array is not None
+                        else evaluator.delta_min_r(task_id, worker_id, min_two)
+                    )
+                    dd, computed = self._exact_dstd(
+                        evaluator, dstd_cache, task_id, worker_id
+                    )
+                    exact += computed
+                    out.append(((task_id, worker_id), dr, dd))
+            return out, exact, 0
+
+        with phase("prune"):
+            bounded: List[CandidateBounds] = []
             for k, (task_id, worker_id) in enumerate(pairs):
                 dr = (
                     float(dr_array[k])
                     if dr_array is not None
                     else evaluator.delta_min_r(task_id, worker_id, min_two)
                 )
+                cached = dstd_cache.get(task_id, {}).get(worker_id)
+                if cached is not None:
+                    lb = ub = cached
+                else:
+                    per_task_bounds = bounds_cache.setdefault(task_id, {})
+                    known = per_task_bounds.get(worker_id)
+                    if known is None:
+                        task = problem.tasks_by_id[task_id]
+                        state = evaluator.state_of(task_id)
+                        new_profile = problem.pair_profile(task_id, worker_id)
+                        known = diversity_increase_bounds(
+                            task, state.profiles, new_profile
+                        )
+                        per_task_bounds[worker_id] = known
+                    lb, ub = known
+                bounded.append(CandidateBounds(task_id, worker_id, dr, lb, ub))
+
+            survivors = prune_candidates(bounded)
+        n_pruned = len(bounded) - len(survivors)
+        with phase("delta_estd"):
+            out = []
+            for cand in survivors:
                 dd, computed = self._exact_dstd(
-                    evaluator, dstd_cache, task_id, worker_id
+                    evaluator, dstd_cache, cand.task_id, cand.worker_id
                 )
                 exact += computed
-                out.append(((task_id, worker_id), dr, dd))
-            return out, exact, 0
-
-        bounded: List[CandidateBounds] = []
-        for k, (task_id, worker_id) in enumerate(pairs):
-            dr = (
-                float(dr_array[k])
-                if dr_array is not None
-                else evaluator.delta_min_r(task_id, worker_id, min_two)
-            )
-            cached = dstd_cache.get(task_id, {}).get(worker_id)
-            if cached is not None:
-                lb = ub = cached
-            else:
-                per_task_bounds = bounds_cache.setdefault(task_id, {})
-                known = per_task_bounds.get(worker_id)
-                if known is None:
-                    task = problem.tasks_by_id[task_id]
-                    state = evaluator.state_of(task_id)
-                    new_profile = problem.pair_profile(task_id, worker_id)
-                    known = diversity_increase_bounds(
-                        task, state.profiles, new_profile
-                    )
-                    per_task_bounds[worker_id] = known
-                lb, ub = known
-            bounded.append(CandidateBounds(task_id, worker_id, dr, lb, ub))
-
-        survivors = prune_candidates(bounded)
-        n_pruned = len(bounded) - len(survivors)
-        out = []
-        for cand in survivors:
-            dd, computed = self._exact_dstd(
-                evaluator, dstd_cache, cand.task_id, cand.worker_id
-            )
-            exact += computed
-            out.append(((cand.task_id, cand.worker_id), cand.delta_min_r, dd))
+                out.append(((cand.task_id, cand.worker_id), cand.delta_min_r, dd))
         return out, exact, n_pruned
 
     def _score_round_numpy(
@@ -319,49 +377,71 @@ class GreedySolver(Solver):
         one direct call, or per-shard batches merged back into candidate
         order when a scorer is attached (:meth:`_round_dr_array`) — and
         the Lemma 4.3 sweep is the vectorised
-        :func:`repro.fastpath.kernels.lemma43_prune_order`.  Bound and
-        exact-``ΔE[STD]`` values reuse the same per-task caches as the
-        scalar path, so both backends make identical selections.
+        :func:`repro.fastpath.kernels.lemma43_prune_order`.  Surviving
+        candidates not already covered by the dstd cache are scored as
+        one block (:meth:`_block_dstd`); bound and exact-``ΔE[STD]``
+        values reuse the same per-task caches as the scalar path, so
+        both backends make identical selections.
         """
+        from repro.engine.profile import phase
         from repro.fastpath.kernels import lemma43_prune_order
 
         n = len(pairs)
-        dr = self._round_dr_array(problem, evaluator, pairs, min_two)
+        with phase("delta_min_r"):
+            dr = self._round_dr_array(problem, evaluator, pairs, min_two)
 
-        exact = 0
         if not self.use_pruning:
-            out = []
+            with phase("delta_estd"):
+                block = [
+                    (task_id, worker_id)
+                    for task_id, worker_id in pairs
+                    if dstd_cache.get(task_id, {}).get(worker_id) is None
+                ]
+                if block:
+                    self._block_dstd(problem, evaluator, dstd_cache, block)
+            out = [
+                ((task_id, worker_id), float(dr[k]), dstd_cache[task_id][worker_id])
+                for k, (task_id, worker_id) in enumerate(pairs)
+            ]
+            return out, len(block), 0
+
+        with phase("prune"):
+            lb = np.empty(n)
+            ub = np.empty(n)
             for k, (task_id, worker_id) in enumerate(pairs):
-                dd, computed = self._exact_dstd(
-                    evaluator, dstd_cache, task_id, worker_id
-                )
-                exact += computed
-                out.append(((task_id, worker_id), float(dr[k]), dd))
-            return out, exact, 0
+                cached_dd = dstd_cache.get(task_id, {}).get(worker_id)
+                if cached_dd is not None:
+                    lb[k] = ub[k] = cached_dd
+                    continue
+                per_task_bounds = bounds_cache.setdefault(task_id, {})
+                known = per_task_bounds.get(worker_id)
+                if known is None:
+                    task = problem.tasks_by_id[task_id]
+                    state = evaluator.state_of(task_id)
+                    new_profile = problem.pair_profile(task_id, worker_id)
+                    known = diversity_increase_bounds(
+                        task, state.profiles, new_profile
+                    )
+                    per_task_bounds[worker_id] = known
+                lb[k], ub[k] = known
 
-        lb = np.empty(n)
-        ub = np.empty(n)
-        for k, (task_id, worker_id) in enumerate(pairs):
-            cached_dd = dstd_cache.get(task_id, {}).get(worker_id)
-            if cached_dd is not None:
-                lb[k] = ub[k] = cached_dd
-                continue
-            per_task_bounds = bounds_cache.setdefault(task_id, {})
-            known = per_task_bounds.get(worker_id)
-            if known is None:
-                task = problem.tasks_by_id[task_id]
-                state = evaluator.state_of(task_id)
-                new_profile = problem.pair_profile(task_id, worker_id)
-                known = diversity_increase_bounds(task, state.profiles, new_profile)
-                per_task_bounds[worker_id] = known
-            lb[k], ub[k] = known
-
-        survivor_order = lemma43_prune_order(dr, lb, ub)
+            survivor_order = lemma43_prune_order(dr, lb, ub)
         n_pruned = n - int(survivor_order.shape[0])
+        survivors = survivor_order.tolist()
+        with phase("delta_estd"):
+            # The dstd cache acts as the slab-level mask: only survivors
+            # it does not already cover enter the batched kernel call.
+            block = []
+            for k in survivors:
+                task_id, worker_id = pairs[k]
+                if dstd_cache.get(task_id, {}).get(worker_id) is None:
+                    block.append((task_id, worker_id))
+            if block:
+                self._block_dstd(problem, evaluator, dstd_cache, block)
         out = []
-        for k in survivor_order.tolist():
+        for k in survivors:
             task_id, worker_id = pairs[k]
-            dd, computed = self._exact_dstd(evaluator, dstd_cache, task_id, worker_id)
-            exact += computed
-            out.append(((task_id, worker_id), float(dr[k]), dd))
-        return out, exact, n_pruned
+            out.append(
+                ((task_id, worker_id), float(dr[k]), dstd_cache[task_id][worker_id])
+            )
+        return out, len(block), n_pruned

@@ -36,6 +36,12 @@ not O(m * n) rebuilds.  This package is that machinery:
     (:class:`ParallelSampleExecutor`) and GREEDY's shard-batched round
     scoring (:class:`ShardBatchedScorer`) to the configured solver —
     plans bit-identical to the serial solve at every pool size.
+``profile``
+    :class:`PhaseProfiler` — the per-epoch phase timer (routing,
+    coalesce, index, prune, ``Δmin_R``, ``ΔE[STD]``, merge, WAL append)
+    both engines thread into every
+    :class:`~repro.engine.metrics.EpochRecord`; see
+    ``docs/PROFILING.md``.
 
 :class:`repro.dynamic.CrowdsourcingSession` (the library façade) and
 :class:`repro.platform_sim.simulator.PlatformSimulator` (the Figure 18
@@ -62,6 +68,7 @@ from repro.engine.events import (
     WorkerUpdate,
 )
 from repro.engine.metrics import EngineMetrics, EpochRecord
+from repro.engine.profile import PhaseProfiler
 from repro.engine.parallel import (
     ParallelSampleExecutor,
     ParallelSolveExecutor,
@@ -91,6 +98,7 @@ __all__ = [
     "ExpireTasks",
     "ParallelSampleExecutor",
     "ParallelSolveExecutor",
+    "PhaseProfiler",
     "PinnedWorkerPools",
     "ProcessShardExecutor",
     "SampleChunkScorer",

@@ -125,7 +125,7 @@ class DurableLog:
             appends, the per-event overhead ``bench_durability.py``
             records) and ``snapshot_seconds`` (periodic serialisation).
         stats: ``events_appended`` / ``append_batches`` /
-            ``snapshots_written`` counters.
+            ``snapshots_written`` / ``compactions`` counters.
     """
 
     def __init__(self, path) -> None:
@@ -142,6 +142,7 @@ class DurableLog:
             "events_appended": 0,
             "append_batches": 0,
             "snapshots_written": 0,
+            "compactions": 0,
         }
 
     # ------------------------------------------------------------------ #
@@ -249,6 +250,71 @@ class DurableLog:
         row = self._conn.execute("SELECT COUNT(*) FROM snapshots").fetchone()
         return int(row[0])
 
+    def compact(
+        self, retain_snapshots: int = 1, vacuum: bool = False
+    ) -> Dict[str, Any]:
+        """Truncate history made redundant by newer snapshots.
+
+        A multi-day session's log grows without bound even though
+        recovery only ever needs the latest snapshot plus its tail.
+        Compaction keeps the newest ``retain_snapshots`` snapshots and
+        deletes every event (epoch markers included) at or before the
+        *oldest retained* snapshot's position — exactly the prefix no
+        retained restore point replays.  Restores from the surviving
+        snapshots are bit-exact: their payloads and tails are untouched,
+        and event sequence numbers are ``AUTOINCREMENT`` so later appends
+        never reuse a truncated seq.
+
+        Args:
+            retain_snapshots: how many of the newest snapshots (and
+                therefore restore points) to keep; at least 1.
+            vacuum: also ``VACUUM`` afterwards to return the freed pages
+                to the filesystem (a full file rewrite — worth it after a
+                large truncation, not per call).
+
+        Returns:
+            Stats: ``events_deleted`` / ``snapshots_deleted`` counts, the
+            ``cutoff_seq`` events were truncated through, and whether the
+            file was vacuumed.
+
+        Raises:
+            ValueError: for ``retain_snapshots < 1`` or a log that has no
+                snapshot yet (nothing is provably redundant).
+        """
+        if retain_snapshots < 1:
+            raise ValueError(
+                f"retain_snapshots must be at least 1, got {retain_snapshots}"
+            )
+        rows = self._conn.execute(
+            "SELECT snap_id, event_seq FROM snapshots "
+            "ORDER BY snap_id DESC LIMIT ?",
+            (retain_snapshots,),
+        ).fetchall()
+        if not rows:
+            raise ValueError(
+                "cannot compact a log without a snapshot; write one first"
+            )
+        oldest_kept_id, cutoff_seq = rows[-1]
+        with self._conn:
+            events_deleted = self._conn.execute(
+                "DELETE FROM events WHERE seq <= ?", (cutoff_seq,)
+            ).rowcount
+            snapshots_deleted = self._conn.execute(
+                "DELETE FROM snapshots WHERE snap_id < ?", (oldest_kept_id,)
+            ).rowcount
+        if vacuum:
+            # VACUUM must run outside a transaction; the context manager
+            # above committed the deletes already.
+            self._conn.execute("VACUUM")
+        self.stats["compactions"] += 1
+        return {
+            "events_deleted": int(events_deleted),
+            "snapshots_deleted": int(snapshots_deleted),
+            "snapshots_retained": len(rows),
+            "cutoff_seq": int(cutoff_seq),
+            "vacuumed": bool(vacuum),
+        }
+
     # ------------------------------------------------------------------ #
     # Lifecycle
     # ------------------------------------------------------------------ #
@@ -265,6 +331,44 @@ class DurableLog:
 
     def __exit__(self, exc_type, exc_value, traceback) -> None:
         self.close()
+
+
+# ---------------------------------------------------------------------- #
+# Solver configuration fingerprints
+# ---------------------------------------------------------------------- #
+
+
+def solver_config(solver) -> Dict[str, Any]:
+    """A solver's constructor-parameter fingerprint, JSON-safe.
+
+    Written into the durable meta row alongside the solver class name and
+    compared by :func:`restore_engine`, so a restore with the right class
+    but the wrong parameters (a different sampling budget, a different
+    backend, pruning toggled) fails loudly instead of silently replaying
+    a different decision sequence.  Warm-start wrappers fingerprint their
+    base recursively; unknown solver types record an empty dict (the
+    class-name check still applies, parameters go unvalidated — exactly
+    the pre-fingerprint behaviour).
+    """
+    from repro.algorithms.greedy import GreedySolver
+    from repro.algorithms.sampling import SamplingSolver
+    from repro.solvers.incremental import WarmStartSamplingSolver, WarmStartSolver
+
+    if isinstance(solver, WarmStartSolver):
+        config: Dict[str, Any] = {"base": solver_config(solver.base)}
+        if isinstance(solver, WarmStartSamplingSolver):
+            config["fresh_fraction"] = solver.fresh_fraction
+            config["min_fresh"] = solver.min_fresh
+        return config
+    if isinstance(solver, GreedySolver):
+        return {"use_pruning": solver.use_pruning, "backend": solver.backend}
+    if isinstance(solver, SamplingSolver):
+        return {
+            "num_samples": solver.num_samples,
+            "backend": solver.backend,
+            "rng_contract": solver.rng_contract,
+        }
+    return {}
 
 
 # ---------------------------------------------------------------------- #
@@ -613,10 +717,11 @@ def restore_engine(
     Args:
         path: the SQLite log written by an engine's ``durable_path=``.
         solver: the solver to plan with — it must be configured exactly
-            as the original (the log records only the class name, which
-            is checked; constructor parameters such as a sampling budget
-            are the caller's responsibility).  ``None`` keeps the
-            engine's default solver.
+            as the original.  The log records the class name *and* the
+            constructor-parameter fingerprint (:func:`solver_config`);
+            both are checked, so a wrong sampling budget or backend fails
+            here rather than replaying a different decision sequence.
+            ``None`` keeps the engine's default solver.
         solve_executor: optional solve parallelism for the recovered
             engine (``None`` / process count / executor instance, as for
             the engine constructors).  Plans are bit-identical either
@@ -627,7 +732,8 @@ def restore_engine(
 
     Raises:
         ValueError: for a log without a session, a schema mismatch, or a
-            solver class differing from the recorded one.
+            solver class or configuration differing from the recorded
+            ones.
     """
     from repro.engine.engine import AssignmentEngine
     from repro.engine.sharding import ShardedAssignmentEngine
@@ -673,6 +779,20 @@ def restore_engine(
                     f"restore got {type(engine.solver).__name__!r}; pass the "
                     "original solver (configured identically) to restore_engine"
                 )
+            recorded_config = meta.get("solver_config")
+            if recorded_config is not None:
+                # Absent only in pre-fingerprint logs, which keep the old
+                # class-name-only validation.  JSON round-trips the dict's
+                # bools/ints/floats/strings losslessly, so plain equality
+                # is the right comparison.
+                actual_config = solver_config(engine.solver)
+                if actual_config != recorded_config:
+                    raise ValueError(
+                        f"log was written with {meta['solver']} configured as "
+                        f"{recorded_config!r} but the restore got "
+                        f"{actual_config!r}; configure the solver exactly as "
+                        "the original session did"
+                    )
             engine._durable_suppress += 1
             try:
                 apply_snapshot(engine, decode_snapshot(snap_payload))

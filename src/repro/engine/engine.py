@@ -57,6 +57,7 @@ from repro.core.worker import MovingWorker
 from repro.engine import events as ev
 from repro.engine import durable as dur
 from repro.engine.metrics import EngineMetrics, EpochRecord
+from repro.engine.profile import PhaseProfiler, activated
 from repro.fastpath.arrays import TaskSlots, WorkerSlots
 from repro.solvers.incremental import (
     EpochDelta,
@@ -219,6 +220,11 @@ class AssignmentEngine:
         self.worker_slots = WorkerSlots()
         self.task_slots = TaskSlots()
         self.metrics = EngineMetrics()
+        #: Per-epoch phase timer (see :mod:`repro.engine.profile`): the
+        #: engine's own call sites time into it directly, solver scoring
+        #: phases join via :func:`repro.engine.profile.activated` around
+        #: the solve, and each epoch snapshots it into its record.
+        self.profiler = PhaseProfiler()
         self._tasks: Dict[int, SpatialTask] = {}
         self._workers: Dict[int, MovingWorker] = {}
         self._held: Set[int] = set()
@@ -273,6 +279,7 @@ class AssignmentEngine:
             "solve_mode": self.solve_mode,
             "warm_churn_threshold": self.warm_churn_threshold,
             "snapshot_every": self._durable_snapshot_every,
+            "solver_config": dur.solver_config(self.solver),
         }
 
     def _start_durable(self, path) -> None:
@@ -312,16 +319,18 @@ class AssignmentEngine:
         tail (replayed events are already in the log).
         """
         if self.durable is not None and not self._durable_suppress:
-            self.durable.append_events(
-                [(kind, self._clock, payload) for kind, payload in records]
-            )
+            with self.profiler.phase("wal_append"):
+                self.durable.append_events(
+                    [(kind, self._clock, payload) for kind, payload in records]
+                )
 
     def _write_durable_snapshot(self) -> None:
         """Serialise the full live state, positioned after the last event."""
         assert self.durable is not None
-        self.durable.write_snapshot(
-            self.durable.last_seq(), dur.encode_snapshot(self.snapshot())
-        )
+        with self.profiler.phase("wal_append"):
+            self.durable.write_snapshot(
+                self.durable.last_seq(), dur.encode_snapshot(self.snapshot())
+            )
         self._epochs_since_snapshot = 0
 
     # ------------------------------------------------------------------ #
@@ -372,19 +381,24 @@ class AssignmentEngine:
     # :meth:`apply_batch`) so the grid can group per-cell work.
 
     def _index_insert_tasks(self, tasks: Sequence[SpatialTask]) -> None:
-        self.grid.insert_tasks(tasks)
+        with self.profiler.phase("index"):
+            self.grid.insert_tasks(tasks)
 
     def _index_remove_task(self, task_id: int) -> None:
-        self.grid.remove_task(task_id)
+        with self.profiler.phase("index"):
+            self.grid.remove_task(task_id)
 
     def _index_add_workers(self, workers: Sequence[MovingWorker]) -> None:
-        self.grid.insert_workers(workers)
+        with self.profiler.phase("index"):
+            self.grid.insert_workers(workers)
 
     def _index_remove_worker(self, worker_id: int) -> None:
-        self.grid.remove_worker(worker_id)
+        with self.profiler.phase("index"):
+            self.grid.remove_worker(worker_id)
 
     def _index_update_workers(self, workers: Sequence[MovingWorker]) -> None:
-        self.grid.update_workers(workers)
+        with self.profiler.phase("index"):
+            self.grid.update_workers(workers)
 
     # ------------------------------------------------------------------ #
     # Churn (each method keeps dicts + grid + slabs in lock-step)
@@ -630,7 +644,9 @@ class AssignmentEngine:
         from repro.engine.scheduler import coalesce_churn
 
         results: List[EpochResult] = []
-        for kind, payload in coalesce_churn(events):
+        with self.profiler.phase("coalesce"):
+            grouped = list(coalesce_churn(events))
+        for kind, payload in grouped:
             if kind == "worker_update":
                 self.update_workers(payload)
             elif kind == "worker_arrive":
@@ -685,17 +701,20 @@ class AssignmentEngine:
         no-index numpy mode broadcasts over the slot slabs with dead slots
         masked; the no-index python mode is the reference scan.
         """
-        if self.use_index:
-            return self.grid.valid_pairs()
-        if self.backend == "numpy":
-            from repro.fastpath.kernels import slots_valid_pairs
+        with self.profiler.phase("index"):
+            if self.use_index:
+                return self.grid.valid_pairs()
+            if self.backend == "numpy":
+                from repro.fastpath.kernels import slots_valid_pairs
 
-            return slots_valid_pairs(self.task_slots, self.worker_slots, self.validity)
-        from repro.index.grid import retrieve_pairs_without_index
+                return slots_valid_pairs(
+                    self.task_slots, self.worker_slots, self.validity
+                )
+            from repro.index.grid import retrieve_pairs_without_index
 
-        return retrieve_pairs_without_index(
-            list(self._tasks.values()), list(self._workers.values()), self.validity
-        )
+            return retrieve_pairs_without_index(
+                list(self._tasks.values()), list(self._workers.values()), self.validity
+            )
 
     def current_problem(self) -> RdbscProblem:
         """The current sub-instance (no pinning, no filtering)."""
@@ -960,23 +979,26 @@ class AssignmentEngine:
                 if warm is not None
                 else None
             )
-            if mode == "warm":
-                assert warm is not None and self._plan is not None
-                log_weights = (
-                    self._warm_log_weights(problem, virtual_ids)
-                    if isinstance(warm, WarmStartGreedySolver)
-                    else None
-                )
-                result = warm.warm_solve(
-                    problem,
-                    self._plan,
-                    forced_dirty=frozenset(self._delta.touched_workers()),
-                    rng=self.rng,
-                    log_weights=log_weights,
-                    signatures=signatures,
-                )
-            else:
-                result = self.solver.solve(problem, rng=self.rng)
+            # Solver-side scoring phases (prune / Δmin_R / ΔE[STD]) time
+            # into this engine's profiler while the solve runs.
+            with activated(self.profiler):
+                if mode == "warm":
+                    assert warm is not None and self._plan is not None
+                    log_weights = (
+                        self._warm_log_weights(problem, virtual_ids)
+                        if isinstance(warm, WarmStartGreedySolver)
+                        else None
+                    )
+                    result = warm.warm_solve(
+                        problem,
+                        self._plan,
+                        forced_dirty=frozenset(self._delta.touched_workers()),
+                        rng=self.rng,
+                        log_weights=log_weights,
+                        signatures=signatures,
+                    )
+                else:
+                    result = self.solver.solve(problem, rng=self.rng)
             solve_seconds = time.perf_counter() - solve_started
             dispatch: Dict[int, int] = {}
             live = Assignment()
@@ -1006,36 +1028,40 @@ class AssignmentEngine:
                 objective=result.objective,
                 seconds=time.perf_counter() - started,
                 mode=mode,
+                phases=self.profiler.take(),
             )
             self.metrics.record_epoch(record, solve_seconds)
         finally:
             self._durable_suppress -= 1
         if rng_position is not None:
             assert self.durable is not None
-            self.durable.append_events(
-                [
-                    (
-                        "epoch",
-                        now,
-                        {
-                            "now": now,
-                            "pinned": dur.encode_pinned(pinned),
-                            "forbidden": dur.encode_forbidden(forbidden),
-                            "rng": rng_position,
-                            # Analytics extras (replay ignores them): what
-                            # this epoch decided.
-                            "mode": mode,
-                            "objective": [
-                                result.objective.min_reliability,
-                                result.objective.total_std,
-                            ],
-                            "dispatch": sorted(
-                                [w, t] for w, t in dispatch.items()
-                            ),
-                        },
-                    )
-                ]
-            )
+            # Accrues to the *next* epoch's phase snapshot (this epoch's
+            # record is already frozen), like all inter-epoch WAL work.
+            with self.profiler.phase("wal_append"):
+                self.durable.append_events(
+                    [
+                        (
+                            "epoch",
+                            now,
+                            {
+                                "now": now,
+                                "pinned": dur.encode_pinned(pinned),
+                                "forbidden": dur.encode_forbidden(forbidden),
+                                "rng": rng_position,
+                                # Analytics extras (replay ignores them):
+                                # what this epoch decided.
+                                "mode": mode,
+                                "objective": [
+                                    result.objective.min_reliability,
+                                    result.objective.total_std,
+                                ],
+                                "dispatch": sorted(
+                                    [w, t] for w, t in dispatch.items()
+                                ),
+                            },
+                        )
+                    ]
+                )
             self._epochs_since_snapshot += 1
             if self._epochs_since_snapshot >= self._durable_snapshot_every:
                 self._write_durable_snapshot()

@@ -33,6 +33,10 @@ class EpochRecord:
         mode: ``"full"`` for a cold solve, ``"warm"`` when the epoch
             repaired the previous plan (see
             :mod:`repro.solvers.incremental`).
+        phases: wall-clock seconds per pipeline phase, as taken from the
+            engine's :class:`repro.engine.profile.PhaseProfiler` at the
+            end of the epoch (inter-epoch routing/coalescing time lands
+            on the next epoch's record).
     """
 
     now: float
@@ -45,6 +49,7 @@ class EpochRecord:
     objective: ObjectiveValue
     seconds: float
     mode: str = "full"
+    phases: Dict[str, float] = field(default_factory=dict)
 
 
 @dataclass
@@ -63,6 +68,10 @@ class EngineMetrics:
     pairs_retrieved: int = 0
     solve_seconds: float = 0.0
     epoch_seconds: float = 0.0
+    #: Lifetime wall-clock seconds per pipeline phase (folded from each
+    #: ``EpochRecord.phases``).  Wall clock, so deliberately *not* part of
+    #: :meth:`counters` — a restored engine re-earns its own profile.
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
     history: List[EpochRecord] = field(default_factory=list)
 
     def count_event(self, kind: str) -> None:
@@ -80,6 +89,8 @@ class EngineMetrics:
         self.pairs_retrieved += record.num_pairs
         self.solve_seconds += solve_seconds
         self.epoch_seconds += record.seconds
+        for name, seconds in record.phases.items():
+            self.phase_seconds[name] = self.phase_seconds.get(name, 0.0) + seconds
         self.history.append(record)
 
     def counters(self) -> Dict[str, object]:

@@ -449,16 +449,49 @@ def _round_chunk_remote(
     return batch_delta_min_r(task_r, task_has, weights, best, second)
 
 
+def _dstd_chunk_remote(
+    betas: np.ndarray,
+    starts: np.ndarray,
+    ends: np.ndarray,
+    counts: np.ndarray,
+    angles: np.ndarray,
+    arrivals: np.ndarray,
+    confidences: np.ndarray,
+    old_estd: np.ndarray,
+) -> np.ndarray:
+    """Worker-process entry: one slab batch through the ``ΔE[STD]`` kernel.
+
+    The kernel is row-independent, so shipping sliced slab rows and
+    subtracting the sliced ``old_estd`` remotely produces exactly the
+    bits the inline path would.
+    """
+    from repro.fastpath.diversity import DiversitySlab, batch_expected_std
+
+    slab = DiversitySlab(
+        betas=betas,
+        starts=starts,
+        ends=ends,
+        counts=counts,
+        angles=angles,
+        arrivals=arrivals,
+        confidences=confidences,
+    )
+    return batch_expected_std(slab) - old_estd
+
+
 class ShardBatchedScorer:
-    """Per-round ``Δmin_R`` scoring in shard batches, merged before argmax.
+    """Per-round greedy scoring in shard batches, merged before argmax.
 
     The greedy round loop stays globally coupled — each round's winner is
     the dominance argmax over *all* candidates — but the candidate scoring
     itself partitions freely.  Candidates are batched by the worker's
     owning shard (the same cell-block partition the sharded engine routes
     churn by) or, without a shard map, into contiguous chunks; each batch
-    runs through :func:`repro.fastpath.kernels.batch_delta_min_r`, and
-    results are scattered back into the candidate order before the argmax.
+    runs through :func:`repro.fastpath.kernels.batch_delta_min_r` (and,
+    for the post-pruning exact evaluations,
+    :func:`repro.fastpath.diversity.batch_expected_std` over sliced slab
+    rows), and results are scattered back into the candidate order before
+    the argmax.
     The kernel is element-wise, so the merged scores — and therefore the
     committed plan — are bit-identical to the serial greedy at every batch
     count and pool size.
@@ -475,6 +508,9 @@ class ShardBatchedScorer:
             least one other batch does too — a lone remote batch has
             nothing to overlap with); smaller batches, and typical whole
             rounds, score inline.
+        min_dstd_per_process: the same gate for exact ``ΔE[STD]`` slab
+            batches (:meth:`round_delta_estd`), lower because each row
+            costs an O(r^2) reduction rather than one ``Δmin_R`` formula.
     """
 
     def __init__(
@@ -482,10 +518,12 @@ class ShardBatchedScorer:
         pools: Optional[PinnedWorkerPools] = None,
         shard_map=None,
         min_pairs_per_process: int = 4096,
+        min_dstd_per_process: int = 512,
     ) -> None:
         self.pools = pools
         self.shard_map = shard_map
         self.min_pairs_per_process = min_pairs_per_process
+        self.min_dstd_per_process = min_dstd_per_process
         # Worker->shard routing for the problem currently being solved;
         # held through a weakref so a finished epoch's sub-instance is not
         # kept alive between solves (the cache only ever hits within one).
@@ -499,6 +537,9 @@ class ShardBatchedScorer:
             "rounds": 0,
             "batches": 0,
             "batches_remote": 0,
+            "dstd_rounds": 0,
+            "dstd_batches": 0,
+            "dstd_batches_remote": 0,
         }
 
     def _worker_shards(self, problem: RdbscProblem) -> Dict[int, int]:
@@ -590,6 +631,67 @@ class ShardBatchedScorer:
             out[indices] = future.result()
         return out
 
+    def round_delta_estd(
+        self,
+        problem: RdbscProblem,
+        pairs: Sequence[Tuple[int, int]],
+        slab,
+        old_estd: np.ndarray,
+    ) -> np.ndarray:
+        """Exact ``ΔE[STD]`` for a candidate block, batched then merged.
+
+        The greedy solver packs the block's padded profile slab
+        (:func:`repro.fastpath.diversity.pack_delta_slab`) and hands it
+        here; batches follow the same shard/chunk partition as
+        :meth:`round_delta_min_r` and the same two-remote-batches gate,
+        with :attr:`min_dstd_per_process` as the threshold.  The kernel
+        is row-independent, so every partition — inline, remote, or any
+        mix — returns bits identical to one whole-slab evaluation.
+        """
+        from repro.fastpath.diversity import batch_expected_std
+
+        self.stats["dstd_rounds"] += 1
+        batches = self._batches(problem, pairs)
+        self.stats["dstd_batches"] += len(batches)
+        out = np.empty(len(pairs))
+        remote = (
+            [
+                indices
+                for indices in batches
+                if indices.shape[0] >= self.min_dstd_per_process
+            ]
+            if self.pools is not None and len(batches) > 1
+            else []
+        )
+        if len(remote) < 2:
+            remote = []
+        remote_ids = {id(indices) for indices in remote}
+        futures = [
+            (
+                indices,
+                self.pools.submit(
+                    slot,
+                    _dstd_chunk_remote,
+                    slab.betas[indices],
+                    slab.starts[indices],
+                    slab.ends[indices],
+                    slab.counts[indices],
+                    slab.angles[indices],
+                    slab.arrivals[indices],
+                    slab.confidences[indices],
+                    old_estd[indices],
+                ),
+            )
+            for slot, indices in enumerate(remote)
+        ]
+        self.stats["dstd_batches_remote"] += len(futures)
+        for indices in batches:
+            if id(indices) not in remote_ids:
+                out[indices] = batch_expected_std(slab.take(indices)) - old_estd[indices]
+        for indices, future in futures:
+            out[indices] = future.result()
+        return out
+
 
 # --------------------------------------------------------------------- #
 # The engine-facing umbrella
@@ -610,6 +712,7 @@ class ParallelSolveExecutor:
         processes: pinned worker processes to fan across (0 = inline).
         min_samples_per_process: see :class:`ParallelSampleExecutor`.
         min_pairs_per_process: see :class:`ShardBatchedScorer`.
+        min_dstd_per_process: see :class:`ShardBatchedScorer`.
     """
 
     def __init__(
@@ -617,12 +720,14 @@ class ParallelSolveExecutor:
         processes: int = 4,
         min_samples_per_process: int = 8,
         min_pairs_per_process: int = 4096,
+        min_dstd_per_process: int = 512,
     ) -> None:
         if processes < 0:
             raise ValueError(f"processes must be non-negative, got {processes}")
         self.processes = processes
         self.min_samples_per_process = min_samples_per_process
         self.min_pairs_per_process = min_pairs_per_process
+        self.min_dstd_per_process = min_dstd_per_process
         self._pools: Optional[PinnedWorkerPools] = None
         self._sample_executor: Optional[ParallelSampleExecutor] = None
         self._greedy_scorers: Dict[int, ShardBatchedScorer] = {}
@@ -657,7 +762,10 @@ class ParallelSolveExecutor:
         scorer = self._greedy_scorers.get(key)
         if scorer is None:
             scorer = ShardBatchedScorer(
-                self.pools(), shard_map, self.min_pairs_per_process
+                self.pools(),
+                shard_map,
+                self.min_pairs_per_process,
+                self.min_dstd_per_process,
             )
             self._greedy_scorers[key] = scorer
         return scorer

@@ -558,41 +558,51 @@ class ShardedAssignmentEngine(AssignmentEngine):
         super().update_workers(workers)
 
     def _index_insert_tasks(self, tasks: Sequence[SpatialTask]) -> None:
-        for task in tasks:
-            shards = self.shard_map.shards_for_task(task.location)
-            self._task_shards[task.task_id] = shards
-            for shard_id in shards:
-                self._buffer(shard_id, ev.TaskArrive(time=0.0, task=task))
+        with self.profiler.phase("route"):
+            for task in tasks:
+                shards = self.shard_map.shards_for_task(task.location)
+                self._task_shards[task.task_id] = shards
+                for shard_id in shards:
+                    self._buffer(shard_id, ev.TaskArrive(time=0.0, task=task))
 
     def _index_remove_task(self, task_id: int) -> None:
-        for shard_id in self._task_shards.pop(task_id):
-            self._buffer(shard_id, ev.TaskWithdraw(time=0.0, task_id=task_id))
+        with self.profiler.phase("route"):
+            for shard_id in self._task_shards.pop(task_id):
+                self._buffer(shard_id, ev.TaskWithdraw(time=0.0, task_id=task_id))
 
     def _index_add_workers(self, workers: Sequence[MovingWorker]) -> None:
-        for worker in workers:
-            shard_id = self.shard_map.shard_of_point(worker.location)
-            self._worker_shard[worker.worker_id] = shard_id
-            self._buffer(shard_id, ev.WorkerArrive(time=0.0, worker=worker))
+        with self.profiler.phase("route"):
+            for worker in workers:
+                shard_id = self.shard_map.shard_of_point(worker.location)
+                self._worker_shard[worker.worker_id] = shard_id
+                self._buffer(shard_id, ev.WorkerArrive(time=0.0, worker=worker))
 
     def _index_remove_worker(self, worker_id: int) -> None:
-        shard_id = self._worker_shard.pop(worker_id)
-        self._buffer(shard_id, ev.WorkerLeave(time=0.0, worker_id=worker_id))
+        with self.profiler.phase("route"):
+            shard_id = self._worker_shard.pop(worker_id)
+            self._buffer(shard_id, ev.WorkerLeave(time=0.0, worker_id=worker_id))
 
     def _index_update_workers(self, workers: Sequence[MovingWorker]) -> None:
-        for worker in workers:
-            new_shard = self.shard_map.shard_of_point(worker.location)
-            old_shard = self._worker_shard[worker.worker_id]
-            if new_shard == old_shard:
-                self._buffer(new_shard, ev.WorkerUpdate(time=0.0, worker=worker))
-            else:
-                # A block-crossing move migrates the worker between shard
-                # grids; its pairs move with it, so the merge needs no
-                # cross-shard reconciliation.
-                self._worker_shard[worker.worker_id] = new_shard
-                self._buffer(
-                    old_shard, ev.WorkerLeave(time=0.0, worker_id=worker.worker_id)
-                )
-                self._buffer(new_shard, ev.WorkerArrive(time=0.0, worker=worker))
+        with self.profiler.phase("route"):
+            for worker in workers:
+                new_shard = self.shard_map.shard_of_point(worker.location)
+                old_shard = self._worker_shard[worker.worker_id]
+                if new_shard == old_shard:
+                    self._buffer(
+                        new_shard, ev.WorkerUpdate(time=0.0, worker=worker)
+                    )
+                else:
+                    # A block-crossing move migrates the worker between
+                    # shard grids; its pairs move with it, so the merge
+                    # needs no cross-shard reconciliation.
+                    self._worker_shard[worker.worker_id] = new_shard
+                    self._buffer(
+                        old_shard,
+                        ev.WorkerLeave(time=0.0, worker_id=worker.worker_id),
+                    )
+                    self._buffer(
+                        new_shard, ev.WorkerArrive(time=0.0, worker=worker)
+                    )
 
     # ------------------------------------------------------------------ #
     # Fan-out retrieval
@@ -612,11 +622,13 @@ class ShardedAssignmentEngine(AssignmentEngine):
         if self._merged is None:
             batches, self._pending = self._pending, {}
             merged: List[ValidPair] = []
-            for pairs, stats in self.executor.collect(batches):
-                merged.extend(pairs)
-                for key, delta in stats.items():
-                    self.grid.stats[key] += delta
-            merged.sort(key=lambda pair: (pair.task_id, pair.worker_id))
+            with self.profiler.phase("index"):
+                for pairs, stats in self.executor.collect(batches):
+                    merged.extend(pairs)
+                    for key, delta in stats.items():
+                        self.grid.stats[key] += delta
+            with self.profiler.phase("merge"):
+                merged.sort(key=lambda pair: (pair.task_id, pair.worker_id))
             self._merged = merged
             self.fanouts += 1
         return list(self._merged)

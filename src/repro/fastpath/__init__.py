@@ -12,6 +12,11 @@ broadcast equivalents over packed arrays:
     :func:`batch_valid_pairs` (bit-identical ``ValidPair`` retrieval),
     :func:`batch_delta_min_r` and :func:`lemma43_prune_order` (greedy
     scoring and Section 4.3 pruning).
+``diversity``
+    :func:`batch_expected_std` / :func:`batch_delta_estd` — whole blocks
+    of exact ``E[STD]`` evaluations over padded profile slabs
+    (:class:`DiversitySlab`), bitwise-equal to the scalar Lemma 3.1
+    reductions in :mod:`repro.core.expected`.
 
 Consumers select the fast path through ``backend="numpy"`` flags on
 :class:`repro.core.problem.RdbscProblem`,
@@ -24,6 +29,14 @@ results.
 """
 
 from repro.fastpath.arrays import TaskArrays, TaskSlots, WorkerArrays, WorkerSlots
+from repro.fastpath.diversity import (
+    DiversitySlab,
+    batch_delta_estd,
+    batch_expected_spatial_diversity,
+    batch_expected_std,
+    batch_expected_temporal_diversity,
+    pack_delta_slab,
+)
 from repro.fastpath.kernels import (
     batch_any_valid,
     batch_delta_min_r,
@@ -35,12 +48,18 @@ from repro.fastpath.kernels import (
 )
 
 __all__ = [
+    "DiversitySlab",
     "TaskArrays",
     "TaskSlots",
     "WorkerArrays",
     "WorkerSlots",
     "batch_any_valid",
+    "batch_delta_estd",
     "batch_delta_min_r",
+    "batch_expected_spatial_diversity",
+    "batch_expected_std",
+    "batch_expected_temporal_diversity",
+    "pack_delta_slab",
     "batch_effective_arrival",
     "batch_valid_pairs",
     "lemma43_prune_order",

@@ -90,6 +90,17 @@ SMOKE_RUNNERS = {
     "bench_ablation_sampling_budget": lambda m: m.sampling_budget_ablation(
         budgets=(5, 20), seeds=(1,)
     ),
+    "bench_dstd": lambda m: m.run_dstd_experiment(
+        num_tasks=6,
+        num_workers=24,
+        block_sizes=(64,),
+        profile_tasks=6,
+        profile_workers=18,
+        epochs=2,
+        moves=4,
+        repeats=1,
+        write_json=False,
+    ),
     "bench_durability": lambda m: m.run_durability_experiment(
         num_tasks=10,
         num_workers=40,

@@ -28,6 +28,7 @@ from repro.engine.durable import (
     restore_engine,
     rng_from_spec,
     rng_spec,
+    solver_config,
     task_from_row,
     task_row,
     worker_from_row,
@@ -469,4 +470,123 @@ class TestEpochMarkerArguments:
         assert sorted(restored.assignment.pairs()) == sorted(
             live.assignment.pairs()
         )
+        restored.close()
+
+
+# ---------------------------------------------------------------------- #
+# Log compaction
+# ---------------------------------------------------------------------- #
+
+
+class TestCompaction:
+    def test_compact_requires_a_snapshot(self, tmp_path):
+        with DurableLog(tmp_path / "virgin.db") as log:
+            log.append_events([("noop", 0.0, {})])
+            with pytest.raises(ValueError, match="without a snapshot"):
+                log.compact()
+            with pytest.raises(ValueError, match="retain_snapshots"):
+                log.compact(retain_snapshots=0)
+
+    def test_compact_truncates_redundant_prefix(self, tmp_path):
+        path = tmp_path / "compact.db"
+        engine = AssignmentEngine(
+            solver=GreedySolver(), rng=9, durable_path=path, durable_snapshot_every=2
+        )
+        seed_population(engine)
+        drive(engine, ScriptedChurn(), 6)
+        log = engine.durable
+        assert log.num_snapshots() >= 2
+        before_last = log.last_seq()
+        stats = log.compact(retain_snapshots=1, vacuum=True)
+        assert stats["events_deleted"] > 0
+        assert stats["snapshots_deleted"] >= 1
+        assert stats["snapshots_retained"] == 1
+        assert stats["vacuumed"] is True
+        assert log.num_snapshots() == 1
+        assert log.stats["compactions"] == 1
+        # Only the post-snapshot tail survives, and AUTOINCREMENT means a
+        # post-compaction append never reuses a truncated seq.
+        surviving = [seq for seq, *_ in log.tail(0)]
+        assert all(seq > stats["cutoff_seq"] for seq in surviving)
+        log.append_events([("noop", 6.0, {})])
+        assert log.last_seq() > before_last
+        # Compacting again is a no-op (everything redundant is gone).
+        again = log.compact(retain_snapshots=1)
+        assert again["events_deleted"] == 0
+        assert again["snapshots_deleted"] == 0
+        engine.close()
+
+    def test_restore_after_compaction_bit_exact(self, tmp_path):
+        path = tmp_path / "compacted.db"
+        engine = AssignmentEngine(
+            solver=GreedySolver(), rng=9, durable_path=path, durable_snapshot_every=2
+        )
+        seed_population(engine)
+        churn = ScriptedChurn()
+        plans = drive(engine, churn, 5)
+        engine.durable.compact(retain_snapshots=1, vacuum=True)
+        del engine
+        recovered = restore_engine(path, solver=GreedySolver())
+        plans += drive(recovered, churn, 8, start=5)
+        recovered_counters = recovered.metrics.counters()
+        recovered.close()
+
+        reference = AssignmentEngine(solver=GreedySolver(), rng=9)
+        seed_population(reference)
+        reference_plans = drive(reference, ScriptedChurn(), 8)
+        assert plans == reference_plans
+        assert recovered_counters == reference.metrics.counters()
+
+
+# ---------------------------------------------------------------------- #
+# Solver constructor-parameter fingerprints
+# ---------------------------------------------------------------------- #
+
+
+class TestSolverConfigGuard:
+    def test_greedy_flag_mismatch_raises(self, tmp_path):
+        path = tmp_path / "greedy.db"
+        AssignmentEngine(solver=GreedySolver(), rng=1, durable_path=path).close()
+        with pytest.raises(ValueError, match="configured as"):
+            restore_engine(path, solver=GreedySolver(use_pruning=False))
+        with pytest.raises(ValueError, match="configured as"):
+            restore_engine(path, solver=GreedySolver(backend="numpy"))
+
+    def test_sampling_params_mismatch_raises(self, tmp_path):
+        path = tmp_path / "sampling.db"
+        AssignmentEngine(
+            solver=SamplingSolver(num_samples=4), rng=1, durable_path=path
+        ).close()
+        with pytest.raises(ValueError, match="configured as"):
+            restore_engine(path, solver=SamplingSolver(num_samples=8))
+
+    def test_matching_config_restores(self, tmp_path):
+        path = tmp_path / "match.db"
+        AssignmentEngine(
+            solver=GreedySolver(use_pruning=False), rng=1, durable_path=path
+        ).close()
+        restored = restore_engine(path, solver=GreedySolver(use_pruning=False))
+        restored.close()
+
+    def test_config_is_fingerprinted(self, tmp_path):
+        path = tmp_path / "meta.db"
+        engine = AssignmentEngine(
+            solver=SamplingSolver(num_samples=4), rng=1, durable_path=path
+        )
+        recorded = engine.durable.meta()["solver_config"]
+        assert recorded == solver_config(engine.solver)
+        assert recorded["num_samples"] == 4
+        engine.close()
+
+    def test_legacy_log_without_fingerprint_still_restores(self, tmp_path):
+        # Logs written before the fingerprint keep the class-name-only
+        # check: a differing flag slips through, but restore must work.
+        path = tmp_path / "legacy.db"
+        AssignmentEngine(solver=GreedySolver(), rng=1, durable_path=path).close()
+        with DurableLog(path) as log:
+            log._conn.execute(
+                "DELETE FROM meta WHERE key = ?", ("solver_config",)
+            )
+            log._conn.commit()
+        restored = restore_engine(path, solver=GreedySolver(use_pruning=False))
         restored.close()

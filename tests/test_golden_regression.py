@@ -84,6 +84,40 @@ def solve_all(backend: str = "python"):
     return out
 
 
+def golden_dstd(backend: str = "python"):
+    """Exact ΔE[STD] sums over every valid pair, scalar and batched.
+
+    Two evaluator depths are pinned: the empty evaluator (every row is a
+    single appended profile) and the evaluator after the GREEDY plan
+    (rows with real base profiles).  The batched kernel must carry the
+    exact bits of the scalar per-pair calls, so one number pins both.
+    """
+    from repro.core.objectives import IncrementalEvaluator
+    from repro.fastpath import batch_delta_estd
+
+    problem = golden_problem(backend)
+    pairs = sorted(
+        (task_id, worker.worker_id)
+        for worker in problem.workers
+        for task_id in problem.candidate_tasks(worker.worker_id)
+    )
+    out = {"num_pairs": len(pairs)}
+    plan = GreedySolver().solve(problem, rng=GOLDEN_SOLVER_SEED)
+    for key, assigned in (("empty", []), ("after_greedy", sorted(plan.assignment.pairs()))):
+        evaluator = IncrementalEvaluator(problem)
+        for task_id, worker_id in assigned:
+            evaluator.apply(task_id, worker_id)
+        scalar = [evaluator.delta_estd(t, w) for t, w in pairs]
+        batched = batch_delta_estd(problem, evaluator, pairs)
+        for k in range(len(pairs)):
+            assert batched[k] == scalar[k], (key, pairs[k])
+        total = 0.0
+        for value in scalar:
+            total += value
+        out[key] = total
+    return out
+
+
 @pytest.fixture(scope="module")
 def fixture_data():
     with FIXTURE.open() as handle:
@@ -118,6 +152,17 @@ def test_solvers_reproduce_golden_objectives(fixture_data, backend):
         )
 
 
+@pytest.mark.parametrize("backend", ["python", "numpy"])
+def test_dstd_reproduces_golden_sums(fixture_data, backend):
+    expected = fixture_data["dstd"]
+    actual = golden_dstd(backend)
+    assert actual["num_pairs"] == expected["num_pairs"]
+    # Exact equality: the fixture floats round-trip bit-exactly through
+    # JSON repr, and golden_dstd already asserted batched == scalar bits.
+    assert actual["empty"] == expected["empty"]
+    assert actual["after_greedy"] == expected["after_greedy"]
+
+
 def regenerate() -> None:
     problem = golden_problem()
     payload = {
@@ -129,6 +174,7 @@ def regenerate() -> None:
             "num_pairs": problem.num_pairs,
         },
         "solvers": solve_all(),
+        "dstd": golden_dstd(),
     }
     FIXTURE.parent.mkdir(parents=True, exist_ok=True)
     FIXTURE.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")

@@ -2,7 +2,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test benchsmoke bench-fastpath bench-incremental bench-warmstart bench-sharding bench-parallel bench-durability bench-dstd docs-lint bench golden
+.PHONY: test benchsmoke bench-fastpath bench-incremental bench-warmstart bench-sharding bench-parallel bench-durability bench-dstd bench-serve docs-lint bench golden
 
 # Tier-1 verification (the command CI runs).
 test:
@@ -41,6 +41,11 @@ bench-durability:
 # writes BENCH_dstd.json.
 bench-dstd:
 	$(PYTHON) -m pytest -q benchmarks/bench_dstd.py
+
+# Service-tier open-loop soak: sustained RPS + ingestion tail latency;
+# writes BENCH_serve.json.
+bench-serve:
+	$(PYTHON) -m pytest -q benchmarks/bench_serve.py
 
 # Docstring lint: engine-era packages + benchmarks/ + examples/ (CI runs
 # this; the default target set lives in tools/docs_lint.py).

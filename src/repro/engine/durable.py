@@ -130,7 +130,10 @@ class DurableLog:
 
     def __init__(self, path) -> None:
         self.path = str(path)
-        self._conn = sqlite3.connect(self.path)
+        # The service tier runs epochs on worker threads while holding the
+        # engine lock; access is serialised there, so the connection may
+        # legitimately move between threads (never used concurrently).
+        self._conn = sqlite3.connect(self.path, check_same_thread=False)
         self._conn.executescript(_SCHEMA)
         self._conn.commit()
         self._closed = False

@@ -251,6 +251,9 @@ class AssignmentEngine:
         # swapped-in solver re-binds, a stable one binds once.
         self._bound_solver: Optional[Solver] = None
         self._closed = False
+        #: Re-entry guard: the engine is single-threaded, so a second
+        #: ``epoch()`` while one runs raises instead of corrupting state.
+        self._epoch_active = False
         #: Session-clock watermark: the latest ``now`` seen by an epoch or
         #: expiry sweep, stamped onto logged churn rows for analytics.
         self._clock = 0.0
@@ -940,6 +943,13 @@ class AssignmentEngine:
         :mod:`repro.solvers.incremental`); ``EpochResult.mode`` and the
         recorded :class:`~repro.engine.metrics.EpochRecord` say which path
         ran.
+
+        The engine is single-threaded: a concurrent second ``epoch()``
+        while one is mid-solve would interleave grid, slab and RNG
+        mutations, so re-entry raises ``RuntimeError`` instead of
+        corrupting state.  Concurrent callers (the service tier's
+        :class:`repro.serve.scheduler.EngineDriver` does) must serialise
+        epochs behind a lock.
         """
         if self._closed:
             raise RuntimeError(
@@ -947,6 +957,25 @@ class AssignmentEngine:
                 "new engine, or recover a durable session with "
                 "repro.engine.durable.restore_engine"
             )
+        if self._epoch_active:
+            raise RuntimeError(
+                "epoch() re-entered while an epoch is still running: the "
+                "engine is single-threaded — serialise epochs behind a lock "
+                "(repro.serve.scheduler.EngineDriver shows how)"
+            )
+        self._epoch_active = True
+        try:
+            return self._run_epoch(now, pinned, forbidden)
+        finally:
+            self._epoch_active = False
+
+    def _run_epoch(
+        self,
+        now: float,
+        pinned: Optional[Dict[int, List[WorkerProfile]]],
+        forbidden: Optional[Set[Tuple[int, int]]],
+    ) -> EpochResult:
+        """The epoch body; see :meth:`epoch` (which guards re-entry)."""
         started = time.perf_counter()
         self._clock = now
         # The whole epoch logs as one marker (replay re-runs it, re-deriving

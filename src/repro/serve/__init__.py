@@ -1,0 +1,62 @@
+"""The service tier: an asyncio front-end over the assignment engine.
+
+The engine family (:mod:`repro.engine`) absorbs churn and re-plans per
+epoch but assumes an in-process driver.  This package is the deployment
+face the paper's platform implies — task submissions and worker pings
+arriving over the network while solves run:
+
+``protocol``
+    The versioned JSON-lines wire vocabulary: typed request/response
+    codecs reusing the durable layer's bit-exact task/worker rows.
+``batcher``
+    The bounded ingestion buffer with the supersede-fold load-shed
+    policy (a stale in-place worker ping is replaced by its successor
+    before it can cost a grid-cell invalidation) plus
+    :class:`~repro.serve.batcher.ServeMetrics`.
+``scheduler``
+    :class:`~repro.serve.scheduler.EngineDriver` (all engine access
+    serialised and thread-offloaded, so ingestion never blocks on a
+    solve) and :class:`~repro.serve.scheduler.DeadlineLoop` (the
+    wall-clock re-planning cadence, with deadline-miss accounting).
+``server``
+    :class:`~repro.serve.server.AssignmentServer` — the TCP endpoint,
+    admission control (wait vs reject), decision streaming to
+    subscribers, and ``resume()`` over the durable log.
+``client``
+    The reference asyncio client the tests and examples drive through.
+``loadgen``
+    The open-loop Poisson soak harness behind ``benchmarks/
+    bench_serve.py`` and the CI soak smoke test.
+
+``python -m repro.serve`` runs a server process; see ``docs/SERVING.md``
+for the wire protocol, the backpressure policy and restart semantics.
+"""
+
+from repro.serve.batcher import (
+    DEFAULT_CAPACITY,
+    IngestBatcher,
+    ServeMetrics,
+    fold_trace,
+)
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.loadgen import LoadGenerator, LoadReport, percentile
+from repro.serve.protocol import PROTOCOL_VERSION, ProtocolError
+from repro.serve.scheduler import DeadlineLoop, EngineDriver
+from repro.serve.server import AssignmentServer
+
+__all__ = [
+    "DEFAULT_CAPACITY",
+    "AssignmentServer",
+    "DeadlineLoop",
+    "EngineDriver",
+    "IngestBatcher",
+    "LoadGenerator",
+    "LoadReport",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "ServeClient",
+    "ServeError",
+    "ServeMetrics",
+    "fold_trace",
+    "percentile",
+]

@@ -1,0 +1,244 @@
+"""Bounded ingestion queue with a supersede-fold load-shed policy.
+
+The service tier sits between an open-loop stream of pings/submissions
+and the engine's per-epoch batch path.  :class:`IngestBatcher` is the
+buffer in between: typed events accumulate in arrival order and are
+drained at each epoch into an :class:`repro.engine.scheduler.EventQueue`
+(whose per-instant batches flow through ``coalesce_churn`` — the
+existing amortised index path), so the wire hop changes *where* events
+wait, never *what* the engine applies.
+
+Two policies make the buffer safe under overload:
+
+* **Load shed (supersede fold).**  An in-place :class:`repro.engine.
+  events.WorkerUpdate` still waiting in the buffer is dead weight the
+  moment a newer update from the same worker arrives: only the state at
+  the next epoch matters, updates on the same entity are last-write-wins,
+  and no event between the two touches that worker (arrivals, leaves,
+  holds, releases and non-churn events all clear the fold slot).  The
+  batcher therefore *replaces* the stale update in place and counts the
+  drop — the superseded ping never reaches the engine, never dirties a
+  grid cell, and never chops a ``coalesce_churn`` run at its repeated id.
+  ``tests/test_serve.py`` proves by property that folding never changes
+  the final plan.
+* **Admission control.**  The buffer is bounded (``capacity``); an event
+  that cannot fold into an existing slot is refused when the buffer is
+  full, and the server turns that refusal into backpressure (await
+  space) or rejection, per its policy.  A fold is always admitted — it
+  never grows the buffer.
+
+The batcher is synchronous and single-consumer by design: the server's
+event loop is the only writer, the flush happens at epoch boundaries,
+and all cross-thread concerns stay in :mod:`repro.serve.scheduler`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.engine import events as ev
+
+#: Default buffered-event bound (events, not bytes); the soak benchmark
+#: sizes this well above one epoch interval's arrivals.
+DEFAULT_CAPACITY = 8192
+
+
+@dataclass
+class ServeMetrics:
+    """Lifetime counters for the service tier.
+
+    Everything here is about the wire/buffer layer; solver-side counters
+    stay in :class:`repro.engine.metrics.EngineMetrics`.  All fields are
+    plain ints so :meth:`counters` is trivially JSON-safe.
+    """
+
+    #: Decoded requests by op name (malformed frames are not requests).
+    requests: Dict[str, int] = field(default_factory=dict)
+    #: Frames that failed protocol validation (JSON/version/op/field).
+    protocol_errors: int = 0
+    #: Ingest ops refused by the server's id-registry validation (update
+    #: of an unknown worker, duplicate task id, ...).
+    rejected_invalid: int = 0
+    #: Churn events admitted into the batcher (folds count once: the
+    #: superseded event moves to ``updates_shed`` instead).
+    events_ingested: int = 0
+    #: Stale in-place ``WorkerUpdate``s dropped by the supersede fold
+    #: before they could cost a cell invalidation.
+    updates_shed: int = 0
+    #: Times a producer had to wait for buffer space (backpressure).
+    admission_waits: int = 0
+    #: Non-foldable events refused outright under the ``reject`` policy.
+    admission_rejects: int = 0
+    #: Largest buffered-event count observed.
+    queue_high_watermark: int = 0
+    #: Batches drained into the engine, and the events they carried.
+    batches_flushed: int = 0
+    events_flushed: int = 0
+    #: Epochs the scheduler ran (requested + deadline ticks).
+    epochs: int = 0
+    #: Deadline ticks skipped because the previous epoch was still
+    #: running (the epoch loop never re-enters the engine).
+    deadline_misses: int = 0
+    #: Decision frames streamed to subscribers / dropped because a slow
+    #: subscriber's bounded outbox was full (connection flow control).
+    frames_streamed: int = 0
+    frames_dropped: int = 0
+    #: Connections accepted over the server's lifetime.
+    connections: int = 0
+
+    def count_request(self, op: str) -> None:
+        """Increment the per-op request counter."""
+        self.requests[op] = self.requests.get(op, 0) + 1
+
+    def counters(self) -> Dict[str, object]:
+        """All counters as one plain JSON-safe dict (the ``stats`` op)."""
+        return {
+            "requests": dict(self.requests),
+            "protocol_errors": self.protocol_errors,
+            "rejected_invalid": self.rejected_invalid,
+            "events_ingested": self.events_ingested,
+            "updates_shed": self.updates_shed,
+            "admission_waits": self.admission_waits,
+            "admission_rejects": self.admission_rejects,
+            "queue_high_watermark": self.queue_high_watermark,
+            "batches_flushed": self.batches_flushed,
+            "events_flushed": self.events_flushed,
+            "epochs": self.epochs,
+            "deadline_misses": self.deadline_misses,
+            "frames_streamed": self.frames_streamed,
+            "frames_dropped": self.frames_dropped,
+            "connections": self.connections,
+        }
+
+
+class IngestBatcher:
+    """Bounded, fold-aware buffer of typed churn events.
+
+    Args:
+        capacity: largest number of buffered events; a non-foldable add
+            beyond it is refused (the server decides between waiting and
+            rejecting).  A fold never grows the buffer and is always
+            admitted.
+        metrics: the :class:`ServeMetrics` the fold/admission counters
+            land in (a private one is built when omitted).
+    """
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CAPACITY,
+        metrics: Optional[ServeMetrics] = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        self.capacity = capacity
+        self.metrics = metrics if metrics is not None else ServeMetrics()
+        self._pending: List[Optional[ev.Event]] = []
+        #: Live event count (``_pending`` may carry folded-away ``None``
+        #: holes between compactions; they are skipped at drain).
+        self._live = 0
+        #: worker id -> index of its foldable pending ``WorkerUpdate``.
+        self._update_slots: Dict[int, int] = {}
+
+    def __len__(self) -> int:
+        return self._live
+
+    @property
+    def full(self) -> bool:
+        """True when a non-foldable event would be refused right now."""
+        return self._live >= self.capacity
+
+    def _barrier(self, event: ev.Event) -> None:
+        """Clear fold slots the event conflicts with.
+
+        Worker arrive/leave/hold/release conflict with a pending update
+        of the same worker (their relative order is semantic); any
+        non-churn event (expiry sweeps, ticks) is a global barrier —
+        cheap, rare, and makes the fold's correctness argument purely
+        local: between a superseded update and its successor, *nothing*
+        the engine could observe differently ever happened.
+        """
+        if isinstance(event, (ev.WorkerArrive,)):
+            self._update_slots.pop(event.worker.worker_id, None)
+        elif isinstance(event, (ev.WorkerLeave, ev.WorkerHold, ev.WorkerRelease)):
+            self._update_slots.pop(event.worker_id, None)
+        elif not isinstance(
+            event, (ev.WorkerUpdate, ev.TaskArrive, ev.TaskWithdraw)
+        ):
+            self._update_slots.clear()
+
+    def try_add(self, event: ev.Event) -> bool:
+        """Admit one event; returns False when full and not foldable.
+
+        A :class:`~repro.engine.events.WorkerUpdate` whose worker already
+        has a pending update (with no conflicting event in between) folds
+        into that slot in place — the stale update is shed, the buffer
+        does not grow, and admission always succeeds.  Everything else
+        appends, subject to ``capacity``.
+        """
+        metrics = self.metrics
+        if isinstance(event, ev.WorkerUpdate):
+            slot = self._update_slots.get(event.worker.worker_id)
+            if slot is not None:
+                self._pending[slot] = event
+                metrics.updates_shed += 1
+                return True
+            if self._live >= self.capacity:
+                return False
+            self._update_slots[event.worker.worker_id] = len(self._pending)
+            self._pending.append(event)
+        else:
+            if self._live >= self.capacity:
+                return False
+            self._barrier(event)
+            self._pending.append(event)
+        self._live += 1
+        metrics.events_ingested += 1
+        if self._live > metrics.queue_high_watermark:
+            metrics.queue_high_watermark = self._live
+        return True
+
+    def drain(self) -> List[ev.Event]:
+        """Remove and return every pending event, in arrival order.
+
+        Folded updates sit at their *superseded predecessor's* position —
+        sound because nothing between the two positions touched that
+        worker (the fold slot would have been cleared), and every event
+        in between touches a distinct entity, so the stream commutes into
+        this order.  The flush boundary also ends every fold window.
+        """
+        batch = [event for event in self._pending if event is not None]
+        self._pending.clear()
+        self._update_slots.clear()
+        self._live = 0
+        if batch:
+            self.metrics.batches_flushed += 1
+            self.metrics.events_flushed += len(batch)
+        return batch
+
+
+def fold_trace(
+    events: Iterable[ev.Event],
+    flush_before: Optional[type] = None,
+) -> List[ev.Event]:
+    """A whole trace as the batcher would deliver it, for reference runs.
+
+    The differential tests drive one copy of a trace through the wire
+    (server-side batcher) and one directly; this helper applies the same
+    fold semantics to the direct copy so both engines consume the
+    identical event stream.  ``flush_before`` (e.g. ``EpochTick``) marks
+    the epoch boundaries: the buffer drains before each such event, just
+    as the server flushes before each epoch, and the boundary event
+    itself passes through unbuffered.
+    """
+    batcher = IngestBatcher(capacity=1 << 30)
+    folded: List[ev.Event] = []
+    for event in events:
+        if flush_before is not None and isinstance(event, flush_before):
+            folded.extend(batcher.drain())
+            folded.append(event)
+            continue
+        admitted = batcher.try_add(event)
+        assert admitted  # unbounded reference capacity never refuses
+    folded.extend(batcher.drain())
+    return folded

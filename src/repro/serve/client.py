@@ -1,0 +1,186 @@
+"""A small asyncio client for the JSON-lines wire protocol.
+
+:class:`ServeClient` is what the differential tests, the kill-and-resume
+harness, the load generator and the examples speak through: it owns one
+TCP connection, assigns request ids, correlates responses, and parks
+server pushes (subscribed epoch decisions) in :attr:`pushes`.
+
+It is deliberately not a public SDK — just enough client to prove the
+server end to end — but it is the reference for writing one: every op
+has a typed method, and the only state is the id counter.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Dict, List, Optional
+
+from repro.core.task import SpatialTask
+from repro.core.worker import MovingWorker
+from repro.serve import protocol as proto
+
+
+class ServeError(RuntimeError):
+    """An error response from the server (code + message)."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+
+
+class ServeClient:
+    """One connection to an :class:`~repro.serve.server.AssignmentServer`.
+
+    Use as an async context manager, or pair :meth:`connect` with
+    :meth:`close`.  Requests are issued one at a time per client (the
+    wire allows pipelining; the reference client keeps correlation
+    trivial instead).
+    """
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = port
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._next_id = 0
+        #: Server pushes received while waiting for responses, in order.
+        self.pushes: List[Dict[str, Any]] = []
+
+    async def connect(self) -> "ServeClient":
+        """Open the TCP connection."""
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+        return self
+
+    async def close(self) -> None:
+        """Close the connection (idempotent)."""
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            self._writer = None
+            self._reader = None
+
+    async def __aenter__(self) -> "ServeClient":
+        """Async-context entry: connect."""
+        return await self.connect()
+
+    async def __aexit__(self, exc_type, exc_value, traceback) -> None:
+        """Async-context exit: close."""
+        await self.close()
+
+    # ------------------------------------------------------------------ #
+    # Core request/response machinery
+    # ------------------------------------------------------------------ #
+
+    async def request(self, request: proto.Request) -> Dict[str, Any]:
+        """Send one typed request and await its correlated response.
+
+        Pushes arriving in between are appended to :attr:`pushes`.
+
+        Raises:
+            ServeError: for an ``ok: false`` response.
+            ConnectionError: when the server goes away mid-request.
+        """
+        assert self._writer is not None and self._reader is not None
+        self._writer.write(proto.encode_request(request))
+        await self._writer.drain()
+        while True:
+            line = await self._reader.readline()
+            if not line:
+                raise ConnectionError("server closed the connection")
+            frame = proto.decode_frame(line)
+            if "push" in frame:
+                self.pushes.append(frame)
+                continue
+            if frame.get("id") != request.request_id:
+                continue  # stale response from a dropped request
+            if not frame.get("ok"):
+                raise ServeError(
+                    frame.get("code", "error"), frame.get("error", "")
+                )
+            return frame
+
+    def _fresh_id(self) -> int:
+        self._next_id += 1
+        return self._next_id
+
+    async def drain_pushes(self, minimum: int, timeout: float = 5.0) -> None:
+        """Read until at least ``minimum`` pushes have arrived."""
+        assert self._reader is not None
+        deadline = asyncio.get_running_loop().time() + timeout
+        while len(self.pushes) < minimum:
+            remaining = deadline - asyncio.get_running_loop().time()
+            if remaining <= 0:
+                raise TimeoutError(
+                    f"only {len(self.pushes)}/{minimum} pushes arrived"
+                )
+            line = await asyncio.wait_for(
+                self._reader.readline(), timeout=remaining
+            )
+            if not line:
+                raise ConnectionError("server closed the connection")
+            frame = proto.decode_frame(line)
+            if "push" in frame:
+                self.pushes.append(frame)
+
+    # ------------------------------------------------------------------ #
+    # Typed ops
+    # ------------------------------------------------------------------ #
+
+    async def submit_task(self, time: float, task: SpatialTask) -> Dict[str, Any]:
+        """Post a task."""
+        return await self.request(
+            proto.SubmitTask(self._fresh_id(), time, task)
+        )
+
+    async def withdraw_task(self, time: float, task_id: int) -> Dict[str, Any]:
+        """Withdraw a task."""
+        return await self.request(
+            proto.WithdrawTask(self._fresh_id(), time, task_id)
+        )
+
+    async def ping(self, time: float, worker: MovingWorker) -> Dict[str, Any]:
+        """Report a worker's location (registers unknown workers)."""
+        return await self.request(proto.WorkerPing(self._fresh_id(), time, worker))
+
+    async def worker_leave(self, time: float, worker_id: int) -> Dict[str, Any]:
+        """Deregister a worker."""
+        return await self.request(
+            proto.WorkerLeave(self._fresh_id(), time, worker_id)
+        )
+
+    async def hold(self, time: float, worker_id: int) -> Dict[str, Any]:
+        """Mark a worker in-flight (solver-invisible)."""
+        return await self.request(
+            proto.WorkerHold(self._fresh_id(), time, worker_id)
+        )
+
+    async def release(self, time: float, worker_id: int) -> Dict[str, Any]:
+        """Release a held worker."""
+        return await self.request(
+            proto.WorkerRelease(self._fresh_id(), time, worker_id)
+        )
+
+    async def expire(self, time: float) -> Dict[str, Any]:
+        """Run an expiry sweep at ``time``."""
+        return await self.request(proto.Expire(self._fresh_id(), time))
+
+    async def epoch(self, time: float) -> Dict[str, Any]:
+        """Flush pending ingestion and re-plan at ``time``."""
+        return await self.request(proto.Epoch(self._fresh_id(), time))
+
+    async def subscribe(self) -> Dict[str, Any]:
+        """Stream subsequent epoch decisions to this connection."""
+        return await self.request(proto.Subscribe(self._fresh_id()))
+
+    async def stats(self) -> Dict[str, Any]:
+        """Fetch serve + engine counters."""
+        return await self.request(proto.Stats(self._fresh_id()))
+
+    async def shutdown(self) -> Dict[str, Any]:
+        """Ask the server to stop."""
+        return await self.request(proto.Shutdown(self._fresh_id()))

@@ -1,0 +1,228 @@
+"""Open-loop traffic generation and latency accounting for the server.
+
+A closed-loop client (send, wait, send) measures only itself: when the
+server slows down, a closed loop politely slows its offered load and the
+latency numbers stay flattering.  The soak harness is therefore
+**open-loop**: arrival times are drawn up front from a seeded Poisson
+process (exponential inter-arrivals at ``rate_hz``), and each request is
+fired at its scheduled wall-clock instant whether or not earlier
+responses have returned — the coordinated-omission-resistant shape real
+ingestion traffic has.
+
+Each request's ingestion latency (write → correlated ack) is recorded;
+the report carries p50/p95/p99 over the run, the sustained RPS actually
+acknowledged, and the error/shed accounting needed to tell load shedding
+(by design) from loss (a bug).  ``benchmarks/bench_serve.py`` records
+these into ``BENCH_serve.json``; the soak smoke test asserts the zero-
+loss invariant at CI scale.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Sequence
+
+import numpy as np
+
+from repro.core.worker import MovingWorker
+from repro.geometry.points import Point
+from repro.serve import protocol as proto
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-quantile (0 < q <= 1) by the nearest-rank method.
+
+    Nearest-rank on the sorted sample: deterministic, never interpolates
+    a latency that was not observed, and matches the convention load
+    -testing tools report.  Returns ``nan`` for an empty sample.
+    """
+    if not values:
+        return math.nan
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q * len(ordered)))
+    return ordered[rank - 1]
+
+
+@dataclass
+class LoadReport:
+    """One soak run's outcome.
+
+    Attributes:
+        offered: requests the schedule fired.
+        acked: requests positively acknowledged.
+        errors: error responses (admission rejects, invalid ops).
+        lost: requests with no response at all by the end of the run.
+        duration_seconds: wall time from first send to last ack.
+        sustained_rps: ``acked / duration_seconds``.
+        latency_p50_ms / latency_p95_ms / latency_p99_ms: ingestion
+            latency percentiles (send → ack) in milliseconds.
+        latencies_ms: the full sample, for custom analysis.
+        server: the server's ``stats`` payload at the end of the run
+            (serve counters, engine counters, pending events).
+    """
+
+    offered: int = 0
+    acked: int = 0
+    errors: int = 0
+    lost: int = 0
+    duration_seconds: float = 0.0
+    sustained_rps: float = 0.0
+    latency_p50_ms: float = math.nan
+    latency_p95_ms: float = math.nan
+    latency_p99_ms: float = math.nan
+    latencies_ms: List[float] = field(default_factory=list)
+    server: Dict[str, Any] = field(default_factory=dict)
+
+    def summary_row(self) -> Dict[str, Any]:
+        """The JSON-safe row the benchmark writer records."""
+        return {
+            "offered": self.offered,
+            "acked": self.acked,
+            "errors": self.errors,
+            "lost": self.lost,
+            "duration_seconds": self.duration_seconds,
+            "sustained_rps": self.sustained_rps,
+            "latency_p50_ms": self.latency_p50_ms,
+            "latency_p95_ms": self.latency_p95_ms,
+            "latency_p99_ms": self.latency_p99_ms,
+        }
+
+
+class LoadGenerator:
+    """Seeded open-loop Poisson ping traffic against one server.
+
+    Args:
+        host / port: the server endpoint.
+        workers: the worker population whose pings are generated; ids
+            must already be known to the server (register them first) so
+            every ping is an in-place — and therefore sheddable — update.
+        rate_hz: mean arrival rate of the Poisson process.
+        duration_s: schedule horizon in wall seconds.
+        seed: RNG seed for arrival times and movement jitter.
+        jitter: per-ping movement scale (unit-square units).
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        workers: Sequence[MovingWorker],
+        rate_hz: float = 200.0,
+        duration_s: float = 2.0,
+        seed: int = 7,
+        jitter: float = 0.02,
+    ) -> None:
+        if rate_hz <= 0 or duration_s <= 0:
+            raise ValueError("rate_hz and duration_s must be positive")
+        if not workers:
+            raise ValueError("need at least one worker to ping")
+        self.host = host
+        self.port = port
+        self.workers = list(workers)
+        self.rate_hz = rate_hz
+        self.duration_s = duration_s
+        self.seed = seed
+        self.jitter = jitter
+
+    def schedule(self) -> List[float]:
+        """Arrival offsets (seconds from start), drawn up front."""
+        rng = np.random.default_rng(self.seed)
+        offsets: List[float] = []
+        t = 0.0
+        while True:
+            t += float(rng.exponential(1.0 / self.rate_hz))
+            if t >= self.duration_s:
+                return offsets
+            offsets.append(t)
+
+    def _ping_worker(self, rng: np.random.Generator, k: int) -> MovingWorker:
+        """The k-th ping's payload: a jittered move of a random worker."""
+        worker = self.workers[int(rng.integers(0, len(self.workers)))]
+        return worker.moved_to(
+            Point(
+                float(np.clip(worker.location.x + rng.normal(0.0, self.jitter), 0.0, 1.0)),
+                float(np.clip(worker.location.y + rng.normal(0.0, self.jitter), 0.0, 1.0)),
+            ),
+            worker.depart_time,
+        )
+
+    async def run(self, settle_s: float = 2.0) -> LoadReport:
+        """Fire the schedule, collect acks, and report.
+
+        One connection carries the whole run (a JSON-lines frame is far
+        smaller than a TCP segment; connection count is not the variable
+        under test).  Writes happen at their scheduled instants; a
+        reader task correlates acks by request id as they come back.
+        ``settle_s`` bounds how long stragglers may trail the schedule.
+        """
+        rng = np.random.default_rng(self.seed + 1)
+        offsets = self.schedule()
+        reader, writer = await asyncio.open_connection(self.host, self.port)
+        send_times: Dict[int, float] = {}
+        latencies: List[float] = []
+        report = LoadReport(offered=len(offsets))
+        done = asyncio.Event()
+
+        async def collect() -> None:
+            pending = len(offsets)
+            while pending > 0:
+                line = await reader.readline()
+                if not line:
+                    break
+                frame = proto.decode_frame(line)
+                if "push" in frame or frame.get("id") not in send_times:
+                    continue
+                now = time.perf_counter()
+                latencies.append((now - send_times.pop(frame["id"])) * 1000.0)
+                if frame.get("ok"):
+                    report.acked += 1
+                else:
+                    report.errors += 1
+                pending -= 1
+            done.set()
+
+        collector = asyncio.get_running_loop().create_task(collect())
+        start = time.perf_counter()
+        for k, offset in enumerate(offsets):
+            delay = (start + offset) - time.perf_counter()
+            if delay > 0:
+                await asyncio.sleep(delay)
+            request = proto.WorkerPing(k + 1, float(offset), self._ping_worker(rng, k))
+            send_times[request.request_id] = time.perf_counter()
+            writer.write(proto.encode_request(request))
+            # Open loop: no drain await per request — the socket buffer
+            # absorbs bursts, and a full buffer is genuine backpressure.
+        await writer.drain()
+        try:
+            await asyncio.wait_for(done.wait(), timeout=settle_s)
+        except asyncio.TimeoutError:
+            pass
+        collector.cancel()
+        report.lost = len(send_times)
+        report.duration_seconds = time.perf_counter() - start
+        report.latencies_ms = latencies
+        report.sustained_rps = (
+            report.acked / report.duration_seconds
+            if report.duration_seconds > 0
+            else 0.0
+        )
+        report.latency_p50_ms = percentile(latencies, 0.50)
+        report.latency_p95_ms = percentile(latencies, 0.95)
+        report.latency_p99_ms = percentile(latencies, 0.99)
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+        return report
+
+
+async def fetch_stats(host: str, port: int) -> Dict[str, Any]:
+    """One-shot ``stats`` request on a fresh connection."""
+    from repro.serve.client import ServeClient
+
+    async with ServeClient(host, port) as client:
+        return await client.stats()

@@ -1,0 +1,360 @@
+"""Typed request/response codecs for the JSON-lines wire protocol.
+
+One request or response per line, UTF-8 JSON, newline-terminated.  Every
+frame carries the protocol version (``"v"``); a server rejects frames
+from a different major version instead of guessing at field semantics,
+so the schema can evolve without silent misreads.
+
+Requests are typed dataclasses (one per ``op``) with a registry-driven
+decoder: :func:`decode_request` validates the version, the op name and
+every field's presence and JSON type before the server touches any
+state, so a malformed line costs one error response, never a
+half-applied event.  Task and worker payloads reuse the durable layer's
+flat-row codecs (:func:`repro.engine.durable.task_row` /
+``worker_row``), which round-trip floats bit-exactly — the differential
+tests in ``tests/test_serve.py`` rely on a wire hop being invisible to
+the solver.
+
+Frame shapes::
+
+    request:   {"v": 1, "id": 7, "op": "worker_ping", "worker": [...]}
+    response:  {"v": 1, "id": 7, "ok": true, ...}
+               {"v": 1, "id": 7, "ok": false, "code": "...", "error": "..."}
+    push:      {"v": 1, "push": "epoch", "now": 3.0, "mode": "full", ...}
+
+Pushes are server-initiated frames streamed to subscribed connections
+(no ``id`` — nothing to correlate).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, fields
+from typing import Any, Dict, List, Optional, Tuple, Type
+
+from repro.core.task import SpatialTask
+from repro.core.worker import MovingWorker
+from repro.engine.durable import (
+    task_from_row,
+    task_row,
+    worker_from_row,
+    worker_row,
+)
+from repro.engine.engine import EpochResult
+
+#: Wire protocol version; bumped on any incompatible frame-shape change.
+PROTOCOL_VERSION = 1
+
+#: Bytes per frame the reader will buffer before rejecting the line
+#: (guards the server against a connection streaming an unbounded line).
+MAX_FRAME_BYTES = 1 << 20
+
+
+class ProtocolError(ValueError):
+    """A frame that cannot be decoded into a valid typed request.
+
+    Attributes:
+        code: short machine-readable reason (``"version"``, ``"op"``,
+            ``"field"``, ``"json"``), echoed in the error response.
+    """
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(message)
+        self.code = code
+
+
+@dataclass(frozen=True)
+class Request:
+    """Base wire request: a correlation id plus op-specific fields."""
+
+    request_id: int
+
+    #: The wire op name; each concrete request class overrides this.
+    op = "base"
+
+
+@dataclass(frozen=True)
+class SubmitTask(Request):
+    """A requester posts a task (``TaskArrive`` on flush)."""
+
+    time: float
+    task: SpatialTask
+
+    op = "submit_task"
+
+
+@dataclass(frozen=True)
+class WithdrawTask(Request):
+    """A task is cancelled or completed (``TaskWithdraw`` on flush)."""
+
+    time: float
+    task_id: int
+
+    op = "withdraw_task"
+
+
+@dataclass(frozen=True)
+class WorkerPing(Request):
+    """A worker's periodic location report.
+
+    The server resolves a ping against its live id registry: an unknown
+    worker id registers (``WorkerArrive``), a known one refreshes in
+    place (``WorkerUpdate``).  In-place refreshes are the sheddable
+    traffic class — a pending ping superseded by a newer one from the
+    same worker is folded away by the batcher before it can cost a cell
+    invalidation.
+    """
+
+    time: float
+    worker: MovingWorker
+
+    op = "worker_ping"
+
+
+@dataclass(frozen=True)
+class WorkerLeave(Request):
+    """A worker deregisters (``WorkerLeave`` event on flush)."""
+
+    time: float
+    worker_id: int
+
+    op = "worker_leave"
+
+
+@dataclass(frozen=True)
+class WorkerHold(Request):
+    """Mark a worker in-flight: registered but solver-invisible."""
+
+    time: float
+    worker_id: int
+
+    op = "worker_hold"
+
+
+@dataclass(frozen=True)
+class WorkerRelease(Request):
+    """Make a held worker solver-visible again."""
+
+    time: float
+    worker_id: int
+
+    op = "worker_release"
+
+
+@dataclass(frozen=True)
+class Expire(Request):
+    """Retire every task whose valid period closed before ``time``."""
+
+    time: float
+
+    op = "expire"
+
+
+@dataclass(frozen=True)
+class Epoch(Request):
+    """Flush pending ingestion and re-plan at clock time ``time``.
+
+    The response carries the epoch's objective, mode and dispatch map;
+    subscribed connections receive the same decision frame as a push.
+    """
+
+    time: float
+
+    op = "epoch"
+
+
+@dataclass(frozen=True)
+class Subscribe(Request):
+    """Stream every subsequent epoch's decisions to this connection."""
+
+    op = "subscribe"
+
+
+@dataclass(frozen=True)
+class Stats(Request):
+    """Fetch the server's :class:`~repro.serve.batcher.ServeMetrics` and
+    the engine's replay-deterministic counters."""
+
+    op = "stats"
+
+
+@dataclass(frozen=True)
+class Shutdown(Request):
+    """Ask the server to stop accepting and shut down cleanly."""
+
+    op = "shutdown"
+
+
+#: ``op`` name -> request class, the decoder's dispatch table.
+REQUEST_TYPES: Dict[str, Type[Request]] = {
+    cls.op: cls
+    for cls in (
+        SubmitTask,
+        WithdrawTask,
+        WorkerPing,
+        WorkerLeave,
+        WorkerHold,
+        WorkerRelease,
+        Expire,
+        Epoch,
+        Subscribe,
+        Stats,
+        Shutdown,
+    )
+}
+
+#: Wire field name and JSON check per dataclass field (beyond request_id).
+_FIELD_CODECS = {
+    "time": ("time", lambda v: isinstance(v, (int, float)) and not isinstance(v, bool)),
+    "task_id": ("task_id", lambda v: isinstance(v, int) and not isinstance(v, bool)),
+    "worker_id": (
+        "worker_id",
+        lambda v: isinstance(v, int) and not isinstance(v, bool),
+    ),
+    "task": ("task", lambda v: isinstance(v, list)),
+    "worker": ("worker", lambda v: isinstance(v, list)),
+}
+
+
+def encode_request(request: Request) -> bytes:
+    """One typed request as a newline-terminated JSON-lines frame."""
+    frame: Dict[str, Any] = {
+        "v": PROTOCOL_VERSION,
+        "id": request.request_id,
+        "op": request.op,
+    }
+    for field in fields(request):
+        if field.name == "request_id":
+            continue
+        value = getattr(request, field.name)
+        if field.name == "task":
+            value = task_row(value)
+        elif field.name == "worker":
+            value = worker_row(value)
+        frame[field.name] = value
+    return (json.dumps(frame) + "\n").encode("utf-8")
+
+
+def decode_request(line: bytes) -> Request:
+    """Parse and validate one frame into its typed request.
+
+    Raises:
+        ProtocolError: on malformed JSON, a version or op mismatch, or a
+            missing/mistyped field — with a ``code`` naming which.
+    """
+    try:
+        frame = json.loads(line)
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ProtocolError("json", f"unparseable frame: {exc}") from exc
+    if not isinstance(frame, dict):
+        raise ProtocolError("json", "frame is not a JSON object")
+    if frame.get("v") != PROTOCOL_VERSION:
+        raise ProtocolError(
+            "version",
+            f"protocol version {frame.get('v')!r} is not the supported "
+            f"version {PROTOCOL_VERSION}",
+        )
+    op = frame.get("op")
+    request_cls = REQUEST_TYPES.get(op)
+    if request_cls is None:
+        raise ProtocolError("op", f"unknown op {op!r}")
+    request_id = frame.get("id")
+    if not isinstance(request_id, int) or isinstance(request_id, bool):
+        raise ProtocolError("field", "missing or non-integer request id")
+    kwargs: Dict[str, Any] = {"request_id": request_id}
+    for field in fields(request_cls):
+        if field.name == "request_id":
+            continue
+        wire_name, check = _FIELD_CODECS[field.name]
+        if wire_name not in frame:
+            raise ProtocolError("field", f"{op}: missing field {wire_name!r}")
+        value = frame[wire_name]
+        if not check(value):
+            raise ProtocolError("field", f"{op}: bad value for {wire_name!r}")
+        if field.name == "task":
+            try:
+                value = task_from_row(value)
+            except (TypeError, ValueError, IndexError) as exc:
+                raise ProtocolError("field", f"{op}: bad task row: {exc}") from exc
+        elif field.name == "worker":
+            try:
+                value = worker_from_row(value)
+            except (TypeError, ValueError, IndexError) as exc:
+                raise ProtocolError(
+                    "field", f"{op}: bad worker row: {exc}"
+                ) from exc
+        kwargs[field.name] = value
+    return request_cls(**kwargs)
+
+
+# ---------------------------------------------------------------------- #
+# Responses and pushes
+# ---------------------------------------------------------------------- #
+
+
+def encode_ok(request_id: int, **payload: Any) -> bytes:
+    """A success response frame for ``request_id``."""
+    frame = {"v": PROTOCOL_VERSION, "id": request_id, "ok": True}
+    frame.update(payload)
+    return (json.dumps(frame) + "\n").encode("utf-8")
+
+
+def encode_error(request_id: Optional[int], code: str, message: str) -> bytes:
+    """An error response frame (``request_id`` may be unknowable)."""
+    frame = {
+        "v": PROTOCOL_VERSION,
+        "id": request_id,
+        "ok": False,
+        "code": code,
+        "error": message,
+    }
+    return (json.dumps(frame) + "\n").encode("utf-8")
+
+
+def epoch_payload(result: EpochResult) -> Dict[str, Any]:
+    """An :class:`~repro.engine.engine.EpochResult` as wire fields.
+
+    The dispatch map is sorted ``[worker_id, task_id]`` pairs — the same
+    canonical shape the durable log's epoch markers record, so wire
+    consumers and cold analytics agree byte for byte.
+    """
+    return {
+        "now": result.now,
+        "mode": result.mode,
+        "objective": [
+            result.objective.min_reliability,
+            result.objective.total_std,
+        ],
+        "dispatch": sorted([w, t] for w, t in result.dispatch.items()),
+        "expired": sorted(result.expired),
+        "num_tasks": result.num_tasks,
+        "num_workers": result.num_workers,
+        "num_pairs": result.num_pairs,
+    }
+
+
+def encode_push(kind: str, payload: Dict[str, Any]) -> bytes:
+    """A server-initiated push frame (no correlation id)."""
+    frame: Dict[str, Any] = {"v": PROTOCOL_VERSION, "push": kind}
+    frame.update(payload)
+    return (json.dumps(frame) + "\n").encode("utf-8")
+
+
+def decode_frame(line: bytes) -> Dict[str, Any]:
+    """Parse one server-side frame (response or push) for clients.
+
+    Raises:
+        ProtocolError: on malformed JSON or a version mismatch.
+    """
+    try:
+        frame = json.loads(line)
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ProtocolError("json", f"unparseable frame: {exc}") from exc
+    if not isinstance(frame, dict) or frame.get("v") != PROTOCOL_VERSION:
+        raise ProtocolError("version", "unexpected frame version")
+    return frame
+
+
+def plan_from_payload(payload: Dict[str, Any]) -> List[Tuple[int, int]]:
+    """The canonical ``(worker_id, task_id)`` plan list of an epoch frame."""
+    return [(int(w), int(t)) for w, t in payload["dispatch"]]

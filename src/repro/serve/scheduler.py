@@ -1,0 +1,196 @@
+"""Deadline-driven epoch scheduling over a thread-offloaded engine.
+
+The engine is deliberately single-threaded (its grid, slabs and solver
+state mutate in lock-step), while the server's ingestion is an asyncio
+event loop that must keep accepting pings during a solve.  This module
+is the boundary between the two:
+
+* :class:`EngineDriver` serialises *all* engine access behind one
+  ``threading.Lock`` and runs it off the event loop (``asyncio
+  .to_thread``), so a multi-second epoch never blocks frame reads —
+  ingestion keeps landing in the batcher, and the next flush delivers
+  it.  The flush + epoch pair is atomic under the lock: a drained batch
+  and its tick flow through one :class:`repro.engine.scheduler.
+  EventQueue`, whose per-instant batches hit the engine's
+  ``coalesce_churn`` path exactly as an in-process driver's would.
+* :class:`DeadlineLoop` is the re-planning clock of a deployment: every
+  ``interval`` wall seconds it advances the session's virtual clock by
+  ``epoch_dt`` and runs a flush + epoch, skipping (and counting) a
+  deadline whose predecessor is still solving instead of ever
+  re-entering the engine.
+
+Decisions stream back through a caller-provided broadcast callback, so
+the loop knows nothing about connections.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Awaitable, Callable, List, Optional, Sequence
+
+from repro.engine import events as ev
+from repro.engine.engine import EpochResult
+from repro.engine.scheduler import EventQueue
+from repro.serve.batcher import IngestBatcher, ServeMetrics
+
+
+class EngineDriver:
+    """Thread-safe façade over one engine: flush batches, run epochs.
+
+    Args:
+        engine: the :class:`repro.engine.engine.AssignmentEngine` (or
+            sharded subclass) being served.  The driver becomes the only
+            sanctioned way to touch it while the server runs.
+        batcher: the ingestion buffer drained at each epoch.
+        metrics: the service-tier counters (epoch counts land here).
+    """
+
+    def __init__(
+        self,
+        engine,
+        batcher: IngestBatcher,
+        metrics: ServeMetrics,
+    ) -> None:
+        self.engine = engine
+        self.batcher = batcher
+        self.metrics = metrics
+        #: Serialises every engine touch; epochs can take seconds, so the
+        #: lock is taken in a worker thread, never on the event loop.
+        self.lock = threading.Lock()
+        #: Coroutine-level ordering: drain + apply must be atomic across
+        #: the await, or two concurrent epoch requests could drain in one
+        #: order and acquire the thread lock in the other.
+        self._order = asyncio.Lock()
+
+    def _flush_and_epoch(
+        self, batch: Sequence[ev.Event], now: float
+    ) -> EpochResult:
+        """Apply a drained batch plus one tick atomically (worker thread)."""
+        with self.lock:
+            queue = EventQueue(batch)
+            queue.push(ev.EpochTick(time=now))
+            results = self.engine.process(queue)
+        assert len(results) == 1  # exactly the tick we pushed
+        return results[0]
+
+    async def run_epoch(self, now: float) -> EpochResult:
+        """Drain the batcher and re-plan at ``now``, off-thread.
+
+        The drain happens on the event loop (the batcher is loop-owned),
+        the engine work in a thread; events that arrive while the solve
+        runs buffer for the next epoch — exactly the semantics of churn
+        landing between two of Figure 10's re-planning instants.
+        """
+        async with self._order:
+            batch = self.batcher.drain()
+            result = await asyncio.to_thread(self._flush_and_epoch, batch, now)
+        self.metrics.epochs += 1
+        return result
+
+    async def run_expire(self, now: float) -> List[int]:
+        """Run an expiry sweep at ``now`` off-thread (pending churn first)."""
+        async with self._order:
+            batch = self.batcher.drain()
+
+            def _flush_and_expire() -> List[int]:
+                with self.lock:
+                    if batch:
+                        self.engine.apply_batch(batch)
+                    return self.engine.expire_tasks(now)
+
+            return await asyncio.to_thread(_flush_and_expire)
+
+
+class DeadlineLoop:
+    """The wall-clock re-planning cadence of a deployed session.
+
+    Args:
+        driver: the :class:`EngineDriver` epochs run through.
+        interval: wall seconds between deadline ticks.
+        epoch_dt: how far the session's virtual clock advances per tick
+            (the engine's ``now`` is session time, not wall time, so a
+            replayed trace and a live deployment share one clock axis).
+        broadcast: awaited with each epoch's result; the server fans the
+            decision frame out to subscribers here.
+        start_now: virtual clock of the first tick (a resumed session
+            continues from the restored engine's watermark).
+    """
+
+    def __init__(
+        self,
+        driver: EngineDriver,
+        interval: float,
+        epoch_dt: float = 1.0,
+        broadcast: Optional[Callable[[EpochResult], Awaitable[None]]] = None,
+        start_now: float = 0.0,
+    ) -> None:
+        if interval <= 0.0:
+            raise ValueError("interval must be positive")
+        self.driver = driver
+        self.interval = interval
+        self.epoch_dt = epoch_dt
+        self.broadcast = broadcast
+        self.next_now = start_now
+        self._task: Optional[asyncio.Task] = None
+        self._stopping = asyncio.Event()
+        #: Guard against a tick firing while the previous epoch solves.
+        self._epoch_running = False
+
+    @property
+    def running(self) -> bool:
+        """True while the loop task is live."""
+        return self._task is not None and not self._task.done()
+
+    def start(self) -> None:
+        """Spawn the loop task on the running event loop."""
+        if self.running:
+            raise RuntimeError("deadline loop already running")
+        self._stopping.clear()
+        self._task = asyncio.get_running_loop().create_task(self._run())
+
+    async def stop(self) -> None:
+        """Stop ticking; an in-flight epoch completes first."""
+        self._stopping.set()
+        if self._task is not None:
+            await self._task
+            self._task = None
+
+    async def tick(self) -> Optional[EpochResult]:
+        """Run one deadline epoch now (shared with the loop body).
+
+        Returns ``None`` — and counts a deadline miss — when the
+        previous epoch is still solving: the engine is never re-entered,
+        the session clock does not advance, and the skipped work folds
+        into the next tick's flush.
+        """
+        if self._epoch_running:
+            self.driver.metrics.deadline_misses += 1
+            return None
+        self._epoch_running = True
+        try:
+            now = self.next_now
+            result = await self.driver.run_epoch(now)
+            self.next_now = now + self.epoch_dt
+        finally:
+            self._epoch_running = False
+        if self.broadcast is not None:
+            await self.broadcast(result)
+        return result
+
+    async def _run(self) -> None:
+        """Tick every ``interval`` wall seconds until stopped."""
+        loop = asyncio.get_running_loop()
+        next_deadline = loop.time() + self.interval
+        while not self._stopping.is_set():
+            delay = next_deadline - loop.time()
+            if delay > 0:
+                try:
+                    await asyncio.wait_for(
+                        self._stopping.wait(), timeout=delay
+                    )
+                    break  # stop() won the race
+                except asyncio.TimeoutError:
+                    pass
+            next_deadline += self.interval
+            await self.tick()

@@ -1,7 +1,23 @@
-"""Shared factories for the test suite."""
+"""Shared factories for the test suite.
+
+Beyond the single-entity factories (``make_task`` / ``make_worker``),
+this module holds the scenario builders the engine-era test files used
+to duplicate:
+
+* :func:`make_pools` — seeded task/worker pools from the experiment
+  generator (sized and tuned per call site).
+* :func:`seed_population` — load an engine with a canonical random
+  population.
+* :class:`ScriptedChurn` / :func:`drive` — the canonical deterministic
+  small-churn trace: every differential test family (durable replay,
+  wire-vs-direct, kill-and-resume) consumes this one stream, so "same
+  trace" always means the same bytes.
+* :func:`populate_small` — the two-entity population lifecycle tests use.
+"""
 
 import math
 
+import numpy as np
 import pytest
 
 from repro.core.task import SpatialTask
@@ -40,6 +56,170 @@ def make_worker(
         confidence,
         depart_time,
     )
+
+
+def make_pools(
+    seed,
+    num_tasks=60,
+    num_workers=120,
+    velocity_range=None,
+    expiration_range=None,
+):
+    """Seeded task/worker pools from the experiment generator.
+
+    The optional range overrides serve call sites with special needs
+    (e.g. the sharding tests' slow workers, which make a sub-unit halo
+    provably safe).
+    """
+    from repro.datagen import ExperimentConfig, generate_tasks, generate_workers
+
+    config = ExperimentConfig.scaled_defaults(
+        num_tasks=num_tasks, num_workers=num_workers
+    )
+    updates = {}
+    if velocity_range is not None:
+        updates["velocity_range"] = velocity_range
+    if expiration_range is not None:
+        updates["expiration_range"] = expiration_range
+    if updates:
+        config = config.with_updates(**updates)
+    rng = np.random.default_rng(seed)
+    return list(generate_tasks(config, rng)), list(generate_workers(config, rng))
+
+
+def seed_population(engine, num_tasks=10, num_workers=30, seed=7, end_lo=3.0):
+    """Load an engine with a canonical random starting population."""
+    rng = np.random.default_rng(seed)
+    engine.add_tasks(
+        [
+            make_task(
+                i,
+                x=float(rng.uniform()),
+                y=float(rng.uniform()),
+                end=float(rng.uniform(end_lo, end_lo + 4.0)),
+            )
+            for i in range(num_tasks)
+        ]
+    )
+    engine.add_workers(
+        [
+            make_worker(
+                i,
+                x=float(rng.uniform()),
+                y=float(rng.uniform()),
+                velocity=0.3,
+                confidence=0.8,
+            )
+            for i in range(num_workers)
+        ]
+    )
+
+
+class ScriptedChurn:
+    """The canonical deterministic churn stream differential twins share.
+
+    Step ``k`` adds worker ``1000 + k``, moves worker ``k`` on even
+    steps, and adds task ``500 + k`` when ``k % 3 == 2`` — enough kinds
+    of churn to exercise arrivals, in-place updates and task arrivals
+    while staying bit-reproducible from the seed.
+    """
+
+    def __init__(self, seed=42):
+        self.rng = np.random.default_rng(seed)
+
+    def step(self, engine, k):
+        """Apply step ``k``'s churn to ``engine`` (advances the RNG)."""
+        engine.add_worker(
+            make_worker(
+                1000 + k,
+                x=float(self.rng.uniform()),
+                y=float(self.rng.uniform()),
+                velocity=0.25,
+                confidence=0.7,
+                depart_time=float(k),
+            )
+        )
+        if k % 2 == 0 and k in engine.workers:
+            moved = engine.workers[k].moved_to(
+                Point(float(self.rng.uniform()), float(self.rng.uniform())),
+                float(k),
+            )
+            engine.update_worker(moved)
+        if k % 3 == 2 and (500 + k) not in engine.tasks:
+            engine.add_task(
+                make_task(
+                    500 + k,
+                    x=float(self.rng.uniform()),
+                    y=float(self.rng.uniform()),
+                    start=float(k),
+                    end=float(k) + 4.0,
+                )
+            )
+
+    def events(self, engine_view, k):
+        """Step ``k`` as typed events instead of engine calls.
+
+        ``engine_view`` only needs ``workers``/``tasks`` mappings; the
+        wire tests use this to send the identical trace through a server
+        while a twin engine consumes :meth:`step` directly.
+        """
+        from repro.engine import events as ev
+
+        out = [
+            ev.WorkerArrive(
+                time=float(k),
+                worker=make_worker(
+                    1000 + k,
+                    x=float(self.rng.uniform()),
+                    y=float(self.rng.uniform()),
+                    velocity=0.25,
+                    confidence=0.7,
+                    depart_time=float(k),
+                ),
+            )
+        ]
+        if k % 2 == 0 and k in engine_view.workers:
+            out.append(
+                ev.WorkerUpdate(
+                    time=float(k),
+                    worker=engine_view.workers[k].moved_to(
+                        Point(
+                            float(self.rng.uniform()), float(self.rng.uniform())
+                        ),
+                        float(k),
+                    ),
+                )
+            )
+        if k % 3 == 2 and (500 + k) not in engine_view.tasks:
+            out.append(
+                ev.TaskArrive(
+                    time=float(k),
+                    task=make_task(
+                        500 + k,
+                        x=float(self.rng.uniform()),
+                        y=float(self.rng.uniform()),
+                        start=float(k),
+                        end=float(k) + 4.0,
+                    ),
+                )
+            )
+        return out
+
+
+def drive(engine, churn, epochs, start=0):
+    """Run the scripted trace: churn + epoch per step, plans collected."""
+    plans = []
+    for k in range(start, epochs):
+        churn.step(engine, k)
+        result = engine.epoch(float(k))
+        plans.append((sorted(result.dispatch.items()), result.mode))
+    return plans
+
+
+def populate_small(engine):
+    """The two-entity population the lifecycle tests solve over."""
+    engine.add_task(make_task(0, end=9.0))
+    engine.add_worker(make_worker(0, x=0.2, y=0.5))
 
 
 @pytest.fixture

@@ -162,6 +162,15 @@ SMOKE_RUNNERS = {
         repeats=1,
         write_json=False,
     ),
+    "bench_serve": lambda m: m.run_serve_experiment(
+        num_tasks=6,
+        num_workers=16,
+        rates=(120.0,),
+        duration_s=0.5,
+        epoch_interval=0.2,
+        repeats=1,
+        write_json=False,
+    ),
     "bench_section72_maintenance": lambda m: m.run_maintenance_experiment(
         n_ops=10, seed=3
     ),

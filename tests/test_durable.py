@@ -36,77 +36,13 @@ from repro.engine.durable import (
 )
 from repro.geometry.angles import AngleInterval
 from repro.geometry.points import Point
-from tests.conftest import make_task, make_worker
-
-
-def seed_population(engine, num_tasks=10, num_workers=30, seed=7, end_lo=3.0):
-    rng = np.random.default_rng(seed)
-    engine.add_tasks(
-        [
-            make_task(
-                i,
-                x=float(rng.uniform()),
-                y=float(rng.uniform()),
-                end=float(rng.uniform(end_lo, end_lo + 4.0)),
-            )
-            for i in range(num_tasks)
-        ]
-    )
-    engine.add_workers(
-        [
-            make_worker(
-                i,
-                x=float(rng.uniform()),
-                y=float(rng.uniform()),
-                velocity=0.3,
-                confidence=0.8,
-            )
-            for i in range(num_workers)
-        ]
-    )
-
-
-class ScriptedChurn:
-    """A deterministic churn stream both differential twins consume."""
-
-    def __init__(self, seed=42):
-        self.rng = np.random.default_rng(seed)
-
-    def step(self, engine, k):
-        engine.add_worker(
-            make_worker(
-                1000 + k,
-                x=float(self.rng.uniform()),
-                y=float(self.rng.uniform()),
-                velocity=0.25,
-                confidence=0.7,
-                depart_time=float(k),
-            )
-        )
-        if k % 2 == 0 and k in engine.workers:
-            moved = engine.workers[k].moved_to(
-                Point(float(self.rng.uniform()), float(self.rng.uniform())),
-                float(k),
-            )
-            engine.update_worker(moved)
-        if k % 3 == 2 and (500 + k) not in engine.tasks:
-            engine.add_task(
-                make_task(
-                    500 + k,
-                    x=float(self.rng.uniform()),
-                    y=float(self.rng.uniform()),
-                    start=float(k),
-                    end=float(k) + 4.0,
-                )
-            )
-
-def drive(engine, churn, epochs, start=0):
-    plans = []
-    for k in range(start, epochs):
-        churn.step(engine, k)
-        result = engine.epoch(float(k))
-        plans.append((sorted(result.dispatch.items()), result.mode))
-    return plans
+from tests.conftest import (
+    ScriptedChurn,
+    drive,
+    make_task,
+    make_worker,
+    seed_population,
+)
 
 
 # ---------------------------------------------------------------------- #

@@ -23,7 +23,7 @@ from repro.engine import (
 )
 from repro.geometry.points import Point
 from repro.platform_sim.events import TaskRecord
-from tests.conftest import make_task, make_worker
+from tests.conftest import make_task, make_worker, populate_small
 
 
 class TestEventQueue:
@@ -402,20 +402,16 @@ class TestCloseLifecycle:
     pools they built, tolerate a second ``close()``, and refuse epochs
     afterwards with a clear error instead of submitting to dead pools."""
 
-    def _populate(self, engine):
-        engine.add_task(make_task(0, end=9.0))
-        engine.add_worker(make_worker(0, x=0.2, y=0.5))
-
     def test_plain_engine_close_is_idempotent(self):
         engine = AssignmentEngine(solver=GreedySolver())
-        self._populate(engine)
+        populate_small(engine)
         engine.epoch(0.0)
         engine.close()
         engine.close()  # second close is a no-op, not an error
 
     def test_plain_engine_closes_owned_solve_executor(self):
         engine = AssignmentEngine(solver=GreedySolver(), solve_executor=2)
-        self._populate(engine)
+        populate_small(engine)
         executor = engine.solve_executor
         engine.close()
         assert executor._closed
@@ -424,7 +420,7 @@ class TestCloseLifecycle:
 
     def test_plain_engine_epoch_after_close_raises(self):
         engine = AssignmentEngine(solver=GreedySolver())
-        self._populate(engine)
+        populate_small(engine)
         engine.close()
         with pytest.raises(RuntimeError, match="engine is closed"):
             engine.epoch(1.0)
@@ -433,7 +429,7 @@ class TestCloseLifecycle:
         from repro.engine import ShardedAssignmentEngine
 
         engine = ShardedAssignmentEngine(solver=GreedySolver(), num_shards=2)
-        self._populate(engine)
+        populate_small(engine)
         engine.epoch(0.0)
         engine.close()
         engine.close()
@@ -447,7 +443,7 @@ class TestCloseLifecycle:
         engine = ShardedAssignmentEngine(
             solver=GreedySolver(), num_shards=2, solve_executor=2
         )
-        self._populate(engine)
+        populate_small(engine)
         executor = engine.solve_executor
         engine.close()
         assert executor._closed
@@ -458,7 +454,7 @@ class TestCloseLifecycle:
         from repro.engine import ShardedAssignmentEngine
 
         engine = ShardedAssignmentEngine(solver=GreedySolver(), num_shards=2)
-        self._populate(engine)
+        populate_small(engine)
         engine.close()
         with pytest.raises(RuntimeError, match="engine is closed"):
             engine.epoch(1.0)
@@ -469,8 +465,49 @@ class TestCloseLifecycle:
         shared = ParallelSolveExecutor(processes=2)
         try:
             engine = AssignmentEngine(solver=GreedySolver(), solve_executor=shared)
-            self._populate(engine)
+            populate_small(engine)
             engine.close()
             assert not shared._closed  # caller-owned: caller closes it
         finally:
             shared.close()
+
+
+class TestEpochReentrancy:
+    """The engine is single-threaded: a second ``epoch()`` entered while
+    one is mid-solve must raise instead of interleaving grid/RNG state."""
+
+    def test_concurrent_epoch_raises(self):
+        class ReentrantSolver(GreedySolver):
+            """Calls back into ``epoch()`` from inside the solve."""
+
+            def solve(self, problem, rng=None):
+                if getattr(self, "_entered", False):
+                    return super().solve(problem, rng=rng)
+                self._entered = True
+                with pytest.raises(RuntimeError, match="re-entered"):
+                    self._engine.epoch(99.0)
+                return super().solve(problem, rng=rng)
+
+        solver = ReentrantSolver()
+        engine = AssignmentEngine(solver=solver)
+        solver._engine = engine
+        populate_small(engine)
+        result = engine.epoch(1.0)  # outer epoch still completes normally
+        assert result.now == 1.0
+
+    def test_guard_resets_after_failed_epoch(self):
+        class ExplodingSolver(GreedySolver):
+            """First solve raises; later solves succeed."""
+
+            def solve(self, problem, rng=None):
+                if not getattr(self, "_failed", False):
+                    self._failed = True
+                    raise ValueError("boom")
+                return super().solve(problem, rng=rng)
+
+        engine = AssignmentEngine(solver=ExplodingSolver())
+        populate_small(engine)
+        with pytest.raises(ValueError, match="boom"):
+            engine.epoch(1.0)
+        result = engine.epoch(2.0)  # the guard must not stay latched
+        assert result.now == 2.0

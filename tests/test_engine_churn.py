@@ -23,11 +23,11 @@ import pytest
 
 from repro.algorithms import GreedySolver, SamplingSolver
 from repro.core.problem import RdbscProblem
-from repro.datagen import ExperimentConfig, generate_tasks, generate_workers
 from repro.engine import AssignmentEngine
 from repro.fastpath.arrays import TaskArrays, WorkerArrays
 from repro.geometry.points import Point
 from repro.index.grid import RdbscGrid, retrieve_pairs_without_index
+from tests.conftest import make_pools
 
 pytestmark = pytest.mark.churn
 
@@ -43,14 +43,6 @@ TASK_COLUMNS = ("ids", "xs", "ys", "starts", "ends", "betas")
 def pair_key(pairs):
     """Canonical, rounding-sensitive view of a pair list."""
     return sorted((p.task_id, p.worker_id, p.arrival) for p in pairs)
-
-
-def make_pools(seed, num_tasks=60, num_workers=120):
-    config = ExperimentConfig.scaled_defaults(
-        num_tasks=num_tasks, num_workers=num_workers
-    )
-    rng = np.random.default_rng(seed)
-    return list(generate_tasks(config, rng)), list(generate_workers(config, rng))
 
 
 class ChurnDriver:

@@ -271,13 +271,11 @@ class TestShardBatchedGreedy:
 
 def mirror_engines(make_engine_pair, seed=29, steps=3, epoch_batches=4):
     """Drive serial and parallel engines through one churn stream."""
-    from repro.datagen import generate_tasks, generate_workers
     from repro.geometry.points import Point
 
-    config = ExperimentConfig.scaled_defaults(num_tasks=30, num_workers=60)
-    rng = np.random.default_rng(seed)
-    tasks = list(generate_tasks(config, rng))
-    workers = list(generate_workers(config, rng))
+    from tests.conftest import make_pools
+
+    tasks, workers = make_pools(seed, num_tasks=30, num_workers=60)
     serial, parallel = make_engine_pair()
     for engine in (serial, parallel):
         engine.add_tasks(tasks[:20])

@@ -17,12 +17,12 @@ import numpy as np
 import pytest
 
 from repro.algorithms import GreedySolver, SamplingSolver
-from repro.datagen import ExperimentConfig, generate_tasks, generate_workers
 from repro.dynamic import CrowdsourcingSession
 from repro.engine import AssignmentEngine, ShardMap, ShardedAssignmentEngine
 from repro.engine.sharding import ShardState, _rect_distance
 from repro.geometry.points import Point
 from repro.index.grid import cell_coords
+from tests.conftest import make_pools as shared_make_pools
 from tests.conftest import make_task, make_worker
 
 ETA = 0.125
@@ -134,14 +134,13 @@ class TestShardMap:
 
 def make_pools(seed, num_tasks=50, num_workers=110):
     """Slow-worker pools so a sub-unit halo is provably safe."""
-    config = ExperimentConfig.scaled_defaults(
-        num_tasks=num_tasks, num_workers=num_workers
+    return shared_make_pools(
+        seed,
+        num_tasks=num_tasks,
+        num_workers=num_workers,
+        velocity_range=(0.02, 0.1),
+        expiration_range=(0.5, 1.5),
     )
-    config = config.with_updates(
-        velocity_range=(0.02, 0.1), expiration_range=(0.5, 1.5)
-    )
-    rng = np.random.default_rng(seed)
-    return list(generate_tasks(config, rng)), list(generate_workers(config, rng))
 
 
 class MirrorDriver:

@@ -34,8 +34,8 @@ from repro.algorithms.base import make_rng
 from repro.algorithms.random_assign import RandomSolver
 from repro.core.problem import RdbscProblem
 from repro.core.task import SpatialTask
-from repro.datagen import ExperimentConfig, generate_tasks, generate_workers
 from repro.engine import AssignmentEngine
+from tests.conftest import make_pools as shared_make_pools
 from repro.geometry.points import Point
 from repro.skyline.dominance import best_index_by_dominance, dominates_tuple
 from repro.solvers.incremental import (
@@ -50,11 +50,8 @@ pytestmark = pytest.mark.churn
 
 
 def make_pools(seed, num_tasks=40, num_workers=90):
-    config = ExperimentConfig.scaled_defaults(
-        num_tasks=num_tasks, num_workers=num_workers
-    )
-    rng = np.random.default_rng(seed)
-    return list(generate_tasks(config, rng)), list(generate_workers(config, rng))
+    """This suite's default pool sizes over the shared generator."""
+    return shared_make_pools(seed, num_tasks=num_tasks, num_workers=num_workers)
 
 
 def filled_engine(tasks, workers, solver, mode, backend="python", rng=1, **kwargs):

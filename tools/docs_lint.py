@@ -92,6 +92,7 @@ def lint_paths(paths: List[str]) -> List[Violation]:
 #: Directories linted when the CLI is given no arguments (what CI runs).
 DEFAULT_TARGETS = [
     "src/repro/engine",
+    "src/repro/serve",
     "src/repro/solvers",
     "benchmarks",
     "examples",

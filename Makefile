@@ -2,7 +2,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test benchsmoke bench-fastpath bench-incremental bench-warmstart bench-sharding bench-parallel bench-durability bench-dstd bench-serve docs-lint bench golden
+.PHONY: test benchsmoke bench-fastpath bench-incremental bench-warmstart bench-sharding bench-elastic bench-parallel bench-durability bench-dstd bench-serve docs-lint bench golden
 
 # Tier-1 verification (the command CI runs).
 test:
@@ -27,6 +27,10 @@ bench-warmstart:
 # Sharded engine vs single-shard epochs; writes BENCH_sharding.json.
 bench-sharding:
 	$(PYTHON) -m pytest -q benchmarks/bench_sharding.py
+
+# Elastic diff shipping vs full state re-ship; writes BENCH_elastic.json.
+bench-elastic:
+	$(PYTHON) -m pytest -q benchmarks/bench_elastic.py
 
 # Parallel solve fan-out vs serial solves; writes BENCH_parallel_solve.json.
 bench-parallel:

@@ -29,6 +29,14 @@ not O(m * n) rebuilds.  This package is that machinery:
     halo wide enough for the validity radius) and epochs fanned out
     across an in-process or process-pool executor; merged plans are
     bit-identical to the single-shard engine.
+``elastic``
+    :class:`ElasticShardedAssignmentEngine` — the sharded engine with
+    *resident* shard states (persistent across epochs, pinned to their
+    worker processes) fed versioned :class:`ShardDiff` packets with a
+    fingerprint-keyed full-resync fallback, and :class:`ShardMap`
+    split/merge/migrate reshapes driven by a :class:`RebalancePolicy`
+    at epoch boundaries — WAL-logged, so recovery replays the topology
+    trajectory bit-exactly; see ``docs/ELASTICITY.md``.
 ``parallel``
     The solve-parallelism subsystem behind the engines'
     ``solve_executor`` knob: :class:`ParallelSolveExecutor` owns pinned
@@ -55,6 +63,14 @@ from repro.engine.engine import (
     virtual_worker,
 )
 from repro.engine.durable import DurableLog, restore_engine
+from repro.engine.elastic import (
+    ElasticShardedAssignmentEngine,
+    ProcessResidentExecutor,
+    RebalancePolicy,
+    ResidentShard,
+    SequentialResidentExecutor,
+    ShardDiff,
+)
 from repro.engine.events import (
     EpochTick,
     Event,
@@ -88,6 +104,7 @@ from repro.engine.sharding import (
 __all__ = [
     "AssignmentEngine",
     "DurableLog",
+    "ElasticShardedAssignmentEngine",
     "EngineMetrics",
     "EngineSnapshot",
     "EpochRecord",
@@ -100,10 +117,15 @@ __all__ = [
     "ParallelSolveExecutor",
     "PhaseProfiler",
     "PinnedWorkerPools",
+    "ProcessResidentExecutor",
     "ProcessShardExecutor",
+    "RebalancePolicy",
+    "ResidentShard",
     "SampleChunkScorer",
+    "SequentialResidentExecutor",
     "SequentialShardExecutor",
     "ShardBatchedScorer",
+    "ShardDiff",
     "ShardMap",
     "ShardState",
     "ShardedAssignmentEngine",

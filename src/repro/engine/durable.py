@@ -595,6 +595,7 @@ def encode_snapshot(snapshot) -> Dict[str, Any]:
         "rng": snapshot.rng_state,
         "metrics": snapshot.metrics,
         "clock": snapshot.clock,
+        "topology": snapshot.topology,
     }
 
 
@@ -620,6 +621,7 @@ def decode_snapshot(payload: Dict[str, Any]):
         rng_state=payload["rng"],
         metrics=payload["metrics"],
         clock=payload["clock"],
+        topology=payload.get("topology"),
     )
 
 
@@ -639,6 +641,11 @@ def apply_snapshot(engine, snapshot) -> None:
             "snapshots restore into a freshly constructed engine only; "
             "this one already holds state"
         )
+    if snapshot.topology is not None:
+        # The elastic shard-ownership table must be in force *before* any
+        # entity re-registers, so every registration routes against the
+        # recovered topology from the start.
+        engine._install_topology(snapshot.topology)
     if list(snapshot.tasks):
         engine.add_tasks(list(snapshot.tasks))
     if list(snapshot.workers):
@@ -686,6 +693,11 @@ def replay_records(engine, records: Sequence[LogRecord]) -> int:
             engine.release_worker(int(payload["worker_id"]))
         elif kind == "expire":
             engine.expire_tasks(payload["now"])
+        elif kind == "rebalance":
+            # Logged before its epoch marker by the elastic engine; the
+            # replayed epoch's policy stays quiet (suppression is held),
+            # so the logged ops are the only reshapes applied.
+            engine.apply_rebalance(payload["ops"])
         elif kind == "epoch":
             engine.rng = rng_from_spec(payload["rng"])
             engine.epoch(
@@ -738,6 +750,7 @@ def restore_engine(
             solver class or configuration differing from the recorded
             ones.
     """
+    from repro.engine.elastic import ElasticShardedAssignmentEngine
     from repro.engine.engine import AssignmentEngine
     from repro.engine.sharding import ShardedAssignmentEngine
 
@@ -766,7 +779,16 @@ def restore_engine(
             warm_churn_threshold=meta["warm_churn_threshold"],
             solve_executor=solve_executor,
         )
-        if meta["engine"] == "ShardedAssignmentEngine":
+        if meta["engine"] == "ElasticShardedAssignmentEngine":
+            engine = ElasticShardedAssignmentEngine(
+                num_shards=meta["num_shards"],
+                halo=meta["halo"],
+                executor=shard_executor or meta["shard_executor"],
+                rebalance=meta.get("rebalance"),
+                diff_shipping=meta.get("diff_shipping", True),
+                **common,
+            )
+        elif meta["engine"] == "ShardedAssignmentEngine":
             engine = ShardedAssignmentEngine(
                 num_shards=meta["num_shards"],
                 halo=meta["halo"],

@@ -1152,7 +1152,12 @@ class AssignmentEngine:
             rng_state=None if self.rng is None else dur.rng_spec(self.rng),
             metrics=self.metrics.counters(),
             clock=self._clock,
+            topology=self._topology_snapshot(),
         )
+
+    def _topology_snapshot(self) -> Optional[dict]:
+        """Shard-ownership payload for snapshots; elastic engines override."""
+        return None
 
 
 @dataclass(frozen=True)
@@ -1175,6 +1180,9 @@ class EngineSnapshot:
     rng_state: Optional[dict] = None
     metrics: Optional[dict] = None
     clock: float = 0.0
+    #: Elastic shard-ownership table (:meth:`repro.engine.sharding.
+    #: ShardMap.topology`); ``None`` for non-elastic engines.
+    topology: Optional[dict] = None
 
     @property
     def num_tasks(self) -> int:

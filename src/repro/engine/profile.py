@@ -31,7 +31,10 @@ from typing import Dict, Iterator, List
 from contextlib import contextmanager
 
 #: The phase names the engines report (solvers add none beyond these).
-#: Purely documentation — the profiler accepts any name.
+#: Purely documentation — the profiler accepts any name.  ``diff_ship``
+#: (building + packing resident shard diffs) and ``rebalance`` (topology
+#: reshapes and the entity re-routing they trigger) are reported by the
+#: elastic engine only (:mod:`repro.engine.elastic`).
 PHASES = (
     "route",
     "coalesce",
@@ -41,6 +44,8 @@ PHASES = (
     "delta_estd",
     "merge",
     "wal_append",
+    "diff_ship",
+    "rebalance",
 )
 
 

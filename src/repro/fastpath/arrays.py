@@ -440,3 +440,157 @@ def unpack_pairs(
         ValidPair(int(task_id), int(worker_id), float(arrival))
         for task_id, worker_id, arrival in zip(task_ids, worker_ids, arrivals)
     ]
+
+
+# --------------------------------------------------------------------- #
+# Churn-diff wire packing (resident shard shipping)
+# --------------------------------------------------------------------- #
+
+#: Float columns of one packed worker row, in wire order.  ``log_weights``
+#: is deliberately absent: :class:`repro.core.worker.MovingWorker`
+#: recomputes it from ``confidence`` with the same scalar ``math.log``, so
+#: shipping the seven constructor fields reproduces the object bit-exactly
+#: (the same argument :mod:`repro.engine.durable` relies on).
+WORKER_WIRE_FIELDS = (
+    "x",
+    "y",
+    "velocity",
+    "cone_lo",
+    "cone_width",
+    "confidence",
+    "depart_time",
+)
+
+#: Float columns of one packed task row, in wire order.
+TASK_WIRE_FIELDS = ("x", "y", "start", "end", "beta")
+
+#: One packed churn run: ``(kind, payload)`` where worker/task arrivals
+#: and updates carry ``(ids int64, fields float64[n, k])`` column blocks
+#: and removals carry a bare ``int64`` id array.
+PackedRun = Tuple[str, object]
+
+
+def _pack_worker_rows(
+    workers: Sequence[MovingWorker],
+) -> Tuple[np.ndarray, np.ndarray]:
+    ids = np.empty(len(workers), dtype=np.int64)
+    fields = np.empty((len(workers), len(WORKER_WIRE_FIELDS)))
+    for j, worker in enumerate(workers):
+        ids[j] = worker.worker_id
+        fields[j, 0] = worker.location.x
+        fields[j, 1] = worker.location.y
+        fields[j, 2] = worker.velocity
+        fields[j, 3] = worker.cone.lo
+        fields[j, 4] = worker.cone.width
+        fields[j, 5] = worker.confidence
+        fields[j, 6] = worker.depart_time
+    return ids, fields
+
+
+def _unpack_worker_rows(
+    packed: Tuple[np.ndarray, np.ndarray]
+) -> List[MovingWorker]:
+    from repro.geometry.angles import AngleInterval
+    from repro.geometry.points import Point
+
+    ids, fields = packed
+    return [
+        MovingWorker(
+            worker_id=int(ids[j]),
+            location=Point(float(fields[j, 0]), float(fields[j, 1])),
+            velocity=float(fields[j, 2]),
+            cone=AngleInterval(float(fields[j, 3]), float(fields[j, 4])),
+            confidence=float(fields[j, 5]),
+            depart_time=float(fields[j, 6]),
+        )
+        for j in range(len(ids))
+    ]
+
+
+def _pack_task_rows(
+    tasks: Sequence[SpatialTask],
+) -> Tuple[np.ndarray, np.ndarray]:
+    ids = np.empty(len(tasks), dtype=np.int64)
+    fields = np.empty((len(tasks), len(TASK_WIRE_FIELDS)))
+    for i, task in enumerate(tasks):
+        ids[i] = task.task_id
+        fields[i, 0] = task.location.x
+        fields[i, 1] = task.location.y
+        fields[i, 2] = task.start
+        fields[i, 3] = task.end
+        fields[i, 4] = task.beta
+    return ids, fields
+
+
+def _unpack_task_rows(packed: Tuple[np.ndarray, np.ndarray]) -> List[SpatialTask]:
+    from repro.geometry.points import Point
+
+    ids, fields = packed
+    return [
+        SpatialTask(
+            task_id=int(ids[i]),
+            location=Point(float(fields[i, 0]), float(fields[i, 1])),
+            start=float(fields[i, 2]),
+            end=float(fields[i, 3]),
+            beta=float(fields[i, 4]),
+        )
+        for i in range(len(ids))
+    ]
+
+
+def pack_diff(runs: Sequence[Tuple[str, object]]) -> Tuple[PackedRun, ...]:
+    """Pack a coalesced churn-run list into flat column blocks.
+
+    Input is what :func:`repro.engine.scheduler.coalesce_churn` yields —
+    ``(kind, payload)`` runs in application order.  Each run becomes one
+    ``(kind, columns)`` entry: arrivals and updates as ``(ids int64,
+    fields float64)`` blocks (:data:`WORKER_WIRE_FIELDS` /
+    :data:`TASK_WIRE_FIELDS` columns), removals as bare ``int64`` id
+    arrays.  Run order is preserved, so :func:`unpack_diff` feeds a shard
+    grid the *same* grouped calls in the same order as an in-process
+    apply — the bit-identity argument for resident diff shipping.  A
+    typed-object event batch pickles at hundreds of bytes per entity;
+    this is tens, which is what makes per-epoch shipping to resident
+    processes cheap (see :mod:`repro.engine.elastic`).
+
+    Raises:
+        ValueError: for a run kind that is not plain churn (an epoch tick
+            or expiry sweep cannot be routed to a shard).
+    """
+    packed: List[PackedRun] = []
+    for kind, payload in runs:
+        if kind in ("worker_arrive", "worker_update"):
+            packed.append((kind, _pack_worker_rows(payload)))
+        elif kind == "task_arrive":
+            packed.append((kind, _pack_task_rows(payload)))
+        elif kind in ("worker_leave", "task_withdraw"):
+            packed.append((kind, np.asarray(list(payload), dtype=np.int64)))
+        else:
+            raise ValueError(f"unroutable churn run kind {kind!r}")
+    return tuple(packed)
+
+
+def unpack_diff(packed: Sequence[PackedRun]) -> List[Tuple[str, object]]:
+    """Rebuild the :func:`pack_diff` churn-run list, bit-identically."""
+    runs: List[Tuple[str, object]] = []
+    for kind, columns in packed:
+        if kind in ("worker_arrive", "worker_update"):
+            runs.append((kind, _unpack_worker_rows(columns)))
+        elif kind == "task_arrive":
+            runs.append((kind, _unpack_task_rows(columns)))
+        elif kind in ("worker_leave", "task_withdraw"):
+            runs.append((kind, [int(entity_id) for entity_id in columns]))
+        else:
+            raise ValueError(f"unroutable churn run kind {kind!r}")
+    return runs
+
+
+def diff_nbytes(packed: Sequence[PackedRun]) -> int:
+    """Wire payload bytes of a packed diff (column buffers only)."""
+    total = 0
+    for _, columns in packed:
+        if isinstance(columns, tuple):
+            total += sum(int(column.nbytes) for column in columns)
+        else:
+            total += int(columns.nbytes)
+    return total

@@ -12,6 +12,9 @@ to duplicate:
   small-churn trace: every differential test family (durable replay,
   wire-vs-direct, kill-and-resume) consumes this one stream, so "same
   trace" always means the same bytes.
+* :class:`MarchingChurn` / :class:`HotspotChurn` /
+  :class:`OscillatingChurn` (``DRIFT_SCENARIOS``) — adversarial load
+  drift traces for the elastic-shard differential tests.
 * :func:`populate_small` — the two-entity population lifecycle tests use.
 """
 
@@ -214,6 +217,185 @@ def drive(engine, churn, epochs, start=0):
         result = engine.epoch(float(k))
         plans.append((sorted(result.dispatch.items()), result.mode))
     return plans
+
+
+class MarchingChurn:
+    """A worker cohort marching left-to-right across the unit square.
+
+    Step 0 lands ``cohort`` workers near ``x = 0.04`` plus a lane of
+    long-lived tasks; every later step advances each cohort worker by
+    ``stride`` with a seeded y-jitter, and every third step drops a
+    fresh task just ahead of the front.  The load mass crosses shard
+    block boundaries as it marches, which is exactly what provokes the
+    elastic engine's split/migrate decisions.
+    """
+
+    def __init__(self, seed=11, cohort=18, stride=0.09):
+        self.rng = np.random.default_rng(seed)
+        self.cohort = cohort
+        self.stride = stride
+
+    def step(self, engine, k):
+        """Apply step ``k``'s churn to ``engine`` (advances the RNG)."""
+        if k == 0:
+            ys = self.rng.uniform(0.05, 0.95, size=self.cohort)
+            engine.add_workers(
+                [
+                    make_worker(
+                        2000 + i,
+                        x=0.04,
+                        y=float(ys[i]),
+                        velocity=0.3,
+                        confidence=0.8,
+                    )
+                    for i in range(self.cohort)
+                ]
+            )
+            lane = self.rng.uniform(0.05, 0.95, size=(6, 2))
+            engine.add_tasks(
+                [
+                    make_task(
+                        800 + j,
+                        x=float(lane[j, 0]),
+                        y=float(lane[j, 1]),
+                        end=40.0,
+                    )
+                    for j in range(6)
+                ]
+            )
+            return
+        jitter = self.rng.uniform(-0.04, 0.04, size=self.cohort)
+        front = 0.0
+        for i in range(self.cohort):
+            worker = engine.workers[2000 + i]
+            x = min(0.96, worker.location.x + self.stride)
+            y = min(0.96, max(0.04, worker.location.y + float(jitter[i])))
+            front = max(front, x)
+            engine.update_worker(worker.moved_to(Point(x, y), float(k)))
+        ahead = self.rng.uniform(0.04, 0.96)
+        if k % 3 == 0:
+            engine.add_task(
+                make_task(
+                    850 + k,
+                    x=min(0.96, front + 0.05),
+                    y=float(ahead),
+                    start=float(k),
+                    end=float(k) + 8.0,
+                )
+            )
+
+
+class HotspotChurn:
+    """Flash crowds: worker bursts pile onto one spot, then vanish.
+
+    Every even step spawns a burst of ``burst`` workers tightly packed
+    around a seeded hotspot (plus a task at its centre); each burst is
+    removed wholesale ``life`` steps later.  Shard loads spike and drain
+    abruptly — the scenario that exercises merge-of-drained-shards.
+    """
+
+    def __init__(self, seed=13, burst=10, life=3):
+        self.rng = np.random.default_rng(seed)
+        self.burst = burst
+        self.life = life
+
+    def step(self, engine, k):
+        """Apply step ``k``'s churn to ``engine`` (advances the RNG)."""
+        centre = self.rng.uniform(0.1, 0.9, size=2)
+        spread = self.rng.uniform(-0.03, 0.03, size=(self.burst, 2))
+        if k % 2 == 0:
+            engine.add_workers(
+                [
+                    make_worker(
+                        3000 + 100 * k + i,
+                        x=float(centre[0] + spread[i, 0]),
+                        y=float(centre[1] + spread[i, 1]),
+                        velocity=0.3,
+                        confidence=0.8,
+                    )
+                    for i in range(self.burst)
+                ]
+            )
+            engine.add_task(
+                make_task(
+                    900 + k,
+                    x=float(centre[0]),
+                    y=float(centre[1]),
+                    start=float(k),
+                    end=float(k) + 6.0,
+                )
+            )
+        expired = k - self.life
+        if expired >= 0 and expired % 2 == 0:
+            for i in range(self.burst):
+                worker_id = 3000 + 100 * expired + i
+                if worker_id in engine.workers:
+                    engine.remove_worker(worker_id)
+
+
+class OscillatingChurn:
+    """A cohort sloshing between opposite corners every ``period`` steps.
+
+    The whole population teleports its drift target between the lower
+    left and upper right corners, so shard loads oscillate instead of
+    trending — the adversarial case for a rebalancer that chases the
+    current hot block (it must not thrash the topology into a bad
+    state or break plan identity while doing so).
+    """
+
+    def __init__(self, seed=17, cohort=16, period=3):
+        self.rng = np.random.default_rng(seed)
+        self.cohort = cohort
+        self.period = period
+
+    def step(self, engine, k):
+        """Apply step ``k``'s churn to ``engine`` (advances the RNG)."""
+        offsets = self.rng.uniform(0.0, 0.25, size=(self.cohort, 2))
+        if k == 0:
+            engine.add_workers(
+                [
+                    make_worker(
+                        4000 + i,
+                        x=float(0.05 + offsets[i, 0]),
+                        y=float(0.05 + offsets[i, 1]),
+                        velocity=0.3,
+                        confidence=0.8,
+                    )
+                    for i in range(self.cohort)
+                ]
+            )
+            spots = self.rng.uniform(0.1, 0.9, size=(5, 2))
+            engine.add_tasks(
+                [
+                    make_task(
+                        950 + j,
+                        x=float(spots[j, 0]),
+                        y=float(spots[j, 1]),
+                        end=40.0,
+                    )
+                    for j in range(5)
+                ]
+            )
+            return
+        corner = 0.05 if (k // self.period) % 2 == 0 else 0.70
+        for i in range(self.cohort):
+            worker = engine.workers[4000 + i]
+            engine.update_worker(
+                worker.moved_to(
+                    Point(
+                        float(corner + offsets[i, 0]),
+                        float(corner + offsets[i, 1]),
+                    ),
+                    float(k),
+                )
+            )
+
+
+DRIFT_SCENARIOS = {
+    "marching": MarchingChurn,
+    "hotspot": HotspotChurn,
+    "oscillating": OscillatingChurn,
+}
 
 
 def populate_small(engine):

@@ -174,6 +174,16 @@ SMOKE_RUNNERS = {
     "bench_section72_maintenance": lambda m: m.run_maintenance_experiment(
         n_ops=10, seed=3
     ),
+    "bench_elastic": lambda m: m.run_elastic_experiment(
+        num_tasks=8,
+        num_workers=120,
+        cohort=24,
+        epochs=3,
+        worker_churn=4,
+        task_churn=1,
+        eta=0.125,
+        write_json=False,
+    ),
     "bench_sharding": lambda m: m.run_sharding_experiment(
         num_tasks=8,
         num_workers=40,

@@ -19,7 +19,12 @@ from repro.algorithms.sampling import (
 )
 from repro.core.diversity import WorkerProfile
 from repro.dynamic import CrowdsourcingSession
-from repro.engine import AssignmentEngine, ShardedAssignmentEngine
+from repro.engine import (
+    AssignmentEngine,
+    ElasticShardedAssignmentEngine,
+    RebalancePolicy,
+    ShardedAssignmentEngine,
+)
 from repro.engine.durable import (
     DurableLog,
     decode_snapshot,
@@ -37,6 +42,7 @@ from repro.engine.durable import (
 from repro.geometry.angles import AngleInterval
 from repro.geometry.points import Point
 from tests.conftest import (
+    DRIFT_SCENARIOS,
     ScriptedChurn,
     drive,
     make_task,
@@ -526,3 +532,93 @@ class TestSolverConfigGuard:
             log._conn.commit()
         restored = restore_engine(path, solver=GreedySolver(use_pruning=False))
         restored.close()
+
+
+# ---------------------------------------------------------------------- #
+# Elastic engine: topology trajectory through the WAL
+# ---------------------------------------------------------------------- #
+
+
+@pytest.mark.churn
+class TestElasticKillAndRecover:
+    """Crash-after-reshape recovery for the elastic sharded engine.
+
+    The WAL logs every rebalance as an explicit event before its epoch
+    marker, so ``restore_engine`` must replay the exact split/merge/
+    migrate trajectory (the snapshot carries the ownership table for the
+    compacted prefix) and the recovered engine — same deterministic
+    policy, same loads — must keep making the *same* reshape decisions
+    for the remaining epochs.
+    """
+
+    EPOCHS = 8
+    KILL_AFTER = 5  # late enough that the aggressive policy has fired
+
+    def make_engine(self, path, tmp=None):
+        return ElasticShardedAssignmentEngine(
+            solver=GreedySolver(),
+            rng=9,
+            backend="numpy",
+            num_shards=4,
+            rebalance=RebalancePolicy(every=1, imbalance=1.2, min_workers=4),
+            durable_path=path,
+            durable_snapshot_every=2,
+        )
+
+    def run_reference(self):
+        engine = self.make_engine(None)
+        seed_population(engine, num_tasks=6, num_workers=12, seed=5)
+        plans = drive(engine, DRIFT_SCENARIOS["marching"](), self.EPOCHS)
+        out = (plans, engine.metrics.counters(), engine.shard_map.topology())
+        engine.close()
+        return out
+
+    def test_recovery_replays_the_reshape_trajectory(self, tmp_path):
+        path = tmp_path / "elastic.db"
+        engine = self.make_engine(path)
+        seed_population(engine, num_tasks=6, num_workers=12, seed=5)
+        churn = DRIFT_SCENARIOS["marching"]()
+        plans = drive(engine, churn, self.KILL_AFTER)
+        ops_before_crash = engine.elastic_stats["rebalance_ops"]
+        topology_at_crash = engine.shard_map.topology()
+        assert ops_before_crash >= 1, "scenario must reshape before the kill"
+        del engine  # crash: no close(), nothing beyond the WAL
+
+        recovered = restore_engine(path, solver=GreedySolver())
+        assert isinstance(recovered, ElasticShardedAssignmentEngine)
+        # Replay reproduced the topology trajectory, not just entity state.
+        assert recovered.shard_map.topology() == topology_at_crash
+        # (elastic_stats is shipping *accounting*, not durable state: it
+        # restarts at the last snapshot and only counts the tail replay.)
+        plans += drive(recovered, churn, self.EPOCHS, start=self.KILL_AFTER)
+
+        reference_plans, reference_counters, reference_topology = (
+            self.run_reference()
+        )
+        assert plans == reference_plans
+        assert recovered.metrics.counters() == reference_counters
+        assert recovered.shard_map.topology() == reference_topology
+        recovered.close()
+
+    def test_double_recovery_keeps_the_topology_trajectory(self, tmp_path):
+        path = tmp_path / "elastic-twice.db"
+        engine = self.make_engine(path)
+        seed_population(engine, num_tasks=6, num_workers=12, seed=5)
+        churn = DRIFT_SCENARIOS["marching"]()
+        plans = drive(engine, churn, 3)
+        del engine
+
+        once = restore_engine(path, solver=GreedySolver())
+        plans += drive(once, churn, 6, start=3)
+        del once  # second crash: replays events the first recovery wrote
+
+        twice = restore_engine(path, solver=GreedySolver())
+        plans += drive(twice, churn, self.EPOCHS, start=6)
+
+        reference_plans, reference_counters, reference_topology = (
+            self.run_reference()
+        )
+        assert plans == reference_plans
+        assert twice.metrics.counters() == reference_counters
+        assert twice.shard_map.topology() == reference_topology
+        twice.close()

@@ -385,4 +385,6 @@ class TestPhaseProfiler:
             "delta_estd",
             "merge",
             "wal_append",
+            "diff_ship",
+            "rebalance",
         )
